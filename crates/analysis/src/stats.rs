@@ -1,0 +1,182 @@
+//! Descriptive statistics and small-sample interval estimates.
+
+/// Arithmetic mean. Returns `None` on empty input.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Sample standard deviation (n − 1). `None` with fewer than two samples.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs).expect("non-empty");
+    Some(
+        (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt(),
+    )
+}
+
+/// Percentile by linear interpolation, `p ∈ [0, 100]`.
+///
+/// # Panics
+/// Panics on empty input or out-of-range `p`.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile out of range");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = rank - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Wilson score interval for a binomial proportion at ~95 % confidence.
+/// Returns `(low, high)`. Well-behaved at the tiny n of this study
+/// (1 failure / 18 hosts), unlike the Wald interval.
+pub fn wilson_interval(successes: u64, trials: u64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let z = 1.959_963_985; // 97.5th percentile of the standard normal
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = z * ((p * (1.0 - p) + z2 / (4.0 * n)) / n).sqrt() / denom;
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// A fixed-width histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Left edge of the first bin.
+    pub min: f64,
+    /// Bin width.
+    pub width: f64,
+    /// Counts per bin.
+    pub counts: Vec<u64>,
+    /// Samples below `min` / at-or-above the last edge.
+    pub underflow: u64,
+    /// See `underflow`.
+    pub overflow: u64,
+}
+
+impl Histogram {
+    /// Build a histogram over `[min, min + width·bins)`.
+    ///
+    /// # Panics
+    /// Panics if `width <= 0` or `bins == 0`.
+    pub fn build(xs: &[f64], min: f64, width: f64, bins: usize) -> Histogram {
+        assert!(width > 0.0 && bins > 0, "bad histogram geometry");
+        let mut h = Histogram {
+            min,
+            width,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        };
+        for &x in xs {
+            if x < min {
+                h.underflow += 1;
+            } else {
+                let b = ((x - min) / width) as usize;
+                if b >= bins {
+                    h.overflow += 1;
+                } else {
+                    h.counts[b] += 1;
+                }
+            }
+        }
+        h
+    }
+
+    /// Total samples, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Index of the fullest bin (first one on ties).
+    pub fn mode_bin(&self) -> usize {
+        let mut best = 0usize;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > self.counts[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), Some(5.0));
+        let sd = std_dev(&xs).unwrap();
+        assert!((sd - 2.138).abs() < 1e-3, "{sd}");
+        assert_eq!(mean(&[]), None);
+        assert_eq!(std_dev(&[1.0]), None);
+    }
+
+    #[test]
+    fn percentiles() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 100.0);
+        assert!((percentile(&xs, 50.0) - 50.5).abs() < 1e-9);
+        assert!((percentile(&xs, 95.0) - 95.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wilson_paper_case() {
+        // 1 failing host of 18 → point estimate 5.6 %; the Wilson interval
+        // must cover Intel's 4.46 % (the paper calls the rates comparable).
+        let (lo, hi) = wilson_interval(1, 18);
+        assert!(lo < 0.0446 && 0.0446 < hi, "[{lo}, {hi}] must cover 4.46 %");
+        assert!(lo > 0.0, "lower bound should be positive-ish but small");
+        assert!(hi < 0.30, "upper bound {hi}");
+    }
+
+    #[test]
+    fn wilson_edge_cases() {
+        assert_eq!(wilson_interval(0, 0), (0.0, 1.0));
+        let (lo, hi) = wilson_interval(0, 20);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.25);
+        let (lo2, hi2) = wilson_interval(20, 20);
+        assert!(lo2 > 0.75);
+        assert_eq!(hi2, 1.0);
+    }
+
+    #[test]
+    fn wilson_shrinks_with_n() {
+        let (lo1, hi1) = wilson_interval(5, 100);
+        let (lo2, hi2) = wilson_interval(50, 1000);
+        assert!(hi2 - lo2 < hi1 - lo1);
+    }
+
+    #[test]
+    fn histogram_binning() {
+        let xs = [-5.0, 0.1, 0.9, 1.5, 2.5, 2.6, 99.0];
+        let h = Histogram::build(&xs, 0.0, 1.0, 3);
+        assert_eq!(h.counts, vec![2, 1, 2]);
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.overflow, 1);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.mode_bin(), 0);
+    }
+}

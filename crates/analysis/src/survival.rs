@@ -1,0 +1,162 @@
+//! Survival analysis over fleet histories.
+//!
+//! The paper runs three months and reports a single proportion; with the
+//! stochastic simulator we can ask the question reliability engineers would:
+//! what does the *time-to-first-failure* distribution look like? This
+//! module provides the Kaplan–Meier estimator (right-censored observations:
+//! most machines never fail before the campaign ends) and MTBF summaries.
+
+/// One machine's observation: time observed, and whether a failure ended it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// Hours observed (to failure, or to campaign end if censored).
+    pub hours: f64,
+    /// True if the observation ended in a failure; false = censored.
+    pub failed: bool,
+}
+
+/// A step of the Kaplan–Meier curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KmStep {
+    /// Event time, hours.
+    pub hours: f64,
+    /// Survival probability just after this time.
+    pub survival: f64,
+    /// Machines still at risk just before this time.
+    pub at_risk: usize,
+}
+
+/// Kaplan–Meier product-limit estimator.
+///
+/// Returns the survival curve as steps at each distinct failure time.
+/// Censored observations reduce the risk set without stepping the curve.
+pub fn kaplan_meier(observations: &[Observation]) -> Vec<KmStep> {
+    let mut obs: Vec<Observation> = observations.to_vec();
+    obs.sort_by(|a, b| a.hours.partial_cmp(&b.hours).expect("no NaN times"));
+    let mut steps = Vec::new();
+    let mut survival = 1.0f64;
+    let mut i = 0usize;
+    let n = obs.len();
+    while i < n {
+        let t = obs[i].hours;
+        // Count deaths and censorings at this exact time.
+        let mut deaths = 0usize;
+        let mut j = i;
+        while j < n && obs[j].hours == t {
+            if obs[j].failed {
+                deaths += 1;
+            }
+            j += 1;
+        }
+        let at_risk = n - i;
+        if deaths > 0 {
+            survival *= 1.0 - deaths as f64 / at_risk as f64;
+            steps.push(KmStep {
+                hours: t,
+                survival,
+                at_risk,
+            });
+        }
+        i = j;
+    }
+    steps
+}
+
+/// Survival probability at `hours` from a KM curve (1.0 before the first
+/// failure).
+pub fn survival_at(curve: &[KmStep], hours: f64) -> f64 {
+    curve
+        .iter()
+        .take_while(|s| s.hours <= hours)
+        .last()
+        .map(|s| s.survival)
+        .unwrap_or(1.0)
+}
+
+/// Crude MTBF estimate: total observed machine-hours per failure.
+/// `None` when no failures were observed (the estimate is unbounded —
+/// exactly the paper's situation for most components).
+pub fn mtbf_hours(observations: &[Observation]) -> Option<f64> {
+    let total: f64 = observations.iter().map(|o| o.hours).sum();
+    let failures = observations.iter().filter(|o| o.failed).count();
+    if failures == 0 {
+        None
+    } else {
+        Some(total / failures as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(hours: f64, failed: bool) -> Observation {
+        Observation { hours, failed }
+    }
+
+    #[test]
+    fn textbook_example() {
+        // Classic: failures at 1, 3; censored at 2, 4.
+        let data = [obs(1.0, true), obs(2.0, false), obs(3.0, true), obs(4.0, false)];
+        let curve = kaplan_meier(&data);
+        assert_eq!(curve.len(), 2);
+        // At t=1: 4 at risk, S = 3/4.
+        assert!((curve[0].survival - 0.75).abs() < 1e-12);
+        assert_eq!(curve[0].at_risk, 4);
+        // At t=3: 2 at risk, S = 0.75 * 1/2.
+        assert!((curve[1].survival - 0.375).abs() < 1e-12);
+        assert_eq!(curve[1].at_risk, 2);
+    }
+
+    #[test]
+    fn all_censored_flat_curve() {
+        let data = [obs(100.0, false), obs(200.0, false)];
+        let curve = kaplan_meier(&data);
+        assert!(curve.is_empty());
+        assert_eq!(survival_at(&curve, 500.0), 1.0);
+        assert_eq!(mtbf_hours(&data), None);
+    }
+
+    #[test]
+    fn paper_fleet_shape() {
+        // 18 machines, ~2000 h each, one failure at ~380 h (host #15).
+        let mut data = vec![obs(2000.0, false); 17];
+        data.push(obs(380.0, true));
+        let curve = kaplan_meier(&data);
+        assert_eq!(curve.len(), 1);
+        assert!((curve[0].survival - 17.0 / 18.0).abs() < 1e-12);
+        assert_eq!(survival_at(&curve, 2000.0), 17.0 / 18.0);
+        let mtbf = mtbf_hours(&data).expect("one failure");
+        assert!((mtbf - (17.0 * 2000.0 + 380.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn survival_lookup_between_steps() {
+        let data = [obs(10.0, true), obs(20.0, true), obs(30.0, false)];
+        let curve = kaplan_meier(&data);
+        assert_eq!(survival_at(&curve, 5.0), 1.0);
+        assert!((survival_at(&curve, 15.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((survival_at(&curve, 25.0) - (2.0 / 3.0) * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simultaneous_failures() {
+        let data = [obs(10.0, true), obs(10.0, true), obs(10.0, false), obs(50.0, false)];
+        let curve = kaplan_meier(&data);
+        assert_eq!(curve.len(), 1);
+        assert!((curve[0].survival - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_is_monotone_nonincreasing() {
+        let data: Vec<Observation> = (1..40)
+            .map(|i| obs(f64::from(i) * 7.0, i % 3 == 0))
+            .collect();
+        let curve = kaplan_meier(&data);
+        let mut prev = 1.0;
+        for s in &curve {
+            assert!(s.survival <= prev + 1e-12);
+            prev = s.survival;
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Campaign-scale benchmarks: how fast does a simulated experiment run?
+//!
+//! `campaign_week` is the end-to-end number — one week of the full
+//! orchestrated experiment (weather, thermal, 19 hosts, workload, faults,
+//! collection, metering). The full three-month scripted reproduction is
+//! ~13× this.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frostlab_core::config::ExperimentConfig;
+use frostlab_core::prototype::run_prototype;
+use frostlab_core::Experiment;
+
+fn bench_campaign(c: &mut Criterion) {
+    let mut g = c.benchmark_group("campaign");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(20));
+    g.bench_function("campaign_week", |b| {
+        b.iter(|| {
+            let results = Experiment::new(ExperimentConfig::short(1, 7)).run();
+            std::hint::black_box(results.workload.total_runs())
+        })
+    });
+    g.bench_function("prototype_weekend", |b| {
+        b.iter(|| {
+            let report = run_prototype(&ExperimentConfig::paper_scripted(1));
+            std::hint::black_box(report.cpu_min_c)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

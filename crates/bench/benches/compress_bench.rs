@@ -1,0 +1,79 @@
+//! Criterion benchmarks for the data-path substrate: MD5, CRC32, the
+//! bzip2-style block pipeline, BWT and the rsync checksums. These are the
+//! per-run costs behind T2/T3 — the pipeline every host executed 144 times
+//! a day.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use frostlab_compress::block::{compress, decompress};
+use frostlab_compress::bwt::bwt_forward;
+use frostlab_compress::crc32::crc32;
+use frostlab_compress::md5::md5;
+use frostlab_compress::recover::recover;
+use frostlab_workload::source_tree::{generate, TreeConfig};
+
+fn kernel_tar(total: usize) -> Vec<u8> {
+    let tree = generate(
+        &TreeConfig {
+            total_bytes: total,
+            ..TreeConfig::default()
+        },
+        1,
+    );
+    frostlab_compress::archive::archive(&tree)
+}
+
+fn bench_hashes(c: &mut Criterion) {
+    let data = kernel_tar(256 * 1024);
+    let mut g = c.benchmark_group("hashes");
+    g.sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("md5_256k", |b| b.iter(|| md5(std::hint::black_box(&data))));
+    g.bench_function("crc32_256k", |b| b.iter(|| crc32(std::hint::black_box(&data))));
+    g.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("block_pipeline");
+    g.sample_size(10).measurement_time(std::time::Duration::from_secs(5));
+    for size in [16 * 1024usize, 64 * 1024, 192 * 1024] {
+        let data = kernel_tar(size);
+        g.throughput(Throughput::Bytes(data.len() as u64));
+        g.bench_with_input(BenchmarkId::new("compress_bs512", size), &data, |b, d| {
+            b.iter(|| compress(std::hint::black_box(d), 512))
+        });
+        let packed = compress(&data, 512);
+        g.bench_with_input(BenchmarkId::new("decompress_bs512", size), &packed, |b, p| {
+            b.iter(|| decompress(std::hint::black_box(p)).expect("clean stream"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_bwt(c: &mut Criterion) {
+    let data = kernel_tar(64 * 1024);
+    let mut g = c.benchmark_group("bwt");
+    g.sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("forward_64k", |b| {
+        b.iter(|| bwt_forward(std::hint::black_box(&data)))
+    });
+    g.finish();
+}
+
+fn bench_recover(c: &mut Criterion) {
+    // The T2 forensic path: scan a ~400-block archive with one bad block.
+    let data = kernel_tar(200 * 1024);
+    let mut packed = compress(&data, 512);
+    let mid = packed.len() / 2;
+    packed[mid] ^= 0x10;
+    let mut g = c.benchmark_group("recover");
+    g.sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    g.throughput(Throughput::Bytes(packed.len() as u64));
+    g.bench_function("scan_damaged_archive", |b| {
+        b.iter(|| recover(std::hint::black_box(&packed)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hashes, bench_pipeline, bench_bwt, bench_recover);
+criterion_main!(benches);

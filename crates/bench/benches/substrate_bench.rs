@@ -1,0 +1,120 @@
+//! Criterion benchmarks for the simulation substrates: event queue, PRNG,
+//! weather generation, thermal stepping, transport and rsync. These bound
+//! how much campaign a wall-clock second buys.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use frostlab_climate::presets;
+use frostlab_climate::weather::WeatherModel;
+use frostlab_netsim::rsyncp;
+use frostlab_simkern::event::EventQueue;
+use frostlab_simkern::rng::Rng;
+use frostlab_simkern::time::{SimDuration, SimTime};
+use frostlab_thermal::enclosure::Enclosure;
+use frostlab_thermal::server_case::{ServerCaseThermal, ServerThermalParams};
+use frostlab_thermal::tent::{Tent, TentConfig, TentParams};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simkern");
+    g.sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("queue_schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                // Pseudo-shuffled times exercise heap reordering.
+                q.schedule(SimTime::from_secs(((i * 7919) % 10_000) as i64 + 1), i);
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            assert_eq!(n, 10_000);
+        })
+    });
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("rng_normal_100k", |b| {
+        let mut rng = Rng::new(1);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..100_000 {
+                acc += rng.normal(0.0, 1.0);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_weather(c: &mut Criterion) {
+    let mut g = c.benchmark_group("climate");
+    g.sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    // One simulated day at the model's native 60 s step.
+    g.bench_function("weather_one_day_minutely", |b| {
+        b.iter_with_setup(
+            || WeatherModel::new(presets::helsinki_winter_2010(), 3),
+            |mut wx| {
+                wx.series(
+                    SimTime::from_date(2010, 2, 20),
+                    SimTime::from_date(2010, 2, 21),
+                    SimDuration::minutes(1),
+                )
+            },
+        )
+    });
+    g.finish();
+}
+
+fn bench_thermal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thermal");
+    g.sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("tent_one_day_minutely", |b| {
+        let wx = frostlab_climate::weather::WeatherSample {
+            t: SimTime::ZERO,
+            temp_c: -10.0,
+            rh_pct: 85.0,
+            wind_ms: 4.0,
+            solar_w_m2: 100.0,
+            cloud: 0.6,
+        };
+        b.iter(|| {
+            let mut tent = Tent::new(TentParams::default(), TentConfig::initial(), &wx);
+            for _ in 0..1440 {
+                tent.step(60.0, &wx, 1000.0);
+            }
+            std::hint::black_box(tent.state())
+        })
+    });
+    g.bench_function("chassis_one_day_minutely", |b| {
+        b.iter(|| {
+            let mut s = ServerCaseThermal::new(ServerThermalParams::vendor_a_tower(), -5.0);
+            for i in 0..1440 {
+                let load = if i % 10 < 3 { 65.0 } else { 15.0 };
+                s.step(60.0, -5.0, load, load + 60.0);
+            }
+            std::hint::black_box(s.cpu_temp_c())
+        })
+    });
+    g.finish();
+}
+
+fn bench_rsync(c: &mut Criterion) {
+    let old: Vec<u8> = (0..64 * 1024u32).map(|i| (i % 251) as u8).collect();
+    let mut new = old.clone();
+    new.extend_from_slice(b"one appended collection line\n");
+    let mut g = c.benchmark_group("netsim");
+    g.sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    g.throughput(Throughput::Bytes(new.len() as u64));
+    g.bench_function("rsync_append_64k", |b| {
+        b.iter(|| rsyncp::sync(std::hint::black_box(&old), std::hint::black_box(&new), 512))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_weather,
+    bench_thermal,
+    bench_rsync
+);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Fig. 1 reproduction: the tent schematic, parameterized.
+fn main() {
+    println!(
+        "{}",
+        frostlab_core::figures::fig1_tent_schematic(&frostlab_thermal::tent::TentParams::default())
+    );
+}

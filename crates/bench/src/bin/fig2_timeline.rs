@@ -1,0 +1,11 @@
+//! Fig. 2 reproduction: dates when servers were installed.
+use frostlab_simkern::time::SimTime;
+fn main() {
+    println!(
+        "{}",
+        frostlab_core::figures::fig2_render(SimTime::from_date(2010, 5, 13))
+    );
+    for row in frostlab_core::figures::fig2_timeline() {
+        println!("  host #{:02}: {} {}", row.id, row.at.date(), row.note);
+    }
+}

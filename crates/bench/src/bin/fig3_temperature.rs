@@ -1,0 +1,15 @@
+//! Fig. 3 reproduction: temperatures outside and inside the tent.
+//! Prints the full CSV on stdout; summary and marks on stderr.
+fn main() {
+    let seed = frostlab_bench::seed_from_args();
+    let results = frostlab_bench::scripted_campaign(seed);
+    let fig = frostlab_core::figures::fig3_temperature(&results);
+    eprintln!("Fig. 3 (seed {seed}) — {}", fig.summary);
+    for (mark, t) in &fig.marks {
+        eprintln!("  mark {mark}: {}", t.datetime());
+    }
+    for (a, b) in &fig.inside_gaps {
+        eprintln!("  inside-channel gap: {} → {}", a.datetime(), b.datetime());
+    }
+    print!("{}", fig.csv);
+}

@@ -1,0 +1,11 @@
+//! Fig. 4 reproduction: relative humidities inside and outside the tent.
+fn main() {
+    let seed = frostlab_bench::seed_from_args();
+    let results = frostlab_bench::scripted_campaign(seed);
+    let fig = frostlab_core::figures::fig4_humidity(&results);
+    eprintln!("Fig. 4 (seed {seed}) — {}", fig.summary);
+    for (mark, t) in &fig.marks {
+        eprintln!("  mark {mark}: {}", t.datetime());
+    }
+    print!("{}", fig.csv);
+}

@@ -1,0 +1,46 @@
+//! Reproduce every figure and table in one run — the EXPERIMENTS.md
+//! evidence generator. Figure CSVs are summarized (run the fig3/fig4
+//! binaries for the full series).
+use frostlab_core::config::ExperimentConfig;
+fn main() {
+    let seed = frostlab_bench::seed_from_args();
+    println!("frostlab repro_all — seed {seed}\n");
+
+    println!(
+        "{}",
+        frostlab_core::figures::fig1_tent_schematic(&frostlab_thermal::tent::TentParams::default())
+    );
+    println!(
+        "{}",
+        frostlab_core::figures::fig2_render(frostlab_simkern::time::SimTime::from_date(2010, 5, 13))
+    );
+
+    let proto = frostlab_core::prototype::run_prototype(&ExperimentConfig::paper_scripted(seed));
+    println!("{}", frostlab_core::tables::t5_prototype(&proto));
+
+    eprintln!("running the scripted campaign…");
+    let results = frostlab_bench::scripted_campaign(seed);
+
+    let f3 = frostlab_core::figures::fig3_temperature(&results);
+    println!("Fig. 3 — {}", f3.summary);
+    for (mark, t) in &f3.marks {
+        println!("  mark {mark}: {}", t.datetime());
+    }
+    let f4 = frostlab_core::figures::fig4_humidity(&results);
+    println!("Fig. 4 — {}\n", f4.summary);
+
+    println!("{}", frostlab_core::tables::t1_failures(&results));
+    println!("{}", frostlab_core::tables::t2_hashes(&results));
+    println!("{}", frostlab_core::tables::t3_memory(&results));
+    println!("{}", frostlab_core::tables::t4_pue());
+    println!("{}", frostlab_core::tables::t6_savings(seed));
+
+    println!(
+        "collection availability {:.1} % | tent energy {:.0} kWh | lascar outliers removed {}",
+        100.0 * results.collection_availability(),
+        results.tent_energy_metered_kwh,
+        results.lascar_outliers_removed
+    );
+
+    println!("\nmachine-readable summary:\n{}", results.summary().to_json());
+}

@@ -1,0 +1,6 @@
+//! T1 reproduction: the failure-rate comparison.
+fn main() {
+    let seed = frostlab_bench::seed_from_args();
+    let results = frostlab_bench::scripted_campaign(seed);
+    println!("{}", frostlab_core::tables::t1_failures(&results));
+}

@@ -1,0 +1,6 @@
+//! T2 reproduction: wrong md5sums and the recover forensics.
+fn main() {
+    let seed = frostlab_bench::seed_from_args();
+    let results = frostlab_bench::scripted_campaign(seed);
+    println!("{}", frostlab_core::tables::t2_hashes(&results));
+}

@@ -1,0 +1,6 @@
+//! T3 reproduction: the memory-fault exposure estimate.
+fn main() {
+    let seed = frostlab_bench::seed_from_args();
+    let results = frostlab_bench::scripted_campaign(seed);
+    println!("{}", frostlab_core::tables::t3_memory(&results));
+}

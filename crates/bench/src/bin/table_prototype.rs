@@ -1,0 +1,7 @@
+//! T5 reproduction: the plastic-box prototype weekend.
+use frostlab_core::config::ExperimentConfig;
+fn main() {
+    let seed = frostlab_bench::seed_from_args();
+    let report = frostlab_core::prototype::run_prototype(&ExperimentConfig::paper_scripted(seed));
+    println!("{}", frostlab_core::tables::t5_prototype(&report));
+}

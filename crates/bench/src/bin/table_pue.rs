@@ -1,0 +1,4 @@
+//! T4 reproduction: the §5 PUE arithmetic (no simulation needed).
+fn main() {
+    println!("{}", frostlab_core::tables::t4_pue());
+}

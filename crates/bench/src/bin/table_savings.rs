@@ -1,0 +1,5 @@
+//! T6 reproduction: economizer savings across the three study climates.
+fn main() {
+    let seed = frostlab_bench::seed_from_args();
+    println!("{}", frostlab_core::tables::t6_savings(seed));
+}

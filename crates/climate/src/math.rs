@@ -1,0 +1,107 @@
+//! Small special-function toolbox used by the weather generator.
+//!
+//! Implemented locally (Abramowitz & Stegun approximations) to keep the
+//! dependency set minimal; accuracies are far beyond what the simulation
+//! needs (|ε| < 1.5·10⁻⁷ for `erf`).
+
+/// Error function, Abramowitz & Stegun 7.1.26 (max abs error 1.5e-7).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal cumulative distribution function.
+pub fn norm_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Clamp helper that also guards against NaN by returning `lo`.
+pub fn clamp(x: f64, lo: f64, hi: f64) -> f64 {
+    if x.is_nan() {
+        lo
+    } else {
+        x.max(lo).min(hi)
+    }
+}
+
+/// Linear interpolation between `a` and `b` with weight `w ∈ [0,1]`.
+pub fn lerp(a: f64, b: f64, w: f64) -> f64 {
+    a + (b - a) * w
+}
+
+/// Smoothstep: cubic ease between 0 and 1 on `[e0, e1]`.
+pub fn smoothstep(e0: f64, e1: f64, x: f64) -> f64 {
+    let t = clamp((x - e0) / (e1 - e0), 0.0, 1.0);
+    t * t * (3.0 - 2.0 * t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_reference_points() {
+        // Reference values from tables.
+        let cases = [
+            (0.0, 0.0),
+            (0.5, 0.520_499_88),
+            (1.0, 0.842_700_79),
+            (2.0, 0.995_322_27),
+            (-1.0, -0.842_700_79),
+        ];
+        for (x, want) in cases {
+            assert!((erf(x) - want).abs() < 2e-7, "erf({x}) = {} want {want}", erf(x));
+        }
+    }
+
+    #[test]
+    fn norm_cdf_symmetry_and_tails() {
+        assert!((norm_cdf(0.0) - 0.5).abs() < 1e-9);
+        for x in [0.3, 1.0, 2.5] {
+            assert!((norm_cdf(x) + norm_cdf(-x) - 1.0).abs() < 1e-7);
+        }
+        assert!(norm_cdf(6.0) > 0.999_999);
+        assert!(norm_cdf(-6.0) < 1e-6);
+    }
+
+    #[test]
+    fn norm_cdf_monotone() {
+        let mut prev = norm_cdf(-5.0);
+        let mut x = -5.0;
+        while x < 5.0 {
+            x += 0.05;
+            let c = norm_cdf(x);
+            assert!(c >= prev - 1e-12, "non-monotone at {x}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn clamp_handles_nan() {
+        assert_eq!(clamp(f64::NAN, -1.0, 1.0), -1.0);
+        assert_eq!(clamp(5.0, -1.0, 1.0), 1.0);
+        assert_eq!(clamp(-5.0, -1.0, 1.0), -1.0);
+        assert_eq!(clamp(0.3, -1.0, 1.0), 0.3);
+    }
+
+    #[test]
+    fn smoothstep_endpoints() {
+        assert_eq!(smoothstep(0.0, 1.0, -1.0), 0.0);
+        assert_eq!(smoothstep(0.0, 1.0, 2.0), 1.0);
+        assert!((smoothstep(0.0, 1.0, 0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_basics() {
+        assert_eq!(lerp(2.0, 4.0, 0.0), 2.0);
+        assert_eq!(lerp(2.0, 4.0, 1.0), 4.0);
+        assert_eq!(lerp(2.0, 4.0, 0.5), 3.0);
+    }
+}

@@ -1,0 +1,299 @@
+//! Precipitation: the reason the tent exists.
+//!
+//! §3.1: the prototype's plastic boxes "served to protect against snow
+//! reaching the computer internals and melting into water", and the whole
+//! §3.2 tent design is a rain/snow shield that fights its own heat
+//! retention. To let the platform ask "what if there were no tent?" the
+//! climate substrate needs precipitation:
+//!
+//! * an **occurrence** process driven by cloud cover and humidity (fronts
+//!   precipitate; clear cold spells do not);
+//! * an **intensity** process (mm/h water-equivalent, lognormal bursts);
+//! * a **phase** rule (snow below ~+1 °C, rain above — Helsinki winter is
+//!   snow, the spring tail is rain);
+//! * **snowpack accounting** on an exposed horizontal surface: accumulation
+//!   in cold weather, degree-day melt above freezing.
+//!
+//! Like everything else in the crate, deterministic per seed.
+
+use frostlab_simkern::rng::Rng;
+use frostlab_simkern::time::{SimDuration, SimTime};
+
+use crate::weather::{WeatherModel, WeatherSample};
+
+/// Phase of falling precipitation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrecipPhase {
+    /// Nothing falling.
+    None,
+    /// Snow (accumulates).
+    Snow,
+    /// Rain (wets immediately).
+    Rain,
+}
+
+/// One precipitation sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecipSample {
+    /// Timestamp.
+    pub t: SimTime,
+    /// Phase.
+    pub phase: PrecipPhase,
+    /// Water-equivalent rate, mm/h.
+    pub rate_mm_h: f64,
+}
+
+/// Precipitation generator layered over a [`WeatherModel`]'s samples.
+///
+/// Precipitation is *conditionally* generated from the weather state —
+/// cloud and humidity gate it — plus its own persistence process, so
+/// showers last tens of minutes to hours rather than flickering.
+#[derive(Debug, Clone)]
+pub struct PrecipModel {
+    rng: Rng,
+    /// Wet/dry persistence state.
+    wet: bool,
+    /// Current burst intensity while wet, mm/h.
+    intensity_mm_h: f64,
+    /// Snowpack on an exposed horizontal surface, mm water equivalent.
+    snowpack_mm_we: f64,
+    /// Accumulated rain + melt water this run, mm.
+    liquid_total_mm: f64,
+    last_t: Option<SimTime>,
+}
+
+impl PrecipModel {
+    /// New generator from a seed stream.
+    pub fn new(seed_rng: &Rng) -> Self {
+        PrecipModel {
+            rng: seed_rng.derive("precip"),
+            wet: false,
+            intensity_mm_h: 0.0,
+            snowpack_mm_we: 0.0,
+            liquid_total_mm: 0.0,
+            last_t: None,
+        }
+    }
+
+    /// Probability per hour of a dry→wet transition given the sky state.
+    fn onset_rate_per_hour(w: &WeatherSample) -> f64 {
+        // Need thick cloud and high humidity; scales up with both.
+        if w.cloud < 0.5 || w.rh_pct < 75.0 {
+            0.0
+        } else {
+            0.25 * (w.cloud - 0.5) * 2.0 * ((w.rh_pct - 75.0) / 25.0)
+        }
+    }
+
+    /// Advance to the next weather sample and produce the precip state.
+    /// Call with *consecutive* samples (any monotone cadence).
+    pub fn step(&mut self, w: &WeatherSample) -> PrecipSample {
+        let dt_h = match self.last_t {
+            Some(prev) => (w.t - prev).as_hours_f64().max(0.0),
+            None => 0.0,
+        };
+        self.last_t = Some(w.t);
+
+        // Wet/dry two-state process.
+        if self.wet {
+            // Mean event duration ≈ 3 h; also ends if the sky clears.
+            let off = 1.0 / 3.0 * dt_h;
+            if w.cloud < 0.4 || self.rng.chance(off) {
+                self.wet = false;
+            }
+        } else {
+            let on = Self::onset_rate_per_hour(w) * dt_h;
+            if self.rng.chance(on) {
+                self.wet = true;
+                // Lognormal burst intensity: median ≈ 0.8 mm/h, fat tail.
+                self.intensity_mm_h = 0.8 * self.rng.lognormal(0.0, 0.8);
+            }
+        }
+
+        let phase = if !self.wet || w.solar_w_m2 > 450.0 {
+            PrecipPhase::None
+        } else if w.temp_c <= 1.0 {
+            PrecipPhase::Snow
+        } else {
+            PrecipPhase::Rain
+        };
+        let rate = if phase == PrecipPhase::None {
+            0.0
+        } else {
+            self.intensity_mm_h
+        };
+
+        // Snowpack bookkeeping on an exposed surface.
+        match phase {
+            PrecipPhase::Snow => self.snowpack_mm_we += rate * dt_h,
+            PrecipPhase::Rain => self.liquid_total_mm += rate * dt_h,
+            PrecipPhase::None => {}
+        }
+        // Degree-day melt: ~0.2 mm w.e. per degree-hour above 0 °C.
+        if w.temp_c > 0.0 && self.snowpack_mm_we > 0.0 {
+            let melt = 0.2 * w.temp_c * dt_h;
+            let melted = melt.min(self.snowpack_mm_we);
+            self.snowpack_mm_we -= melted;
+            self.liquid_total_mm += melted;
+        }
+
+        PrecipSample {
+            t: w.t,
+            phase,
+            rate_mm_h: rate,
+        }
+    }
+
+    /// Snow currently lying on an exposed surface, mm water equivalent
+    /// (≈ ×10 for fresh-snow depth).
+    pub fn snowpack_mm_we(&self) -> f64 {
+        self.snowpack_mm_we
+    }
+
+    /// Total liquid water (rain + melt) an exposed surface has received, mm.
+    pub fn liquid_total_mm(&self) -> f64 {
+        self.liquid_total_mm
+    }
+
+    /// Is precipitation falling right now?
+    pub fn is_wet(&self) -> bool {
+        self.wet
+    }
+}
+
+/// Convenience: run precipitation over a window and return the samples
+/// (advances the supplied weather model).
+pub fn precip_series(
+    wx: &mut WeatherModel,
+    precip: &mut PrecipModel,
+    start: SimTime,
+    end: SimTime,
+    step: SimDuration,
+) -> Vec<PrecipSample> {
+    let mut out = Vec::new();
+    let mut t = start;
+    while t <= end {
+        let w = wx.sample_at(t);
+        out.push(precip.step(&w));
+        t += step;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    fn winter_run(seed: u64, days: i64) -> (PrecipModel, Vec<PrecipSample>) {
+        let mut wx = WeatherModel::new(presets::helsinki_winter_2010(), seed);
+        let mut pm = PrecipModel::new(&Rng::new(seed));
+        let start = SimTime::from_date(2010, 2, 1);
+        let samples = precip_series(
+            &mut wx,
+            &mut pm,
+            start,
+            start + SimDuration::days(days),
+            SimDuration::minutes(10),
+        );
+        (pm, samples)
+    }
+
+    #[test]
+    fn winter_produces_snow_not_rain() {
+        let (_, samples) = winter_run(1, 21);
+        let snow = samples.iter().filter(|s| s.phase == PrecipPhase::Snow).count();
+        let rain = samples.iter().filter(|s| s.phase == PrecipPhase::Rain).count();
+        assert!(snow > 0, "three February weeks must snow at least once");
+        assert!(
+            rain < snow / 4 + 5,
+            "February rain should be rare: {rain} rain vs {snow} snow samples"
+        );
+    }
+
+    #[test]
+    fn snowpack_accumulates_in_winter() {
+        for seed in [1, 2, 3] {
+            let (pm, _) = winter_run(seed, 28);
+            assert!(
+                pm.snowpack_mm_we() > 1.0,
+                "seed {seed}: a February should build snowpack, got {}",
+                pm.snowpack_mm_we()
+            );
+        }
+    }
+
+    #[test]
+    fn spring_melts_the_pack() {
+        let mut wx = WeatherModel::new(presets::helsinki_winter_2010(), 4);
+        let mut pm = PrecipModel::new(&Rng::new(4));
+        // Build pack through Feb–Mar…
+        let start = SimTime::from_date(2010, 2, 1);
+        precip_series(
+            &mut wx,
+            &mut pm,
+            start,
+            SimTime::from_date(2010, 3, 25),
+            SimDuration::minutes(10),
+        );
+        let late_winter = pm.snowpack_mm_we();
+        // …then run to late May.
+        precip_series(
+            &mut wx,
+            &mut pm,
+            SimTime::from_date(2010, 3, 25) + SimDuration::minutes(10),
+            SimTime::from_date(2010, 5, 25),
+            SimDuration::minutes(10),
+        );
+        assert!(
+            pm.snowpack_mm_we() < late_winter.max(1.0) * 0.25,
+            "spring must melt the pack: {} → {}",
+            late_winter,
+            pm.snowpack_mm_we()
+        );
+        assert!(pm.liquid_total_mm() > 0.0, "melt water must appear");
+    }
+
+    #[test]
+    fn events_persist_rather_than_flicker() {
+        let (_, samples) = winter_run(5, 28);
+        // Count wet→dry transitions; with ~3 h mean events at 10-min
+        // sampling, transitions should be far rarer than wet samples.
+        let wet: Vec<bool> = samples.iter().map(|s| s.phase != PrecipPhase::None).collect();
+        let wet_count = wet.iter().filter(|&&w| w).count();
+        let transitions = wet.windows(2).filter(|w| w[0] != w[1]).count();
+        if wet_count > 20 {
+            assert!(
+                transitions * 4 < wet_count,
+                "flickering precip: {transitions} transitions for {wet_count} wet samples"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let (_, a) = winter_run(7, 10);
+        let (_, b) = winter_run(7, 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn no_precip_from_clear_skies() {
+        let mut pm = PrecipModel::new(&Rng::new(9));
+        let clear = WeatherSample {
+            t: SimTime::ZERO,
+            temp_c: -15.0,
+            rh_pct: 60.0,
+            wind_ms: 2.0,
+            solar_w_m2: 0.0,
+            cloud: 0.1,
+        };
+        for i in 0..1000 {
+            let mut w = clear;
+            w.t = SimTime::from_secs(i * 600);
+            let s = pm.step(&w);
+            assert_eq!(s.phase, PrecipPhase::None);
+        }
+        assert_eq!(pm.snowpack_mm_we(), 0.0);
+    }
+}

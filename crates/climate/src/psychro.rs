@@ -1,0 +1,215 @@
+//! Psychrometrics: the moist-air relations the paper's §5 discussion leans on.
+//!
+//! The central question the authors raise is *"can water condense in the
+//! hardware?"* — condensation occurs when a surface is colder than the dew
+//! point of the surrounding air. This module provides saturation vapor
+//! pressure (Magnus form, with a separate branch over ice for sub-zero
+//! temperatures), dew point, relative-humidity conversions, absolute
+//! humidity, and a condensation-risk predicate used by the thermal and
+//! analysis layers.
+//!
+//! Conventions: temperatures in °C, pressures in hPa, relative humidity in
+//! percent (0–100), absolute humidity in g/m³.
+
+use crate::math::clamp;
+
+/// Magnus coefficients over liquid water (Alduchov & Eskridge 1996).
+const MAGNUS_WATER: (f64, f64, f64) = (6.1094, 17.625, 243.04);
+/// Magnus coefficients over ice.
+const MAGNUS_ICE: (f64, f64, f64) = (6.1121, 22.587, 273.86);
+
+/// Saturation vapor pressure in hPa at temperature `t_c` (°C).
+///
+/// Uses the over-water branch above 0 °C and the over-ice branch below, which
+/// matters in this study: at −20 °C the two differ by ~20 %.
+pub fn saturation_vapor_pressure_hpa(t_c: f64) -> f64 {
+    let (a, b, c) = if t_c >= 0.0 { MAGNUS_WATER } else { MAGNUS_ICE };
+    a * ((b * t_c) / (c + t_c)).exp()
+}
+
+/// Actual vapor pressure in hPa given temperature and relative humidity.
+pub fn vapor_pressure_hpa(t_c: f64, rh_pct: f64) -> f64 {
+    saturation_vapor_pressure_hpa(t_c) * clamp(rh_pct, 0.0, 100.0) / 100.0
+}
+
+/// Dew point in °C given temperature and relative humidity.
+///
+/// Inverts the Magnus formula on the over-water branch when the result is
+/// ≥ 0 °C and the over-ice branch otherwise (strictly this is then a frost
+/// point, which is the quantity of interest for frost formation on cases).
+pub fn dew_point_c(t_c: f64, rh_pct: f64) -> f64 {
+    let rh = clamp(rh_pct, 0.1, 100.0);
+    let e = vapor_pressure_hpa(t_c, rh);
+    // Try water branch first.
+    let inv = |coef: (f64, f64, f64)| {
+        let (a, b, c) = coef;
+        let ln = (e / a).ln();
+        c * ln / (b - ln)
+    };
+    let dp_water = inv(MAGNUS_WATER);
+    if dp_water >= 0.0 {
+        dp_water
+    } else {
+        inv(MAGNUS_ICE)
+    }
+}
+
+/// Relative humidity (%) of air with dew point `dp_c` at temperature `t_c`.
+pub fn rel_humidity_from_dew_point(t_c: f64, dp_c: f64) -> f64 {
+    let e = saturation_vapor_pressure_hpa(dp_c);
+    let es = saturation_vapor_pressure_hpa(t_c);
+    clamp(100.0 * e / es, 0.0, 100.0)
+}
+
+/// Absolute humidity in g/m³ (mass of water vapor per volume of moist air).
+///
+/// Ideal-gas form: `AH = e / (R_v · T)` with `R_v` = 461.5 J/(kg·K).
+pub fn absolute_humidity_g_m3(t_c: f64, rh_pct: f64) -> f64 {
+    let e_pa = vapor_pressure_hpa(t_c, rh_pct) * 100.0;
+    let t_k = t_c + 273.15;
+    e_pa / (461.5 * t_k) * 1000.0
+}
+
+/// Mixing ratio in g of water vapor per kg of dry air at pressure `p_hpa`.
+pub fn mixing_ratio_g_kg(t_c: f64, rh_pct: f64, p_hpa: f64) -> f64 {
+    let e = vapor_pressure_hpa(t_c, rh_pct);
+    622.0 * e / (p_hpa - e)
+}
+
+/// Relative humidity of an air parcel after it is heated from `t_out` to
+/// `t_in` at constant moisture content (the tent/case situation: outside air
+/// is drawn in and warmed by the equipment, which *lowers* its RH).
+pub fn rh_after_heating(t_out_c: f64, rh_out_pct: f64, t_in_c: f64) -> f64 {
+    let e = vapor_pressure_hpa(t_out_c, rh_out_pct);
+    clamp(100.0 * e / saturation_vapor_pressure_hpa(t_in_c), 0.0, 100.0)
+}
+
+/// Outcome of a condensation-risk assessment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CondensationRisk {
+    /// Dew point of the ambient air, °C.
+    pub dew_point_c: f64,
+    /// Margin between the surface temperature and the dew point, K.
+    /// Negative ⇒ condensation forms.
+    pub margin_k: f64,
+    /// True if condensation (or frost, below 0 °C) would form.
+    pub condenses: bool,
+}
+
+/// Assess condensation risk on a surface at `surface_c` exposed to air at
+/// `air_c` with relative humidity `rh_pct`.
+///
+/// The paper's argument is that server cases stay *warmer* than the ambient
+/// air because of their internal power draw, so the margin is positive and
+/// condensation is unlikely; the dangerous scenario is a rapid warm-humid
+/// front arriving while the equipment is still cold (e.g. powered off).
+pub fn condensation_risk(air_c: f64, rh_pct: f64, surface_c: f64) -> CondensationRisk {
+    let dp = dew_point_c(air_c, rh_pct);
+    let margin = surface_c - dp;
+    CondensationRisk {
+        dew_point_c: dp,
+        margin_k: margin,
+        condenses: margin < 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturation_pressure_reference_points() {
+        // Classic reference values (hPa).
+        assert!((saturation_vapor_pressure_hpa(0.0) - 6.11).abs() < 0.05);
+        assert!((saturation_vapor_pressure_hpa(20.0) - 23.4).abs() < 0.3);
+        assert!((saturation_vapor_pressure_hpa(-20.0) - 1.03).abs() < 0.05);
+        assert!((saturation_vapor_pressure_hpa(100.0) - 1013.0).abs() < 30.0);
+    }
+
+    #[test]
+    fn saturation_pressure_monotone_in_temperature() {
+        let mut prev = saturation_vapor_pressure_hpa(-40.0);
+        let mut t = -40.0;
+        while t < 40.0 {
+            t += 0.5;
+            let e = saturation_vapor_pressure_hpa(t);
+            assert!(e > prev, "not monotone at {t}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn dew_point_at_saturation_equals_temperature() {
+        for t in [-25.0, -10.0, 0.0, 5.0, 20.0] {
+            let dp = dew_point_c(t, 100.0);
+            assert!((dp - t).abs() < 0.25, "t={t} dp={dp}");
+        }
+    }
+
+    #[test]
+    fn dew_point_below_temperature_when_unsaturated() {
+        for t in [-20.0, -5.0, 10.0, 25.0] {
+            for rh in [20.0, 50.0, 80.0, 99.0] {
+                assert!(dew_point_c(t, rh) <= t + 0.25, "t={t} rh={rh}");
+            }
+        }
+    }
+
+    #[test]
+    fn rh_dew_point_roundtrip() {
+        for t in [-15.0, 0.0, 18.0] {
+            for rh in [30.0, 60.0, 90.0] {
+                let dp = dew_point_c(t, rh);
+                let rh2 = rel_humidity_from_dew_point(t, dp);
+                assert!((rh2 - rh).abs() < 1.5, "t={t} rh={rh} roundtrip {rh2}");
+            }
+        }
+    }
+
+    #[test]
+    fn absolute_humidity_reference() {
+        // Saturated air at 20 °C holds ≈ 17.3 g/m³.
+        let ah = absolute_humidity_g_m3(20.0, 100.0);
+        assert!((ah - 17.3).abs() < 0.5, "{ah}");
+        // At −20 °C it is tiny, ≈ 0.9 g/m³ (over ice).
+        let ah_cold = absolute_humidity_g_m3(-20.0, 100.0);
+        assert!((0.5..1.4).contains(&ah_cold), "{ah_cold}");
+    }
+
+    #[test]
+    fn heating_lowers_rh() {
+        // Outside −10 °C, RH 90 %; warmed to +5 °C inside a case.
+        let rh_in = rh_after_heating(-10.0, 90.0, 5.0);
+        assert!(rh_in < 40.0, "{rh_in}");
+        // Heating never increases RH.
+        for t_out in [-20.0, -5.0, 5.0] {
+            for dt in [1.0, 5.0, 15.0] {
+                assert!(rh_after_heating(t_out, 85.0, t_out + dt) <= 85.0);
+            }
+        }
+    }
+
+    #[test]
+    fn condensation_on_cold_surface() {
+        // Warm humid front (+4 °C, 95 % RH) meets a case still at −10 °C.
+        let risk = condensation_risk(4.0, 95.0, -10.0);
+        assert!(risk.condenses);
+        assert!(risk.margin_k < 0.0);
+        // Normal operation: case warmer than ambient → safe.
+        let safe = condensation_risk(-10.0, 90.0, 2.0);
+        assert!(!safe.condenses);
+        assert!(safe.margin_k > 5.0);
+    }
+
+    #[test]
+    fn mixing_ratio_sane() {
+        let w = mixing_ratio_g_kg(20.0, 50.0, 1013.25);
+        assert!((7.0..8.0).contains(&w), "{w}"); // ≈ 7.3 g/kg
+    }
+
+    #[test]
+    fn rh_clamped() {
+        assert_eq!(rel_humidity_from_dew_point(-5.0, 10.0), 100.0);
+        assert!(vapor_pressure_hpa(10.0, 150.0) <= saturation_vapor_pressure_hpa(10.0) + 1e-9);
+    }
+}

@@ -1,0 +1,158 @@
+//! Solar geometry and clear-sky irradiance.
+//!
+//! The tent's biggest uncontrolled heat input was direct sunlight on the
+//! fabric — the paper's "R" intervention (reflective rescue-foil cover)
+//! exists precisely because of it. To reproduce Fig. 3's daytime bumps the
+//! thermal model needs a solar forcing term, which this module supplies from
+//! first principles: solar declination (Cooper's formula), hour angle,
+//! elevation for an arbitrary latitude, and a simple clear-sky global
+//! horizontal irradiance with an atmospheric-transmission term.
+//!
+//! Helsinki (60.2 °N) in February: the sun rises ~8 h, peaks at ~14–17°
+//! elevation — weak, but a dark tent fabric still absorbs a few hundred W.
+
+use frostlab_simkern::time::SimTime;
+
+/// Latitude of the Kumpula campus roof terrace, degrees north.
+pub const HELSINKI_LAT_DEG: f64 = 60.2;
+
+/// Solar constant, W/m².
+pub const SOLAR_CONSTANT: f64 = 1361.0;
+
+/// Solar declination in degrees for a given day of year (Cooper 1969).
+pub fn declination_deg(day_of_year: u32) -> f64 {
+    23.45 * ((360.0 / 365.0) * (284.0 + day_of_year as f64)).to_radians().sin()
+}
+
+/// Hour angle in degrees at local solar hour `h` (0–24, 12 = solar noon).
+pub fn hour_angle_deg(hour_of_day: f64) -> f64 {
+    15.0 * (hour_of_day - 12.0)
+}
+
+/// Solar elevation angle in degrees at `latitude_deg` for the given day of
+/// year and local solar hour. Negative when the sun is below the horizon.
+pub fn elevation_deg(latitude_deg: f64, day_of_year: u32, hour_of_day: f64) -> f64 {
+    let lat = latitude_deg.to_radians();
+    let dec = declination_deg(day_of_year).to_radians();
+    let ha = hour_angle_deg(hour_of_day).to_radians();
+    (lat.sin() * dec.sin() + lat.cos() * dec.cos() * ha.cos())
+        .asin()
+        .to_degrees()
+}
+
+/// Clear-sky global horizontal irradiance in W/m².
+///
+/// Uses a simple air-mass attenuation (Kasten–Young air mass, bulk
+/// transmittance 0.7) — adequate for forcing a lumped thermal model.
+pub fn clear_sky_ghi_w_m2(elevation_deg: f64) -> f64 {
+    if elevation_deg <= 0.0 {
+        return 0.0;
+    }
+    let zen = 90.0 - elevation_deg;
+    let zen_r = zen.to_radians();
+    // Kasten & Young (1989) relative air mass.
+    let am = 1.0 / (zen_r.cos() + 0.50572 * (96.07995 - zen).powf(-1.6364));
+    let direct = SOLAR_CONSTANT * 0.7f64.powf(am.powf(0.678));
+    // Horizontal projection plus a small diffuse fraction.
+    let ghi = direct * elevation_deg.to_radians().sin() + 0.1 * direct;
+    ghi.max(0.0)
+}
+
+/// Irradiance at a [`SimTime`], attenuated by fractional cloud cover
+/// `cloud ∈ [0, 1]` (0 = clear). Cloud attenuation follows the common
+/// `1 − 0.75·c³·⁴` fit (Kasten & Czeplak 1980).
+pub fn irradiance_at(latitude_deg: f64, t: SimTime, cloud: f64) -> f64 {
+    let elev = elevation_deg(latitude_deg, t.day_of_year(), t.hour_of_day_f64());
+    let clear = clear_sky_ghi_w_m2(elev);
+    let c = cloud.clamp(0.0, 1.0);
+    clear * (1.0 - 0.75 * c.powf(3.4))
+}
+
+/// Day length in hours (sunrise to sunset) at the given latitude and day.
+pub fn day_length_hours(latitude_deg: f64, day_of_year: u32) -> f64 {
+    let lat = latitude_deg.to_radians();
+    let dec = declination_deg(day_of_year).to_radians();
+    let cos_ha = -lat.tan() * dec.tan();
+    if cos_ha >= 1.0 {
+        0.0 // polar night
+    } else if cos_ha <= -1.0 {
+        24.0 // midnight sun
+    } else {
+        2.0 * cos_ha.acos().to_degrees() / 15.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frostlab_simkern::time::SimTime;
+
+    #[test]
+    fn declination_extremes() {
+        // Summer solstice ≈ +23.45°, winter ≈ −23.45°, equinox ≈ 0.
+        assert!((declination_deg(172) - 23.45).abs() < 0.5);
+        assert!((declination_deg(355) + 23.45).abs() < 0.5);
+        assert!(declination_deg(81).abs() < 1.5);
+    }
+
+    #[test]
+    fn helsinki_february_sun_is_low() {
+        // Feb 15 (day 46), solar noon: elevation should be ~15–19°.
+        let e = elevation_deg(HELSINKI_LAT_DEG, 46, 12.0);
+        assert!((12.0..22.0).contains(&e), "{e}");
+        // Midnight: far below horizon.
+        assert!(elevation_deg(HELSINKI_LAT_DEG, 46, 0.0) < -30.0);
+    }
+
+    #[test]
+    fn day_length_winter_vs_summer() {
+        let feb = day_length_hours(HELSINKI_LAT_DEG, 46);
+        let jun = day_length_hours(HELSINKI_LAT_DEG, 172);
+        assert!((8.0..11.0).contains(&feb), "feb {feb}");
+        assert!((17.0..20.5).contains(&jun), "jun {jun}");
+        assert!(jun > feb);
+    }
+
+    #[test]
+    fn polar_night_and_midnight_sun() {
+        // 80 °N mid-winter: no day; mid-summer: 24 h.
+        assert_eq!(day_length_hours(80.0, 355), 0.0);
+        assert_eq!(day_length_hours(80.0, 172), 24.0);
+    }
+
+    #[test]
+    fn irradiance_zero_at_night_positive_at_noon() {
+        let night = SimTime::from_ymd_hms(2010, 2, 15, 1, 0, 0);
+        let noon = SimTime::from_ymd_hms(2010, 2, 15, 12, 0, 0);
+        assert_eq!(irradiance_at(HELSINKI_LAT_DEG, night, 0.0), 0.0);
+        let g = irradiance_at(HELSINKI_LAT_DEG, noon, 0.0);
+        assert!((100.0..500.0).contains(&g), "{g}");
+    }
+
+    #[test]
+    fn clouds_attenuate() {
+        let noon = SimTime::from_ymd_hms(2010, 3, 15, 12, 0, 0);
+        let clear = irradiance_at(HELSINKI_LAT_DEG, noon, 0.0);
+        let overcast = irradiance_at(HELSINKI_LAT_DEG, noon, 1.0);
+        assert!(overcast < 0.35 * clear);
+        assert!(overcast > 0.0);
+    }
+
+    #[test]
+    fn clear_sky_monotone_in_elevation() {
+        let mut prev = 0.0;
+        for e in 1..=90 {
+            let g = clear_sky_ghi_w_m2(f64::from(e));
+            assert!(g >= prev, "elevation {e}");
+            prev = g;
+        }
+        assert!(prev < SOLAR_CONSTANT);
+    }
+
+    #[test]
+    fn spring_noon_brighter_than_winter_noon() {
+        let feb = irradiance_at(HELSINKI_LAT_DEG, SimTime::from_ymd_hms(2010, 2, 15, 12, 0, 0), 0.0);
+        let may = irradiance_at(HELSINKI_LAT_DEG, SimTime::from_ymd_hms(2010, 5, 10, 12, 0, 0), 0.0);
+        assert!(may > 1.5 * feb, "feb {feb} may {may}");
+    }
+}

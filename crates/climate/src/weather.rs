@@ -1,0 +1,499 @@
+//! Stochastic multi-timescale weather generator.
+//!
+//! The generator composes four processes, mirroring how mid-latitude weather
+//! actually decomposes:
+//!
+//! * a deterministic **seasonal** sinusoid (annual mean, amplitude, phase);
+//! * a **synoptic** Ornstein–Uhlenbeck anomaly (high/low-pressure systems,
+//!   relaxation time ≈ 3 days) — this is what produces multi-day cold snaps;
+//! * a faster **mesoscale** OU anomaly (hours);
+//! * a solar-locked **diurnal** cycle whose amplitude grows from winter to
+//!   summer and is damped by cloud cover.
+//!
+//! Cloud cover, relative humidity and wind are correlated companion
+//! processes: humidity rides on its own OU anomaly but is pushed *up* by
+//! synoptic warming in winter (warm Atlantic air is moist air in Helsinki)
+//! and *down* during the afternoon temperature peak; wind has a Weibull
+//! marginal distribution obtained by probability-integral transform of an OU
+//! Gaussian, so it keeps realistic gust persistence.
+//!
+//! **Historical anchors** let a scenario pin windows of the trace to the
+//! statistics the paper reports (e.g. the prototype weekend mean of −9.2 °C)
+//! while the texture stays stochastic. Anchors blend the synoptic state
+//! toward a target mean with a smooth ramp, so the trace stays continuous.
+//!
+//! The model is advanced on a fixed internal step (60 s) and sampled
+//! monotonically; identical `(params, seed)` always yields the identical
+//! trace.
+
+use frostlab_simkern::rng::Rng;
+use frostlab_simkern::time::{SimDuration, SimTime};
+
+use crate::math::{clamp, lerp, smoothstep};
+use crate::solar;
+
+/// Internal state-advancement step for the OU processes.
+const STEP: SimDuration = SimDuration::secs(60);
+
+/// A window during which the temperature trace is blended toward a target
+/// mean — used to reproduce documented episodes (prototype weekend, the
+/// −22 °C cold snap) without giving up stochastic texture.
+#[derive(Debug, Clone)]
+pub struct Anchor {
+    /// Window start.
+    pub start: SimTime,
+    /// Window end.
+    pub end: SimTime,
+    /// Target mean temperature during the window, °C.
+    pub target_mean_c: f64,
+    /// Blend weight in `(0, 1]`; 1 pins the synoptic mean exactly.
+    pub weight: f64,
+}
+
+/// Parameters describing one climate. Constructors for the three climates
+/// used in the study live in [`crate::presets`].
+#[derive(Debug, Clone)]
+pub struct ClimateParams {
+    /// Human-readable name ("Helsinki", …).
+    pub name: &'static str,
+    /// Site latitude (degrees north) — drives solar geometry.
+    pub latitude_deg: f64,
+    /// Annual mean temperature, °C.
+    pub t_annual_mean_c: f64,
+    /// Half peak-to-trough seasonal swing, K.
+    pub t_seasonal_amplitude_k: f64,
+    /// Day of year of the climatological temperature minimum.
+    pub coldest_day_of_year: f64,
+    /// Standard deviation of the synoptic anomaly, K.
+    pub synoptic_sd_k: f64,
+    /// Relaxation time of the synoptic anomaly, hours.
+    pub synoptic_tau_hours: f64,
+    /// Standard deviation of the mesoscale anomaly, K.
+    pub meso_sd_k: f64,
+    /// Relaxation time of the mesoscale anomaly, hours.
+    pub meso_tau_hours: f64,
+    /// Diurnal half-swing in mid-winter, K.
+    pub diurnal_amp_winter_k: f64,
+    /// Diurnal half-swing in mid-summer, K.
+    pub diurnal_amp_summer_k: f64,
+    /// Mean relative humidity in mid-winter, %.
+    pub rh_mean_winter: f64,
+    /// Mean relative humidity in mid-summer, %.
+    pub rh_mean_summer: f64,
+    /// Standard deviation of the RH anomaly, percentage points.
+    pub rh_sd: f64,
+    /// Relaxation time of the RH anomaly, hours.
+    pub rh_tau_hours: f64,
+    /// RH response to synoptic temperature anomaly, %-points per K
+    /// (positive in maritime winter climates: warm advection is moist).
+    pub rh_temp_coupling: f64,
+    /// Weibull scale of the wind-speed marginal, m/s.
+    pub wind_weibull_scale: f64,
+    /// Weibull shape of the wind-speed marginal.
+    pub wind_weibull_shape: f64,
+    /// Relaxation time of the wind process, hours.
+    pub wind_tau_hours: f64,
+    /// Mean fractional cloud cover in mid-winter.
+    pub cloud_mean_winter: f64,
+    /// Mean fractional cloud cover in mid-summer.
+    pub cloud_mean_summer: f64,
+    /// Relaxation time of the cloud process, hours.
+    pub cloud_tau_hours: f64,
+    /// Historical anchors (may be empty).
+    pub anchors: Vec<Anchor>,
+}
+
+impl ClimateParams {
+    /// Seasonal-mean temperature on day `doy` (fractional days allowed).
+    pub fn seasonal_mean_c(&self, doy: f64) -> f64 {
+        let phase = 2.0 * std::f64::consts::PI * (doy - self.coldest_day_of_year) / 365.25;
+        self.t_annual_mean_c - self.t_seasonal_amplitude_k * phase.cos()
+    }
+
+    /// 0 at mid-winter, 1 at mid-summer (smooth seasonal interpolator).
+    fn summerness(&self, doy: f64) -> f64 {
+        let phase = 2.0 * std::f64::consts::PI * (doy - self.coldest_day_of_year) / 365.25;
+        0.5 * (1.0 - phase.cos())
+    }
+
+    fn diurnal_amp(&self, doy: f64) -> f64 {
+        lerp(self.diurnal_amp_winter_k, self.diurnal_amp_summer_k, self.summerness(doy))
+    }
+
+    fn rh_mean(&self, doy: f64) -> f64 {
+        lerp(self.rh_mean_winter, self.rh_mean_summer, self.summerness(doy))
+    }
+
+    fn cloud_mean(&self, doy: f64) -> f64 {
+        lerp(self.cloud_mean_winter, self.cloud_mean_summer, self.summerness(doy))
+    }
+
+    /// Anchor adjustment at `t`: `(target_offset, weight)` where weight
+    /// ramps smoothly over 6 h at the window edges.
+    fn anchor_at(&self, t: SimTime) -> Option<(f64, f64)> {
+        let ramp = 6.0 * 3600.0;
+        for a in &self.anchors {
+            if t >= a.start - SimDuration::hours(6) && t <= a.end + SimDuration::hours(6) {
+                let ts = t.as_secs() as f64;
+                let up = smoothstep(a.start.as_secs() as f64 - ramp, a.start.as_secs() as f64, ts);
+                let down =
+                    1.0 - smoothstep(a.end.as_secs() as f64, a.end.as_secs() as f64 + ramp, ts);
+                let w = a.weight * up.min(down);
+                if w > 0.0 {
+                    return Some((a.target_mean_c, w));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// One instantaneous weather state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeatherSample {
+    /// Timestamp of the sample.
+    pub t: SimTime,
+    /// 2-m air temperature, °C.
+    pub temp_c: f64,
+    /// Relative humidity, %.
+    pub rh_pct: f64,
+    /// 10-min mean wind speed, m/s.
+    pub wind_ms: f64,
+    /// Global horizontal irradiance, W/m².
+    pub solar_w_m2: f64,
+    /// Fractional cloud cover, 0–1.
+    pub cloud: f64,
+}
+
+/// Dew-point spread (K) that yields the target RH at temperature `t_c`,
+/// found by bisection on the Magnus relation.
+fn spread_for_rh(t_c: f64, rh_target: f64) -> f64 {
+    let rh_target = clamp(rh_target, 5.0, 100.0);
+    let (mut lo, mut hi) = (0.0f64, 40.0f64);
+    for _ in 0..40 {
+        let mid = 0.5 * (lo + hi);
+        let rh = crate::psychro::rel_humidity_from_dew_point(t_c, t_c - mid);
+        if rh > rh_target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Ornstein–Uhlenbeck state in standard-normal units.
+#[derive(Debug, Clone, Copy)]
+struct Ou {
+    z: f64,
+    tau_secs: f64,
+}
+
+impl Ou {
+    fn new(tau_hours: f64) -> Self {
+        Ou { z: 0.0, tau_secs: tau_hours * 3600.0 }
+    }
+
+    fn step(&mut self, dt_secs: f64, rng: &mut Rng) {
+        let a = (-dt_secs / self.tau_secs).exp();
+        self.z = a * self.z + (1.0 - a * a).sqrt() * rng.standard_normal();
+    }
+}
+
+/// The stochastic weather generator. See the module docs for the model.
+#[derive(Debug, Clone)]
+pub struct WeatherModel {
+    params: ClimateParams,
+    now: SimTime,
+    synoptic: Ou,
+    meso: Ou,
+    rh: Ou,
+    wind: Ou,
+    cloud: Ou,
+    rng_synoptic: Rng,
+    rng_meso: Rng,
+    rng_rh: Rng,
+    rng_wind: Rng,
+    rng_cloud: Rng,
+}
+
+impl WeatherModel {
+    /// Create a model; the internal state is spun up for 30 simulated days
+    /// before the epoch so the OU processes start in their stationary
+    /// distribution.
+    pub fn new(params: ClimateParams, seed: u64) -> Self {
+        let root = Rng::new(seed).derive("climate");
+        let mut m = WeatherModel {
+            synoptic: Ou::new(params.synoptic_tau_hours),
+            meso: Ou::new(params.meso_tau_hours),
+            rh: Ou::new(params.rh_tau_hours),
+            wind: Ou::new(params.wind_tau_hours),
+            cloud: Ou::new(params.cloud_tau_hours),
+            rng_synoptic: root.derive("synoptic"),
+            rng_meso: root.derive("meso"),
+            rng_rh: root.derive("rh"),
+            rng_wind: root.derive("wind"),
+            rng_cloud: root.derive("cloud"),
+            now: SimTime::ZERO - SimDuration::days(30),
+            params,
+        };
+        // Spin-up: advance the OU states to stationarity before the epoch.
+        m.advance_to(SimTime::ZERO);
+        m
+    }
+
+    /// The climate parameters this model was built with.
+    pub fn params(&self) -> &ClimateParams {
+        &self.params
+    }
+
+    /// Internal-state clock (last advanced instant).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn advance_to(&mut self, t: SimTime) {
+        while self.now < t {
+            let dt = STEP.as_secs().min((t - self.now).as_secs()) as f64;
+            self.synoptic.step(dt, &mut self.rng_synoptic);
+            self.meso.step(dt, &mut self.rng_meso);
+            self.rh.step(dt, &mut self.rng_rh);
+            self.wind.step(dt, &mut self.rng_wind);
+            self.cloud.step(dt, &mut self.rng_cloud);
+            self.now += SimDuration::secs(dt as i64);
+        }
+    }
+
+    /// Sample the weather at `t`.
+    ///
+    /// # Panics
+    /// Panics if `t` is earlier than a previously sampled instant (the model
+    /// is a forward-only stochastic process).
+    pub fn sample_at(&mut self, t: SimTime) -> WeatherSample {
+        assert!(
+            t >= self.now,
+            "weather sampled backwards: {t:?} < {:?}",
+            self.now
+        );
+        self.advance_to(t);
+        let p = &self.params;
+        let doy = t.day_of_year() as f64 + t.hour_of_day_f64() / 24.0;
+
+        // --- cloud ---
+        let cloud = clamp(p.cloud_mean(doy) + 0.35 * self.cloud.z, 0.0, 1.0);
+
+        // --- temperature ---
+        let seasonal = p.seasonal_mean_c(doy);
+        let synoptic_k = p.synoptic_sd_k * self.synoptic.z;
+        let meso_k = p.meso_sd_k * self.meso.z;
+        let mut base = seasonal + synoptic_k;
+        if let Some((target, w)) = p.anchor_at(t) {
+            base = lerp(base, target, w);
+        }
+        // Diurnal cycle peaks mid-afternoon (≈ 15:00 local); clear skies
+        // amplify it, overcast damps it.
+        let amp = p.diurnal_amp(doy) * (1.0 - 0.6 * cloud);
+        let diurnal =
+            amp * (2.0 * std::f64::consts::PI * (t.hour_of_day_f64() - 15.0) / 24.0).cos();
+        let temp_c = base + meso_k + diurnal;
+
+        // --- relative humidity, via the dew-point spread ---
+        // The physically conserved short-term quantity is the air mass's
+        // moisture content (dew point), not RH. We generate a *smooth*
+        // dew-point spread (T − T_d) — seasonal target + slow OU anomaly +
+        // synoptic coupling — and derive RH from it. Fast temperature
+        // wiggles then anticorrelate with RH automatically, exactly as in
+        // real traces, and downstream consumers (the tent) see a smooth
+        // vapor-pressure signal.
+        let spread_target = spread_for_rh(seasonal, p.rh_mean(doy));
+        // Map the configured RH variability (pp) into spread units (K):
+        // d(RH)/d(spread) ≈ −6 pp/K in the relevant range.
+        let spread = (spread_target + (p.rh_sd / 6.0) * self.rh.z
+            - (p.rh_temp_coupling / 6.0) * synoptic_k)
+            .max(0.05);
+        // Dew point rides the *slow* temperature components only (seasonal
+        // + synoptic, i.e. `base`): mesoscale and diurnal temperature
+        // swings happen at constant moisture, so they show up as RH
+        // variation — the anticorrelation real traces exhibit.
+        let dew_point = (base - spread).min(temp_c);
+        let rh_pct = clamp(
+            crate::psychro::rel_humidity_from_dew_point(temp_c, dew_point),
+            5.0,
+            100.0,
+        );
+
+        // --- wind ---
+        let u = crate::math::norm_cdf(self.wind.z).clamp(1e-9, 1.0 - 1e-9);
+        let wind_ms =
+            p.wind_weibull_scale * (-(1.0 - u).ln()).powf(1.0 / p.wind_weibull_shape);
+
+        // --- solar ---
+        let solar_w_m2 = solar::irradiance_at(p.latitude_deg, t, cloud);
+
+        WeatherSample { t, temp_c, rh_pct, wind_ms, solar_w_m2, cloud }
+    }
+
+    /// Generate a regularly sampled series over `[start, end]` inclusive.
+    pub fn series(&mut self, start: SimTime, end: SimTime, step: SimDuration) -> Vec<WeatherSample> {
+        assert!(step.as_secs() > 0, "step must be positive");
+        let mut out = Vec::new();
+        let mut t = start;
+        while t <= end {
+            out.push(self.sample_at(t));
+            t += step;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    fn february_series(seed: u64) -> Vec<WeatherSample> {
+        let mut wx = WeatherModel::new(presets::helsinki_winter_2010(), seed);
+        wx.series(
+            SimTime::from_date(2010, 2, 1),
+            SimTime::from_date(2010, 3, 1),
+            SimDuration::minutes(30),
+        )
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = february_series(7);
+        let b = february_series(7);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.temp_c, y.temp_c);
+            assert_eq!(x.rh_pct, y.rh_pct);
+            assert_eq!(x.wind_ms, y.wind_ms);
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let a = february_series(1);
+        let b = february_series(2);
+        let identical = a.iter().zip(&b).filter(|(x, y)| x.temp_c == y.temp_c).count();
+        assert!(identical < a.len() / 10);
+    }
+
+    #[test]
+    fn february_mean_in_band() {
+        // Winter 2009–2010 was harsh: Feb means around −7…−11 °C.
+        for seed in [1, 2, 3, 4, 5] {
+            let s = february_series(seed);
+            let mean = s.iter().map(|x| x.temp_c).sum::<f64>() / s.len() as f64;
+            assert!((-13.0..=-4.0).contains(&mean), "seed {seed}: Feb mean {mean}");
+        }
+    }
+
+    #[test]
+    fn winter_minimum_reaches_deep_cold() {
+        // Season minimum (Jan–Mar) should land near the paper's −22 °C.
+        for seed in [1, 2, 3] {
+            let mut wx = WeatherModel::new(presets::helsinki_winter_2010(), seed);
+            let s = wx.series(
+                SimTime::from_date(2010, 1, 5),
+                SimTime::from_date(2010, 3, 31),
+                SimDuration::minutes(30),
+            );
+            let min = s.iter().map(|x| x.temp_c).fold(f64::INFINITY, f64::min);
+            assert!((-30.0..=-15.0).contains(&min), "seed {seed}: winter min {min}");
+        }
+    }
+
+    #[test]
+    fn rh_stays_in_range_and_high_in_winter() {
+        let s = february_series(3);
+        for x in &s {
+            assert!((5.0..=100.0).contains(&x.rh_pct));
+        }
+        let mean_rh = s.iter().map(|x| x.rh_pct).sum::<f64>() / s.len() as f64;
+        assert!((70.0..=95.0).contains(&mean_rh), "mean RH {mean_rh}");
+    }
+
+    #[test]
+    fn wind_nonnegative_with_plausible_mean() {
+        let s = february_series(4);
+        assert!(s.iter().all(|x| x.wind_ms >= 0.0));
+        let mean = s.iter().map(|x| x.wind_ms).sum::<f64>() / s.len() as f64;
+        assert!((1.5..=8.0).contains(&mean), "mean wind {mean}");
+    }
+
+    #[test]
+    fn solar_zero_at_night() {
+        let mut wx = WeatherModel::new(presets::helsinki_winter_2010(), 5);
+        let night = wx.sample_at(SimTime::from_ymd_hms(2010, 2, 20, 2, 0, 0));
+        assert_eq!(night.solar_w_m2, 0.0);
+    }
+
+    #[test]
+    fn spring_is_warmer_than_winter() {
+        let mut wx = WeatherModel::new(presets::helsinki_winter_2010(), 6);
+        let feb = wx.series(
+            SimTime::from_date(2010, 2, 10),
+            SimTime::from_date(2010, 2, 24),
+            SimDuration::hours(1),
+        );
+        let may = wx.series(
+            SimTime::from_date(2010, 5, 1),
+            SimTime::from_date(2010, 5, 14),
+            SimDuration::hours(1),
+        );
+        let m_feb = feb.iter().map(|x| x.temp_c).sum::<f64>() / feb.len() as f64;
+        let m_may = may.iter().map(|x| x.temp_c).sum::<f64>() / may.len() as f64;
+        assert!(m_may > m_feb + 8.0, "feb {m_feb} may {m_may}");
+    }
+
+    #[test]
+    fn prototype_weekend_anchor_holds() {
+        // The preset anchors Feb 12–15 to ≈ −9.2 °C (paper, Section 3.1).
+        for seed in [1, 9, 42] {
+            let mut wx = WeatherModel::new(presets::helsinki_winter_2010(), seed);
+            let s = wx.series(
+                SimTime::from_date(2010, 2, 12),
+                SimTime::from_date(2010, 2, 15),
+                SimDuration::minutes(10),
+            );
+            let mean = s.iter().map(|x| x.temp_c).sum::<f64>() / s.len() as f64;
+            assert!((-12.0..=-6.5).contains(&mean), "seed {seed}: weekend mean {mean}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn sampling_backwards_panics() {
+        let mut wx = WeatherModel::new(presets::helsinki_winter_2010(), 1);
+        wx.sample_at(SimTime::from_date(2010, 3, 1));
+        wx.sample_at(SimTime::from_date(2010, 2, 1));
+    }
+
+    #[test]
+    fn series_length() {
+        let mut wx = WeatherModel::new(presets::helsinki_winter_2010(), 1);
+        let s = wx.series(
+            SimTime::from_date(2010, 2, 1),
+            SimTime::from_date(2010, 2, 2),
+            SimDuration::hours(6),
+        );
+        assert_eq!(s.len(), 5); // 0, 6, 12, 18, 24 h
+    }
+
+    #[test]
+    fn temperature_has_no_teleports() {
+        // Consecutive 10-min samples should differ by well under 3 K.
+        let mut wx = WeatherModel::new(presets::helsinki_winter_2010(), 8);
+        let s = wx.series(
+            SimTime::from_date(2010, 2, 5),
+            SimTime::from_date(2010, 2, 12),
+            SimDuration::minutes(10),
+        );
+        for w in s.windows(2) {
+            let d = (w[1].temp_c - w[0].temp_c).abs();
+            assert!(d < 3.0, "jump of {d} K between consecutive samples");
+        }
+    }
+}

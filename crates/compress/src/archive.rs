@@ -1,0 +1,272 @@
+//! A ustar-style `tar` archiver over in-memory file trees.
+//!
+//! The workload packs "a Linux kernel source directory with the standard tar
+//! and bzip2 archive programs" (§3.5). This module is the `tar` half: a
+//! faithful subset of the POSIX ustar on-disk format — 512-byte headers with
+//! octal fields and the standard checksum, 512-byte-padded content, and a
+//! 1024-byte zero terminator. Deterministic by construction: identical trees
+//! produce identical archives, which is what makes the golden-md5 comparison
+//! meaningful.
+
+/// One file in the tree to be archived.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileEntry {
+    /// Path within the tree (no leading slash).
+    pub path: String,
+    /// Unix mode bits (e.g. 0o644).
+    pub mode: u32,
+    /// Modification time, seconds since the Unix epoch.
+    pub mtime: u64,
+    /// File contents.
+    pub data: Vec<u8>,
+}
+
+/// Errors from [`unarchive`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TarError {
+    /// Archive ended mid-record.
+    Truncated,
+    /// A header's checksum did not match.
+    BadChecksum {
+        /// Offset of the offending header.
+        offset: usize,
+    },
+    /// A numeric field contained non-octal data.
+    BadField,
+    /// Path field was not valid UTF-8.
+    BadPath,
+}
+
+impl std::fmt::Display for TarError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TarError::Truncated => write!(f, "tar archive truncated"),
+            TarError::BadChecksum { offset } => write!(f, "tar header checksum failed at {offset}"),
+            TarError::BadField => write!(f, "tar header field malformed"),
+            TarError::BadPath => write!(f, "tar path not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for TarError {}
+
+const BLOCK: usize = 512;
+
+fn write_octal(field: &mut [u8], value: u64) {
+    // Classic tar: zero-padded octal, NUL-terminated.
+    let width = field.len() - 1;
+    let s = format!("{value:0width$o}");
+    let bytes = s.as_bytes();
+    let start = bytes.len().saturating_sub(width);
+    field[..width].copy_from_slice(&bytes[start..]);
+    field[width] = 0;
+}
+
+fn read_octal(field: &[u8]) -> Result<u64, TarError> {
+    let mut v: u64 = 0;
+    let mut seen = false;
+    for &b in field {
+        match b {
+            b'0'..=b'7' => {
+                v = v * 8 + u64::from(b - b'0');
+                seen = true;
+            }
+            b' ' | 0 => {
+                if seen {
+                    break;
+                }
+            }
+            _ => return Err(TarError::BadField),
+        }
+    }
+    Ok(v)
+}
+
+fn header_for(entry: &FileEntry) -> [u8; BLOCK] {
+    let mut h = [0u8; BLOCK];
+    let name = entry.path.as_bytes();
+    let n = name.len().min(100);
+    h[0..n].copy_from_slice(&name[..n]);
+    write_octal(&mut h[100..108], u64::from(entry.mode & 0o7777));
+    write_octal(&mut h[108..116], 0); // uid
+    write_octal(&mut h[116..124], 0); // gid
+    write_octal(&mut h[124..136], entry.data.len() as u64);
+    write_octal(&mut h[136..148], entry.mtime);
+    h[156] = b'0'; // regular file
+    h[257..263].copy_from_slice(b"ustar\0");
+    h[263..265].copy_from_slice(b"00");
+    // Checksum: field treated as spaces while summing.
+    h[148..156].copy_from_slice(b"        ");
+    let sum: u64 = h.iter().map(|&b| u64::from(b)).sum();
+    let mut cks = [0u8; 8];
+    write_octal(&mut cks[..7], sum);
+    cks[7] = b' ';
+    h[148..156].copy_from_slice(&cks);
+    h
+}
+
+/// Serialize a file tree to a tar archive.
+///
+/// Entries are emitted in the order given; callers wanting deterministic
+/// archives should sort (the workload's tree generator already does).
+pub fn archive(entries: &[FileEntry]) -> Vec<u8> {
+    let total: usize = entries
+        .iter()
+        .map(|e| BLOCK + e.data.len().div_ceil(BLOCK) * BLOCK)
+        .sum::<usize>()
+        + 2 * BLOCK;
+    let mut out = Vec::with_capacity(total);
+    for e in entries {
+        out.extend_from_slice(&header_for(e));
+        out.extend_from_slice(&e.data);
+        let pad = (BLOCK - e.data.len() % BLOCK) % BLOCK;
+        out.extend(std::iter::repeat_n(0u8, pad));
+    }
+    out.extend(std::iter::repeat_n(0u8, 2 * BLOCK));
+    out
+}
+
+/// Parse a tar archive produced by [`archive`] (or any ustar archive of
+/// plain files).
+pub fn unarchive(data: &[u8]) -> Result<Vec<FileEntry>, TarError> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let header = data.get(pos..pos + BLOCK).ok_or(TarError::Truncated)?;
+        if header.iter().all(|&b| b == 0) {
+            // End marker (possibly two zero blocks).
+            return Ok(out);
+        }
+        // Verify checksum.
+        let stored = read_octal(&header[148..156])?;
+        let mut sum: u64 = header.iter().map(|&b| u64::from(b)).sum();
+        // Replace checksum field with spaces.
+        sum = sum - header[148..156].iter().map(|&b| u64::from(b)).sum::<u64>()
+            + 8 * u64::from(b' ');
+        if sum != stored {
+            return Err(TarError::BadChecksum { offset: pos });
+        }
+        let name_end = header[..100].iter().position(|&b| b == 0).unwrap_or(100);
+        let path = std::str::from_utf8(&header[..name_end])
+            .map_err(|_| TarError::BadPath)?
+            .to_string();
+        let mode = read_octal(&header[100..108])? as u32;
+        let size = read_octal(&header[124..136])? as usize;
+        let mtime = read_octal(&header[136..148])?;
+        pos += BLOCK;
+        let body = data.get(pos..pos + size).ok_or(TarError::Truncated)?;
+        out.push(FileEntry {
+            path,
+            mode,
+            mtime,
+            data: body.to_vec(),
+        });
+        pos += size.div_ceil(BLOCK) * BLOCK;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> Vec<FileEntry> {
+        vec![
+            FileEntry {
+                path: "linux/Makefile".into(),
+                mode: 0o644,
+                mtime: 1_266_000_000,
+                data: b"VERSION = 2\nPATCHLEVEL = 6\n".to_vec(),
+            },
+            FileEntry {
+                path: "linux/kernel/sched.c".into(),
+                mode: 0o644,
+                mtime: 1_266_000_001,
+                data: b"void schedule(void) { /* ... */ }\n".repeat(40),
+            },
+            FileEntry {
+                path: "linux/empty.h".into(),
+                mode: 0o600,
+                mtime: 1_266_000_002,
+                data: Vec::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = tree();
+        let tar = archive(&t);
+        let back = unarchive(&tar).expect("unarchive");
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn block_alignment() {
+        let tar = archive(&tree());
+        assert_eq!(tar.len() % BLOCK, 0);
+        // header + data rounded per file + 2-block terminator
+        let expect: usize = tree()
+            .iter()
+            .map(|e| BLOCK + e.data.len().div_ceil(BLOCK) * BLOCK)
+            .sum::<usize>()
+            + 2 * BLOCK;
+        assert_eq!(tar.len(), expect);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(archive(&tree()), archive(&tree()));
+    }
+
+    #[test]
+    fn checksum_detects_header_damage() {
+        let mut tar = archive(&tree());
+        tar[30] ^= 0x01; // inside the first header's name field
+        assert!(matches!(unarchive(&tar), Err(TarError::BadChecksum { offset: 0 })));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let tar = archive(&tree());
+        assert_eq!(unarchive(&tar[..100]), Err(TarError::Truncated));
+        // Cut inside the second file's data.
+        assert!(unarchive(&tar[..BLOCK * 3 + 10]).is_err());
+    }
+
+    #[test]
+    fn empty_archive() {
+        let tar = archive(&[]);
+        assert_eq!(tar.len(), 2 * BLOCK);
+        assert_eq!(unarchive(&tar).unwrap(), Vec::<FileEntry>::new());
+    }
+
+    #[test]
+    fn large_file_sizes_roundtrip() {
+        let entries = vec![FileEntry {
+            path: "big.bin".into(),
+            mode: 0o644,
+            mtime: 0,
+            data: vec![0xABu8; 100_000],
+        }];
+        let tar = archive(&entries);
+        assert_eq!(unarchive(&tar).unwrap(), entries);
+    }
+
+    #[test]
+    fn mode_masked_to_permission_bits() {
+        let entries = vec![FileEntry {
+            path: "f".into(),
+            mode: 0o100644,
+            mtime: 0,
+            data: vec![],
+        }];
+        let back = unarchive(&archive(&entries)).unwrap();
+        assert_eq!(back[0].mode, 0o644);
+    }
+
+    #[test]
+    fn ustar_magic_present() {
+        let tar = archive(&tree());
+        assert_eq!(&tar[257..263], b"ustar\0");
+    }
+}

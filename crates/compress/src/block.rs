@@ -1,0 +1,408 @@
+//! The block container: an independently decodable, bzip2-style stream.
+//!
+//! Layout (all integers big-endian):
+//!
+//! ```text
+//! stream  := "FZIP" ver(1) block_size(4)  block*  EOS_MAGIC stream_crc(4)
+//! block   := BLOCK_MAGIC(6) crc(4) orig_len(4) rle_len(4) bwt_primary(4)
+//!            code_lengths(256) payload_len(4) payload(payload_len)
+//! ```
+//!
+//! `BLOCK_MAGIC` is bzip2's π digits (`0x314159265359`) and the end-of-stream
+//! marker is bzip2's √π digits — a tip of the hat, and it gives
+//! [`crate::recover`] realistic magic-scanning semantics. Every block checks
+//! its own CRC-32 over the *uncompressed* chunk, so one flipped bit in a
+//! 396-block archive damages exactly one block — the property the paper's
+//! memory-fault forensics (§4.2.2) relied on.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::bwt;
+use crate::crc32::crc32;
+use crate::huffman;
+use crate::mtf;
+use crate::rle;
+
+/// Per-block magic: 0x314159265359 (bzip2's).
+pub const BLOCK_MAGIC: [u8; 6] = [0x31, 0x41, 0x59, 0x26, 0x53, 0x59];
+/// End-of-stream magic: 0x177245385090 (bzip2's).
+pub const EOS_MAGIC: [u8; 6] = [0x17, 0x72, 0x45, 0x38, 0x50, 0x90];
+/// Stream header magic.
+pub const STREAM_MAGIC: [u8; 4] = *b"FZIP";
+/// Container format version.
+pub const VERSION: u8 = 1;
+
+/// Errors from [`decompress`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompressError {
+    /// Stream header missing or wrong version.
+    BadHeader,
+    /// Stream ended unexpectedly.
+    Truncated,
+    /// A block's magic was neither BLOCK_MAGIC nor EOS_MAGIC.
+    BadBlockMagic {
+        /// Byte offset of the bad magic.
+        offset: usize,
+    },
+    /// Block `index` failed its CRC after decoding.
+    BlockCrc {
+        /// Zero-based block index.
+        index: usize,
+    },
+    /// Block `index` failed structural decoding (Huffman/BWT/RLE layer).
+    BlockCorrupt {
+        /// Zero-based block index.
+        index: usize,
+    },
+    /// The whole-stream checksum failed.
+    StreamCrc,
+}
+
+impl std::fmt::Display for CompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompressError::BadHeader => write!(f, "bad stream header"),
+            CompressError::Truncated => write!(f, "stream truncated"),
+            CompressError::BadBlockMagic { offset } => write!(f, "bad block magic at offset {offset}"),
+            CompressError::BlockCrc { index } => write!(f, "block {index} failed CRC"),
+            CompressError::BlockCorrupt { index } => write!(f, "block {index} failed to decode"),
+            CompressError::StreamCrc => write!(f, "stream checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn get_u32(data: &[u8], pos: &mut usize) -> Result<u32, CompressError> {
+    let b = data
+        .get(*pos..*pos + 4)
+        .ok_or(CompressError::Truncated)?;
+    *pos += 4;
+    Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+}
+
+/// Compress one block (already chunked). Returns the serialized block.
+fn compress_block(chunk: &[u8]) -> Vec<u8> {
+    let crc = crc32(chunk);
+    let rle_data = rle::rle_encode(chunk);
+    let (last_col, primary) = bwt::bwt_forward(&rle_data);
+    let mtf_data = mtf::mtf_encode(&last_col);
+
+    let mut freqs = [0u64; 256];
+    for &b in &mtf_data {
+        freqs[b as usize] += 1;
+    }
+    let lengths = huffman::code_lengths(&freqs);
+    let mut w = BitWriter::new();
+    huffman::encode_into(&mtf_data, &lengths, &mut w);
+    let payload = w.finish();
+
+    let mut out = Vec::with_capacity(payload.len() + 300);
+    out.extend_from_slice(&BLOCK_MAGIC);
+    put_u32(&mut out, crc);
+    put_u32(&mut out, chunk.len() as u32);
+    put_u32(&mut out, rle_data.len() as u32);
+    put_u32(&mut out, primary);
+    out.extend_from_slice(&lengths);
+    put_u32(&mut out, payload.len() as u32);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decode one block given its serialized bytes *after* the magic.
+/// Returns `(decoded_chunk, bytes_consumed_after_magic)`.
+pub(crate) fn decode_block_body(data: &[u8]) -> Result<(Vec<u8>, usize), BlockDecodeError> {
+    let mut pos = 0usize;
+    let need = |pos: usize, n: usize| {
+        if pos + n > data.len() {
+            Err(BlockDecodeError::Truncated)
+        } else {
+            Ok(())
+        }
+    };
+    need(pos, 16)?;
+    let crc = u32::from_be_bytes(data[pos..pos + 4].try_into().expect("len checked"));
+    pos += 4;
+    let orig_len = u32::from_be_bytes(data[pos..pos + 4].try_into().expect("len checked")) as usize;
+    pos += 4;
+    let rle_len = u32::from_be_bytes(data[pos..pos + 4].try_into().expect("len checked")) as usize;
+    pos += 4;
+    let primary = u32::from_be_bytes(data[pos..pos + 4].try_into().expect("len checked"));
+    pos += 4;
+    need(pos, 256)?;
+    let mut lengths = [0u8; 256];
+    lengths.copy_from_slice(&data[pos..pos + 256]);
+    pos += 256;
+    need(pos, 4)?;
+    let payload_len =
+        u32::from_be_bytes(data[pos..pos + 4].try_into().expect("len checked")) as usize;
+    pos += 4;
+    need(pos, payload_len)?;
+    let payload = &data[pos..pos + payload_len];
+    pos += payload_len;
+
+    // Sanity bounds to avoid absurd allocations on corrupt headers.
+    if rle_len > 64 * 1024 * 1024 || orig_len > 64 * 1024 * 1024 {
+        return Err(BlockDecodeError::Structural);
+    }
+
+    let dec = huffman::Decoder::new(&lengths).map_err(|_| BlockDecodeError::Structural)?;
+    let mut r = BitReader::new(payload);
+    let mtf_data = dec
+        .decode(&mut r, rle_len)
+        .map_err(|_| BlockDecodeError::Structural)?;
+    let last_col = mtf::mtf_decode(&mtf_data);
+    let rle_data =
+        bwt::bwt_inverse(&last_col, primary).map_err(|_| BlockDecodeError::Structural)?;
+    let chunk = rle::rle_decode(&rle_data).map_err(|_| BlockDecodeError::Structural)?;
+    if chunk.len() != orig_len {
+        return Err(BlockDecodeError::Structural);
+    }
+    if crc32(&chunk) != crc {
+        return Err(BlockDecodeError::Crc);
+    }
+    Ok((chunk, pos))
+}
+
+/// Internal block-decoding error, mapped by callers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BlockDecodeError {
+    Truncated,
+    Structural,
+    Crc,
+}
+
+/// Compress `data` into a block stream with the given block size (bytes of
+/// *input* per block).
+///
+/// # Panics
+/// Panics if `block_size == 0`.
+pub fn compress(data: &[u8], block_size: usize) -> Vec<u8> {
+    assert!(block_size > 0, "block size must be positive");
+    let mut out = Vec::with_capacity(data.len() / 2 + 64);
+    out.extend_from_slice(&STREAM_MAGIC);
+    out.push(VERSION);
+    put_u32(&mut out, block_size as u32);
+    let mut combined = 0u32;
+    for chunk in data.chunks(block_size) {
+        let block = compress_block(chunk);
+        // Combined CRC like bzip2: rotate and xor per-block CRCs.
+        let block_crc = u32::from_be_bytes(block[6..10].try_into().expect("block header"));
+        combined = combined.rotate_left(1) ^ block_crc;
+        out.extend_from_slice(&block);
+    }
+    out.extend_from_slice(&EOS_MAGIC);
+    put_u32(&mut out, combined);
+    out
+}
+
+/// Number of compression blocks in a stream produced by [`compress`].
+pub fn block_count(data: &[u8], block_size: usize) -> usize {
+    data.len().div_ceil(block_size.max(1)).max(if data.is_empty() { 0 } else { 1 })
+}
+
+/// Decompress a stream produced by [`compress`].
+pub fn decompress(stream: &[u8]) -> Result<Vec<u8>, CompressError> {
+    let mut pos = 0usize;
+    if stream.len() < 9 || stream[0..4] != STREAM_MAGIC || stream[4] != VERSION {
+        return Err(CompressError::BadHeader);
+    }
+    pos += 5;
+    let _block_size = get_u32(stream, &mut pos)?;
+    let mut out = Vec::new();
+    let mut combined = 0u32;
+    let mut index = 0usize;
+    loop {
+        let magic = stream
+            .get(pos..pos + 6)
+            .ok_or(CompressError::Truncated)?;
+        if magic == EOS_MAGIC {
+            pos += 6;
+            let stored = get_u32(stream, &mut pos)?;
+            if stored != combined {
+                return Err(CompressError::StreamCrc);
+            }
+            return Ok(out);
+        }
+        if magic != BLOCK_MAGIC {
+            return Err(CompressError::BadBlockMagic { offset: pos });
+        }
+        pos += 6;
+        let (chunk, used) = decode_block_body(&stream[pos..]).map_err(|e| match e {
+            BlockDecodeError::Truncated => CompressError::Truncated,
+            BlockDecodeError::Structural => CompressError::BlockCorrupt { index },
+            BlockDecodeError::Crc => CompressError::BlockCrc { index },
+        })?;
+        let block_crc =
+            u32::from_be_bytes(stream[pos..pos + 4].try_into().expect("decoded header"));
+        combined = combined.rotate_left(1) ^ block_crc;
+        pos += used;
+        out.extend_from_slice(&chunk);
+        index += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_text(len: usize) -> Vec<u8> {
+        let base = b"static int kumpula_terrace_probe(struct device *dev) {\n\treturn snow_depth(dev) < MAX_SNOW;\n}\n";
+        base.iter().copied().cycle().take(len).collect()
+    }
+
+    #[test]
+    fn roundtrip_various_sizes() {
+        for len in [0usize, 1, 100, 4096, 4097, 20_000] {
+            let data = sample_text(len);
+            for bs in [512usize, 4096, 65_536] {
+                let packed = compress(&data, bs);
+                assert_eq!(decompress(&packed).expect("roundtrip"), data, "len {len} bs {bs}");
+            }
+        }
+    }
+
+    #[test]
+    fn compresses_text_well() {
+        let data = sample_text(100_000);
+        let packed = compress(&data, 16_384);
+        assert!(
+            packed.len() < data.len() / 4,
+            "text should compress ≥ 4:1, got {} → {}",
+            data.len(),
+            packed.len()
+        );
+    }
+
+    #[test]
+    fn block_count_matches_chunks() {
+        let data = sample_text(10_000);
+        let packed = compress(&data, 1000);
+        // Count magics by decoding.
+        let mut count = 0;
+        let mut pos = 9;
+        while packed[pos..pos + 6] != EOS_MAGIC {
+            assert_eq!(&packed[pos..pos + 6], &BLOCK_MAGIC);
+            pos += 6;
+            let (_, used) = decode_block_body(&packed[pos..]).unwrap();
+            pos += used;
+            count += 1;
+        }
+        assert_eq!(count, 10);
+        assert_eq!(block_count(&data, 1000), 10);
+    }
+
+    /// Byte offset of the middle of block `k`'s Huffman payload.
+    /// Layout after each block magic: crc(4) orig(4) rle(4) primary(4)
+    /// lengths(256) payload_len(4) payload — payload starts magic+282.
+    fn payload_mid_offset(packed: &[u8], k: usize) -> usize {
+        let mut pos = 9;
+        let mut idx = 0;
+        while packed[pos..pos + 6] == BLOCK_MAGIC {
+            let body_start = pos + 6;
+            let (_, used) = decode_block_body(&packed[body_start..]).unwrap();
+            if idx == k {
+                let payload_len = used - 276;
+                return body_start + 276 + payload_len / 2;
+            }
+            pos = body_start + used;
+            idx += 1;
+        }
+        panic!("block {k} not found");
+    }
+
+    #[test]
+    fn single_bit_flip_damages_exactly_one_block() {
+        // The paper's forensic scenario: one flipped bit in the archive.
+        let data = sample_text(50_000);
+        let mut packed = compress(&data, 5_000); // 10 blocks
+        // Flip a bit well inside block 4's payload.
+        let target = payload_mid_offset(&packed, 4);
+        packed[target] ^= 0x04;
+        match decompress(&packed) {
+            Err(CompressError::BlockCrc { index }) | Err(CompressError::BlockCorrupt { index }) => {
+                assert!(index < 10, "index {index}");
+            }
+            other => panic!("expected a single-block failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let data = sample_text(10_000);
+        let packed = compress(&data, 2_000);
+        for cut in [5usize, 20, packed.len() / 2, packed.len() - 3] {
+            let err = decompress(&packed[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CompressError::Truncated
+                        | CompressError::BadHeader
+                        | CompressError::BlockCorrupt { .. }
+                        | CompressError::BlockCrc { .. }
+                ),
+                "cut {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert_eq!(decompress(b"NOPE"), Err(CompressError::BadHeader));
+        assert_eq!(decompress(b""), Err(CompressError::BadHeader));
+        let mut packed = compress(b"x", 16);
+        packed[4] = 99; // wrong version
+        assert_eq!(decompress(&packed), Err(CompressError::BadHeader));
+    }
+
+    #[test]
+    fn stream_crc_guards_block_reordering() {
+        // Swap two entire (different) blocks: each block's own CRC passes,
+        // but the combined stream CRC must catch the tamper.
+        let mut data = sample_text(4_000);
+        data[0] = b'A'; // make block 0 distinct from block 1
+        let packed = compress(&data, 2_000);
+        // Parse block boundaries.
+        let mut boundaries = Vec::new();
+        let mut pos = 9;
+        while packed[pos..pos + 6] != EOS_MAGIC {
+            let start = pos;
+            pos += 6;
+            let (_, used) = decode_block_body(&packed[pos..]).unwrap();
+            pos += used;
+            boundaries.push((start, pos));
+        }
+        assert_eq!(boundaries.len(), 2);
+        let mut tampered = packed[..9].to_vec();
+        tampered.extend_from_slice(&packed[boundaries[1].0..boundaries[1].1]);
+        tampered.extend_from_slice(&packed[boundaries[0].0..boundaries[0].1]);
+        tampered.extend_from_slice(&packed[boundaries[1].1..]);
+        let res = decompress(&tampered);
+        assert!(
+            matches!(res, Err(CompressError::StreamCrc)) || res.as_deref() != Ok(&data[..]),
+            "reordering must not silently succeed"
+        );
+    }
+
+    #[test]
+    fn binary_data_roundtrip() {
+        let mut state = 0xDEADBEEFu32;
+        let data: Vec<u8> = (0..30_000)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                (state >> 24) as u8
+            })
+            .collect();
+        let packed = compress(&data, 8_192);
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_input_roundtrip() {
+        let packed = compress(b"", 1024);
+        assert_eq!(decompress(&packed).unwrap(), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,242 @@
+//! Burrows–Wheeler transform (forward and inverse).
+//!
+//! The forward transform sorts all cyclic rotations of the block and emits
+//! the last column plus the index of the original rotation ("primary
+//! index"), exactly as bzip2 does. Sorting uses prefix doubling over cyclic
+//! shifts — O(n log n) time with radix-style counting sort per round — so
+//! degenerate inputs (long runs, periodic data) cannot blow up the way a
+//! naive comparison sort of rotations would.
+//!
+//! The inverse uses the standard LF-mapping reconstruction.
+
+/// Forward BWT. Returns `(last_column, primary_index)`.
+///
+/// `primary_index` is the position of the original string in the sorted
+/// rotation order; the decoder needs it to re-anchor the text.
+pub fn bwt_forward(input: &[u8]) -> (Vec<u8>, u32) {
+    let n = input.len();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    if n == 1 {
+        return (input.to_vec(), 0);
+    }
+
+    // Sort cyclic shifts by prefix doubling.
+    // rank[i]: equivalence class of the length-k prefix of rotation i.
+    let mut sa: Vec<u32> = (0..n as u32).collect();
+    let mut rank: Vec<u32> = input.iter().map(|&b| u32::from(b)).collect();
+    let mut tmp_rank = vec![0u32; n];
+    let mut k = 1usize;
+    // Initial sort by first byte (counting sort).
+    counting_sort_by_key(&mut sa, n.max(256), |&i| rank[i as usize]);
+    loop {
+        // Sort by (rank[i], rank[i+k]) using two stable counting-sort passes,
+        // least significant key first.
+        counting_sort_by_key(&mut sa, n.max(256) + 1, |&i| {
+            rank[(i as usize + k) % n] + 1
+        });
+        counting_sort_by_key(&mut sa, n.max(256) + 1, |&i| rank[i as usize]);
+        // Re-rank.
+        tmp_rank[sa[0] as usize] = 0;
+        let mut classes = 1u32;
+        for w in 1..n {
+            let (a, b) = (sa[w - 1] as usize, sa[w] as usize);
+            let same = rank[a] == rank[b] && rank[(a + k) % n] == rank[(b + k) % n];
+            if !same {
+                classes += 1;
+            }
+            tmp_rank[b] = classes - 1;
+        }
+        std::mem::swap(&mut rank, &mut tmp_rank);
+        if classes as usize == n {
+            break;
+        }
+        k *= 2;
+        if k >= n {
+            // All classes must be distinct once k >= n unless the input is
+            // periodic; break ties by index to make the order total.
+            // (A periodic input has identical rotations; any consistent
+            // order works for BWT as long as forward and inverse agree —
+            // LF-mapping reconstruction handles equal rotations correctly.)
+            break;
+        }
+    }
+
+    let last_col: Vec<u8> = sa
+        .iter()
+        .map(|&i| input[(i as usize + n - 1) % n])
+        .collect();
+    let primary = sa
+        .iter()
+        .position(|&i| i == 0)
+        .expect("rotation 0 must be present") as u32;
+    (last_col, primary)
+}
+
+/// Stable counting sort of `keys` indices by `key(i)` in `[0, buckets)`.
+fn counting_sort_by_key(items: &mut [u32], buckets: usize, key: impl Fn(&u32) -> u32) {
+    let mut count = vec![0u32; buckets + 1];
+    for it in items.iter() {
+        count[key(it) as usize + 1] += 1;
+    }
+    for b in 1..count.len() {
+        count[b] += count[b - 1];
+    }
+    let mut out = vec![0u32; items.len()];
+    for &it in items.iter() {
+        let k = key(&it) as usize;
+        out[count[k] as usize] = it;
+        count[k] += 1;
+    }
+    items.copy_from_slice(&out);
+}
+
+/// Errors from [`bwt_inverse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BwtError {
+    /// Primary index out of range for the block length.
+    BadPrimaryIndex,
+}
+
+impl std::fmt::Display for BwtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BwtError::BadPrimaryIndex => write!(f, "BWT primary index out of range"),
+        }
+    }
+}
+
+impl std::error::Error for BwtError {}
+
+/// Inverse BWT.
+pub fn bwt_inverse(last_col: &[u8], primary: u32) -> Result<Vec<u8>, BwtError> {
+    let n = last_col.len();
+    if n == 0 {
+        return if primary == 0 {
+            Ok(Vec::new())
+        } else {
+            Err(BwtError::BadPrimaryIndex)
+        };
+    }
+    if primary as usize >= n {
+        return Err(BwtError::BadPrimaryIndex);
+    }
+    // LF mapping: next[i] gives, for row i of the sorted matrix, the row
+    // whose rotation is one step earlier in the text.
+    let mut count = [0u32; 256];
+    for &b in last_col {
+        count[b as usize] += 1;
+    }
+    let mut starts = [0u32; 256];
+    let mut acc = 0u32;
+    for b in 0..256 {
+        starts[b] = acc;
+        acc += count[b];
+    }
+    let mut next = vec![0u32; n];
+    let mut seen = [0u32; 256];
+    for (i, &b) in last_col.iter().enumerate() {
+        next[(starts[b as usize] + seen[b as usize]) as usize] = i as u32;
+        seen[b as usize] += 1;
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut row = next[primary as usize];
+    for _ in 0..n {
+        out.push(last_col[row as usize]);
+        row = next[row as usize];
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let (last, primary) = bwt_forward(data);
+        assert_eq!(last.len(), data.len());
+        let back = bwt_inverse(&last, primary).expect("inverse");
+        assert_eq!(back, data, "roundtrip failed for {data:?}");
+    }
+
+    #[test]
+    fn classic_example() {
+        // The canonical "banana" example (cyclic BWT, no sentinel):
+        let (last, primary) = bwt_forward(b"banana");
+        let back = bwt_inverse(&last, primary).unwrap();
+        assert_eq!(back, b"banana");
+        // BWT of banana groups like letters:
+        assert_eq!(&last, b"nnbaaa");
+    }
+
+    #[test]
+    fn empty_single_double() {
+        roundtrip(b"");
+        roundtrip(b"z");
+        roundtrip(b"ab");
+        roundtrip(b"ba");
+        roundtrip(b"aa");
+    }
+
+    #[test]
+    fn periodic_inputs() {
+        roundtrip(b"abababab");
+        roundtrip(b"aaaaaaaaaaaaaaaa");
+        roundtrip(b"abcabcabcabc");
+        roundtrip(&b"xy".repeat(1000));
+    }
+
+    #[test]
+    fn text_grouping_effect() {
+        // BWT of English-like text should create long same-byte runs,
+        // measured as a reduced number of byte transitions.
+        let text = b"the quick brown fox jumps over the lazy dog. ".repeat(50);
+        let (last, _) = bwt_forward(&text);
+        let transitions = |xs: &[u8]| xs.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(
+            transitions(&last) < transitions(&text) / 2,
+            "BWT should at least halve transitions: {} vs {}",
+            transitions(&last),
+            transitions(&text)
+        );
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let mut state = 0x9E3779B9u32;
+        let data: Vec<u8> = (0..20_000)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                (state >> 24) as u8
+            })
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn all_256_bytes() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        roundtrip(&data);
+        let rev: Vec<u8> = (0..=255u8).rev().collect();
+        roundtrip(&rev);
+    }
+
+    #[test]
+    fn bad_primary_index_rejected() {
+        let (last, _) = bwt_forward(b"hello world");
+        assert_eq!(bwt_inverse(&last, 11), Err(BwtError::BadPrimaryIndex));
+        assert_eq!(bwt_inverse(&[], 1), Err(BwtError::BadPrimaryIndex));
+    }
+
+    #[test]
+    fn forward_is_permutation() {
+        let data = b"permutation check 0123456789".repeat(7);
+        let (last, _) = bwt_forward(&data);
+        let mut a = data.to_vec();
+        let mut b = last.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+}

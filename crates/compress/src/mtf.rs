@@ -1,0 +1,99 @@
+//! Move-to-front transform.
+//!
+//! After the BWT, equal bytes cluster; MTF turns that local redundancy into
+//! a stream dominated by small values (mostly zeros), which the Huffman
+//! stage then codes with short codewords. Both directions are exact
+//! bijections over byte streams.
+
+/// Forward MTF.
+pub fn mtf_encode(input: &[u8]) -> Vec<u8> {
+    let mut table: [u8; 256] = std::array::from_fn(|i| i as u8);
+    let mut out = Vec::with_capacity(input.len());
+    for &b in input {
+        let pos = table
+            .iter()
+            .position(|&x| x == b)
+            .expect("every byte value is in the table") as u8;
+        out.push(pos);
+        // Move-to-front: shift everything before `pos` down one.
+        for i in (1..=pos as usize).rev() {
+            table[i] = table[i - 1];
+        }
+        table[0] = b;
+    }
+    out
+}
+
+/// Inverse MTF.
+pub fn mtf_decode(input: &[u8]) -> Vec<u8> {
+    let mut table: [u8; 256] = std::array::from_fn(|i| i as u8);
+    let mut out = Vec::with_capacity(input.len());
+    for &pos in input {
+        let b = table[pos as usize];
+        out.push(b);
+        for i in (1..=pos as usize).rev() {
+            table[i] = table[i - 1];
+        }
+        table[0] = b;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        assert_eq!(mtf_decode(&mtf_encode(data)), data);
+    }
+
+    #[test]
+    fn empty_and_small() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"abc");
+        roundtrip(b"aaa");
+    }
+
+    #[test]
+    fn known_small_example() {
+        // 'a' = 97: first occurrence emits 97, repeats emit 0.
+        assert_eq!(mtf_encode(b"aaaa"), vec![97, 0, 0, 0]);
+        // "ab": 97, then 'b' is now at index 98 (a moved to front).
+        assert_eq!(mtf_encode(b"ab"), vec![97, 98]);
+        // "aba": a→97, b→98, a→1 (a is right behind b now).
+        assert_eq!(mtf_encode(b"aba"), vec![97, 98, 1]);
+    }
+
+    #[test]
+    fn runs_become_zeros() {
+        let data = b"xxxxxxxxxxyyyyyyyyyyzzzzzzzzzz";
+        let enc = mtf_encode(data);
+        let zeros = enc.iter().filter(|&&v| v == 0).count();
+        assert_eq!(zeros, 27); // every byte after the first of each run
+    }
+
+    #[test]
+    fn all_bytes_roundtrip() {
+        let data: Vec<u8> = (0..=255u8).chain((0..=255u8).rev()).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn random_roundtrip() {
+        let mut state = 42u32;
+        let data: Vec<u8> = (0..30_000)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                (state >> 23) as u8
+            })
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn output_length_preserved() {
+        let data = b"length preserved".repeat(10);
+        assert_eq!(mtf_encode(&data).len(), data.len());
+    }
+}

@@ -1,0 +1,128 @@
+//! Experiment configuration.
+
+use frostlab_climate::presets;
+use frostlab_climate::weather::ClimateParams;
+use frostlab_simkern::time::{SimDuration, SimTime};
+use frostlab_thermal::tent::TentParams;
+use frostlab_workload::job::JobConfig;
+
+/// How faults enter the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Replay the paper's documented fault history exactly (figures and
+    /// tables match the publication).
+    Scripted,
+    /// Draw every fault from the hazard models (Monte-Carlo mode).
+    Stochastic,
+}
+
+/// Full configuration of one campaign.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Root seed; everything stochastic derives from it.
+    pub seed: u64,
+    /// Fault mode.
+    pub fault_mode: FaultMode,
+    /// Campaign start (the paper's normal phase began Feb 19; the weather
+    /// and station trace start earlier for context in Fig. 3).
+    pub start: SimTime,
+    /// Campaign end ("three months" from the first install ⇒ mid-May).
+    pub end: SimTime,
+    /// Simulation tick.
+    pub tick: SimDuration,
+    /// Climate parameters (Helsinki by default; swap for what-if studies).
+    pub climate: ClimateParams,
+    /// Tent physical parameters.
+    pub tent: TentParams,
+    /// Workload pipeline configuration.
+    pub job: JobConfig,
+    /// Collection cadence (paper: 20 minutes).
+    pub collection_interval: SimDuration,
+    /// Interval between fault-model polls.
+    pub fault_poll_interval: SimDuration,
+    /// When the Lascar logger finally arrives on site (it was late).
+    pub lascar_deployed_at: SimTime,
+    /// Sensor-log append cadence (bounds log sizes).
+    pub sensor_log_interval: SimDuration,
+    /// Ablation: pretend every DIMM in the fleet is ECC (the what-if the
+    /// paper's §4.2.2 implies — ECC would have corrected all five flips).
+    pub force_ecc: bool,
+}
+
+impl ExperimentConfig {
+    /// The paper's campaign with scripted fault history.
+    pub fn paper_scripted(seed: u64) -> ExperimentConfig {
+        ExperimentConfig {
+            seed,
+            fault_mode: FaultMode::Scripted,
+            start: SimTime::from_date(2010, 2, 12),
+            end: SimTime::from_date(2010, 5, 13),
+            tick: SimDuration::minutes(1),
+            climate: presets::helsinki_winter_2010(),
+            tent: TentParams::default(),
+            job: JobConfig::default(),
+            collection_interval: SimDuration::minutes(20),
+            fault_poll_interval: SimDuration::minutes(5),
+            lascar_deployed_at: SimTime::from_date(2010, 3, 5),
+            sensor_log_interval: SimDuration::minutes(20),
+            force_ecc: false,
+        }
+    }
+
+    /// Same campaign, faults drawn stochastically.
+    pub fn paper_stochastic(seed: u64) -> ExperimentConfig {
+        ExperimentConfig {
+            fault_mode: FaultMode::Stochastic,
+            ..ExperimentConfig::paper_scripted(seed)
+        }
+    }
+
+    /// A short window for tests: `days` days starting at the normal phase,
+    /// with coarser bookkeeping so debug-mode tests stay fast.
+    pub fn short(seed: u64, days: i64) -> ExperimentConfig {
+        ExperimentConfig {
+            start: SimTime::from_date(2010, 2, 12),
+            end: SimTime::from_date(2010, 2, 12) + SimDuration::days(days),
+            collection_interval: SimDuration::hours(2),
+            lascar_deployed_at: SimTime::from_date(2010, 2, 12),
+            ..ExperimentConfig::paper_scripted(seed)
+        }
+    }
+
+    /// Campaign length.
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_campaign_spans_three_months() {
+        let c = ExperimentConfig::paper_scripted(1);
+        let days = c.duration().as_days_f64();
+        assert!((85.0..95.0).contains(&days), "campaign days {days}");
+        assert_eq!(c.fault_mode, FaultMode::Scripted);
+    }
+
+    #[test]
+    fn stochastic_variant() {
+        let c = ExperimentConfig::paper_stochastic(1);
+        assert_eq!(c.fault_mode, FaultMode::Stochastic);
+        assert_eq!(c.start, ExperimentConfig::paper_scripted(1).start);
+    }
+
+    #[test]
+    fn lascar_arrives_late_in_paper_config() {
+        let c = ExperimentConfig::paper_scripted(1);
+        assert!(c.lascar_deployed_at > c.start + SimDuration::days(14));
+    }
+
+    #[test]
+    fn short_config_is_short() {
+        let c = ExperimentConfig::short(1, 3);
+        assert_eq!(c.duration().as_days_f64(), 3.0);
+    }
+}

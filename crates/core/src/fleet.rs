@@ -1,0 +1,182 @@
+//! The fleet: 19 machines, pairwise placement, and the Fig. 2 timeline.
+//!
+//! §3.4: ten hosts from vendor A, four from vendor B (the known-unreliable
+//! SFF series) and four from vendor C (2U servers) — eighteen machines
+//! installed pairwise, nine in the tent and nine in the basement, plus a
+//! nineteenth that replaced host #15 after its second failure.
+//!
+//! The paper's Fig. 2 shows tent-host install dates between Feb 19 and
+//! Mar 26 (with "the last of the hosts … installed March 13th" per §4 and
+//! the #15 replacement as the final event). The exact per-host dates are
+//! only partially legible from the figure; the timeline below follows its
+//! tick marks (Feb 19, Feb 24/25, Mar 05, Mar 10, Mar 17, Mar 26) and the
+//! constraints in the text (e.g. #15 was running in the tent before its
+//! Mar 7 failure).
+
+use frostlab_hardware::server::Vendor;
+use frostlab_simkern::time::SimTime;
+use frostlab_workload::stats::Placement;
+
+/// One machine's static plan.
+#[derive(Debug, Clone)]
+pub struct HostPlan {
+    /// Paper host number (tent hosts use the Fig. 2 numbers).
+    pub id: u32,
+    /// Vendor.
+    pub vendor: Vendor,
+    /// From the known-defective vendor-B series?
+    pub defective: bool,
+    /// Tent or basement.
+    pub placement: Placement,
+    /// Install (power-on) time.
+    pub install_at: SimTime,
+    /// The identical twin in the other group (pairwise installation).
+    pub pair: u32,
+    /// True for machine #19, the spare that replaced #15.
+    pub is_replacement: bool,
+}
+
+/// The paper's fleet. Tent hosts carry the Fig. 2 numbers
+/// (01 02 03 06 10 11 14 15 18); their basement twins take the remaining
+/// numbers; #19 is the replacement spare (installed only in scripted runs
+/// after #15 is withdrawn).
+pub fn paper_fleet() -> Vec<HostPlan> {
+    let d = |y: i32, m: u32, day: u32| SimTime::from_date(y, m, day) + frostlab_simkern::time::SimDuration::hours(11);
+    let mut fleet = Vec::new();
+    // (tent_id, twin_id, vendor, defective, install_date)
+    let rows: [(u32, u32, Vendor, bool, SimTime); 9] = [
+        (1, 4, Vendor::A, false, d(2010, 2, 19)),
+        (2, 5, Vendor::A, false, d(2010, 2, 19)),
+        (3, 7, Vendor::A, false, d(2010, 2, 19)),
+        (6, 8, Vendor::A, false, d(2010, 2, 24)),
+        (10, 9, Vendor::A, false, d(2010, 2, 25)),
+        (11, 12, Vendor::B, true, d(2010, 3, 5)),
+        (15, 16, Vendor::B, true, d(2010, 3, 5)),
+        (14, 13, Vendor::C, false, d(2010, 3, 10)),
+        (18, 17, Vendor::C, false, d(2010, 3, 13)),
+    ];
+    for (tent_id, twin_id, vendor, defective, at) in rows {
+        fleet.push(HostPlan {
+            id: tent_id,
+            vendor,
+            defective,
+            placement: Placement::Tent,
+            install_at: at,
+            pair: twin_id,
+            is_replacement: false,
+        });
+        fleet.push(HostPlan {
+            id: twin_id,
+            vendor,
+            defective,
+            placement: Placement::Basement,
+            install_at: at,
+            pair: tent_id,
+            is_replacement: false,
+        });
+    }
+    // #19: the spare that replaced #15 in the tent (same vendor-B series).
+    fleet.push(HostPlan {
+        id: 19,
+        vendor: Vendor::B,
+        defective: false, // the replacement "has not failed" — a sound unit
+        placement: Placement::Tent,
+        install_at: d(2010, 3, 26),
+        pair: 16,
+        is_replacement: true,
+    });
+    fleet.sort_by_key(|h| h.id);
+    fleet
+}
+
+/// Host ids assigned to each of the two tent switches (daisy-chained
+/// 8-port units; the monitoring uplink hangs off switch 2).
+pub fn switch_assignment(host: u32) -> usize {
+    // First six tent installs on switch 0, later arrivals on switch 1.
+    match host {
+        1 | 2 | 3 | 6 | 10 | 11 => 0,
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frostlab_simkern::time::Date;
+
+    #[test]
+    fn fleet_composition_matches_paper() {
+        let fleet = paper_fleet();
+        assert_eq!(fleet.len(), 19);
+        let count = |v: Vendor| fleet.iter().filter(|h| h.vendor == v && !h.is_replacement).count();
+        assert_eq!(count(Vendor::A), 10, "ten hosts from vendor A");
+        assert_eq!(count(Vendor::B), 4, "four from B");
+        assert_eq!(count(Vendor::C), 4, "four from C");
+        let tent = fleet
+            .iter()
+            .filter(|h| h.placement == Placement::Tent && !h.is_replacement)
+            .count();
+        let basement = fleet.iter().filter(|h| h.placement == Placement::Basement).count();
+        assert_eq!(tent, 9, "nine in the tent");
+        assert_eq!(basement, 9, "nine in the basement");
+    }
+
+    #[test]
+    fn pairwise_symmetry() {
+        let fleet = paper_fleet();
+        let by_id = |id: u32| fleet.iter().find(|h| h.id == id).expect("id present");
+        for h in fleet.iter().filter(|h| !h.is_replacement) {
+            let twin = by_id(h.pair);
+            assert_eq!(twin.vendor, h.vendor, "pair {}/{} vendor", h.id, h.pair);
+            assert_ne!(twin.placement, h.placement, "pairs straddle the groups");
+            assert_eq!(twin.install_at, h.install_at, "pairs installed together");
+        }
+    }
+
+    #[test]
+    fn timeline_constraints_from_text() {
+        let fleet = paper_fleet();
+        let by_id = |id: u32| fleet.iter().find(|h| h.id == id).expect("id present");
+        // Testing starts Feb 19.
+        let first = fleet.iter().map(|h| h.install_at).min().unwrap();
+        assert_eq!(first.date(), Date::new(2010, 2, 19).unwrap());
+        // #15 installed before its Mar 7 failure.
+        assert!(by_id(15).install_at < SimTime::from_ymd_hms(2010, 3, 7, 4, 40, 0));
+        // Last initial host on Mar 13 (§4).
+        let last_initial = fleet
+            .iter()
+            .filter(|h| !h.is_replacement)
+            .map(|h| h.install_at)
+            .max()
+            .unwrap();
+        assert_eq!(last_initial.date(), Date::new(2010, 3, 13).unwrap());
+        // Replacement lands Mar 26 (Fig. 2's final tick).
+        assert_eq!(by_id(19).install_at.date(), Date::new(2010, 3, 26).unwrap());
+    }
+
+    #[test]
+    fn host15_is_defective_vendor_b() {
+        let fleet = paper_fleet();
+        let h15 = fleet.iter().find(|h| h.id == 15).unwrap();
+        assert_eq!(h15.vendor, Vendor::B);
+        assert!(h15.defective);
+        assert_eq!(h15.placement, Placement::Tent);
+    }
+
+    #[test]
+    fn switch_assignment_covers_tent() {
+        let fleet = paper_fleet();
+        for h in fleet.iter().filter(|h| h.placement == Placement::Tent) {
+            let sw = switch_assignment(h.id);
+            assert!(sw < 2, "host {} on switch {sw}", h.id);
+        }
+    }
+
+    #[test]
+    fn ids_unique() {
+        let fleet = paper_fleet();
+        let mut ids: Vec<u32> = fleet.iter().map(|h| h.id).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 19);
+    }
+}

@@ -1,0 +1,55 @@
+//! # frostlab-core
+//!
+//! The experiment itself: *Running Servers around Zero Degrees*, re-run as
+//! a deterministic simulation.
+//!
+//! This crate wires every substrate together into the campaign the paper
+//! describes — a prototype weekend under two plastic boxes (Feb 12–15,
+//! 2010), then a three-month normal phase with nine machines in a tent on
+//! the roof terrace and nine identical machines in the basement control
+//! group, all grinding the tar+bzip2+md5 synthetic load every ten minutes
+//! while a monitoring host collects their logs over two sickly 8-port
+//! switches.
+//!
+//! * [`config`] — experiment configuration (seed, dates, fidelity knobs);
+//! * [`fleet`] — the 19 machines, their vendors, pairings and the Fig. 2
+//!   install timeline;
+//! * [`scripted`] — the documented event history (tent modifications
+//!   R/I/B/F, host #15's two failures, the sensor-chip saga, the switch
+//!   deaths, the five wrong hashes) for faithful figure reproduction;
+//! * [`experiment`] — the tick-driven orchestrator; supports **scripted**
+//!   mode (replays the history; figures match the paper) and **stochastic**
+//!   mode (all faults drawn from the hazard models; for Monte-Carlo and
+//!   sensitivity studies);
+//! * [`prototype`] — the plastic-box weekend (T5);
+//! * [`results`] — everything measured, in one struct;
+//! * [`figures`] / [`tables`] — per-figure and per-table reproduction
+//!   entry points used by `frostlab-bench`'s binaries.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use frostlab_core::config::ExperimentConfig;
+//! use frostlab_core::experiment::Experiment;
+//!
+//! let config = ExperimentConfig::paper_scripted(42);
+//! let results = Experiment::new(config).run();
+//! println!("runs: {}", results.workload.total_runs());
+//! println!("failure rate: {:.1} %", 100.0 * results.failure_comparison().fleet().rate);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod experiment;
+pub mod figures;
+pub mod fleet;
+pub mod prototype;
+pub mod results;
+pub mod scripted;
+pub mod tables;
+
+pub use config::ExperimentConfig;
+pub use experiment::Experiment;
+pub use results::ExperimentResults;

@@ -1,0 +1,214 @@
+//! Air-side economizer vs. mechanical cooling, across climates.
+//!
+//! The T6 reproduction. The intro's claim: outside-air cooling saves 40 %
+//! (HP, Wynyard) to 67 % (Intel, New Mexico) of cooling energy, and the
+//! whole point of the tent experiment is that if hardware survives Finnish
+//! winter *unconditioned*, the technique extends to most of the globe.
+//!
+//! Model: for every hour of a simulated year, compare the outside dry-bulb
+//! temperature against the supply-air limit.
+//!
+//! * `T_out ≤ limit − mix_band` — **full free cooling**: fans only;
+//! * `limit − mix_band < T_out < limit` — **partial**: fans plus a
+//!   proportionally loaded mechanical stage;
+//! * `T_out ≥ limit` — **mechanical**: full chiller overhead.
+//!
+//! The baseline is the same facility running its chiller year-round.
+
+use frostlab_climate::weather::{ClimateParams, WeatherModel};
+use frostlab_simkern::time::{SimDuration, SimTime};
+
+/// Economizer operating parameters.
+#[derive(Debug, Clone)]
+pub struct EconomizerConfig {
+    /// Supply-air temperature limit, °C (ASHRAE-allowable-style setpoint;
+    /// Intel's PoC ran up to ≈ 32 °C, conservative designs use 18–24 °C).
+    pub supply_limit_c: f64,
+    /// Width of the partial-cooling mixing band below the limit, K.
+    pub mix_band_k: f64,
+    /// Fan power as a fraction of IT load while economizing.
+    pub fan_fraction: f64,
+    /// Mechanical-cooling power as a fraction of IT load (chiller + CRAC +
+    /// pumps) when carrying the full heat load.
+    pub mechanical_fraction: f64,
+}
+
+impl Default for EconomizerConfig {
+    fn default() -> Self {
+        EconomizerConfig {
+            supply_limit_c: 24.0,
+            mix_band_k: 6.0,
+            fan_fraction: 0.08,
+            mechanical_fraction: 0.45,
+        }
+    }
+}
+
+/// Result of a one-year economizer simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EconomizerReport {
+    /// Climate name.
+    pub climate: &'static str,
+    /// Hours in full free-cooling mode.
+    pub free_hours: f64,
+    /// Hours in partial mode.
+    pub partial_hours: f64,
+    /// Hours on full mechanical cooling.
+    pub mechanical_hours: f64,
+    /// Cooling energy with the economizer, kWh per kW of IT load.
+    pub econ_cooling_kwh_per_kw: f64,
+    /// Cooling energy for the always-mechanical baseline, kWh per kW.
+    pub baseline_cooling_kwh_per_kw: f64,
+}
+
+impl EconomizerReport {
+    /// Fraction of the year in full free cooling.
+    pub fn free_fraction(&self) -> f64 {
+        let total = self.free_hours + self.partial_hours + self.mechanical_hours;
+        self.free_hours / total
+    }
+
+    /// Cooling-energy savings vs. the mechanical baseline (0–1).
+    pub fn savings(&self) -> f64 {
+        1.0 - self.econ_cooling_kwh_per_kw / self.baseline_cooling_kwh_per_kw
+    }
+
+    /// Effective PUE with the economizer, assuming cooling is the only
+    /// overhead.
+    pub fn effective_pue(&self) -> f64 {
+        1.0 + self.econ_cooling_kwh_per_kw / 8760.0
+    }
+}
+
+/// Simulate one year (hourly) of economizer operation in `climate`.
+pub fn simulate_year(
+    climate: ClimateParams,
+    config: &EconomizerConfig,
+    seed: u64,
+) -> EconomizerReport {
+    let name = climate.name;
+    let mut wx = WeatherModel::new(climate, seed);
+    let start = SimTime::from_date(2010, 1, 1);
+    let end = SimTime::from_date(2010, 12, 31) + SimDuration::hours(23);
+    let mut free = 0.0f64;
+    let mut partial = 0.0f64;
+    let mut mech = 0.0f64;
+    let mut econ_kwh = 0.0f64;
+    let mut base_kwh = 0.0f64;
+    let mut t = start;
+    while t <= end {
+        let s = wx.sample_at(t);
+        let full_mech_kw = config.mechanical_fraction;
+        base_kwh += full_mech_kw; // 1 kW IT × 1 h
+        let lo = config.supply_limit_c - config.mix_band_k;
+        if s.temp_c <= lo {
+            free += 1.0;
+            econ_kwh += config.fan_fraction;
+        } else if s.temp_c < config.supply_limit_c {
+            partial += 1.0;
+            let frac = (s.temp_c - lo) / config.mix_band_k;
+            econ_kwh += config.fan_fraction + frac * full_mech_kw;
+        } else {
+            mech += 1.0;
+            econ_kwh += config.fan_fraction + full_mech_kw;
+        }
+        t += SimDuration::hours(1);
+    }
+    EconomizerReport {
+        climate: name,
+        free_hours: free,
+        partial_hours: partial,
+        mechanical_hours: mech,
+        econ_cooling_kwh_per_kw: econ_kwh,
+        baseline_cooling_kwh_per_kw: base_kwh,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frostlab_climate::presets;
+
+    fn report(p: ClimateParams) -> EconomizerReport {
+        simulate_year(p, &EconomizerConfig::default(), 17)
+    }
+
+    #[test]
+    fn helsinki_is_mostly_free_cooling() {
+        let r = report(presets::helsinki_winter_2010());
+        assert!(r.free_fraction() > 0.8, "free fraction {}", r.free_fraction());
+        assert!(r.savings() > 0.6, "savings {}", r.savings());
+    }
+
+    #[test]
+    fn climates_rank_by_summer_heat() {
+        // Maritime NE England (HP's Wynyard pick: sea-cooled summers) leads,
+        // continental Helsinki is a close second (warm July afternoons cost
+        // some hours), high-desert New Mexico trails.
+        let hel = report(presets::helsinki_winter_2010());
+        let ne = report(presets::north_east_england());
+        let nm = report(presets::new_mexico());
+        assert!(
+            ne.free_fraction() >= hel.free_fraction(),
+            "ne {} vs hel {}",
+            ne.free_fraction(),
+            hel.free_fraction()
+        );
+        assert!(
+            hel.free_fraction() > nm.free_fraction(),
+            "hel {} vs nm {}",
+            hel.free_fraction(),
+            nm.free_fraction()
+        );
+    }
+
+    #[test]
+    fn savings_land_in_the_papers_band() {
+        // The intro's 40–67 %: every study climate should save at least
+        // HP's 40 %, and the band should bracket the desert site.
+        let nm = report(presets::new_mexico());
+        assert!(
+            (0.35..0.85).contains(&nm.savings()),
+            "New Mexico savings {}",
+            nm.savings()
+        );
+        let ne = report(presets::north_east_england());
+        assert!(ne.savings() > 0.40, "Wynyard-like savings {}", ne.savings());
+    }
+
+    #[test]
+    fn hours_sum_to_a_year() {
+        let r = report(presets::helsinki_winter_2010());
+        let total = r.free_hours + r.partial_hours + r.mechanical_hours;
+        assert!((total - 8760.0).abs() <= 24.0, "total hours {total}");
+    }
+
+    #[test]
+    fn effective_pue_beats_mechanical() {
+        let r = report(presets::helsinki_winter_2010());
+        let pue = r.effective_pue();
+        assert!((1.0..1.3).contains(&pue), "economized PUE {pue}");
+    }
+
+    #[test]
+    fn higher_supply_limit_more_free_cooling() {
+        let conservative = simulate_year(
+            presets::new_mexico(),
+            &EconomizerConfig {
+                supply_limit_c: 18.0,
+                ..Default::default()
+            },
+            3,
+        );
+        let aggressive = simulate_year(
+            presets::new_mexico(),
+            &EconomizerConfig {
+                supply_limit_c: 32.0,
+                ..Default::default()
+            },
+            3,
+        );
+        assert!(aggressive.free_fraction() > conservative.free_fraction() + 0.1);
+        assert!(aggressive.savings() > conservative.savings());
+    }
+}

@@ -1,0 +1,195 @@
+//! Wet-side economizer model.
+//!
+//! The paper notes (§2) that Intel's earlier report [2] had "argued
+//! convincingly *against* air economizers" in favour of **wet-side**
+//! economizers: instead of blowing outside air through the room, a cooling
+//! tower chills the condenser water whenever the outside **wet-bulb**
+//! temperature is low enough, letting the chiller idle while the room keeps
+//! its closed, conditioned air loop.
+//!
+//! Modeling the comparison lets the platform reproduce the debate the paper
+//! sits inside: wet-side wins in humid climates with sensitive IT intake
+//! requirements; air-side wins where the dry-bulb is cold (Finland) because
+//! it also eliminates the water loop. Wet-bulb temperature comes from the
+//! psychrometrics substrate (Stull's empirical formula).
+
+use frostlab_climate::math::clamp;
+use frostlab_climate::weather::{ClimateParams, WeatherModel};
+use frostlab_simkern::time::{SimDuration, SimTime};
+
+/// Wet-bulb temperature (°C) via Stull (2011) — accurate to ~0.3 K for
+/// RH 5–99 %, T −20…50 °C. Outside the fit's validity range it can drift
+/// above the dry bulb, so the result is clamped to the physical bound
+/// T_w ≤ T (in deep cold the depression is tiny anyway: the air holds
+/// almost no water).
+pub fn wet_bulb_c(t_c: f64, rh_pct: f64) -> f64 {
+    let rh = clamp(rh_pct, 5.0, 99.0);
+    let wb = t_c * (0.151_977 * (rh + 8.313_659).sqrt()).atan() + (t_c + rh).atan()
+        - (rh - 1.676_331).atan()
+        + 0.003_918_38 * rh.powf(1.5) * (0.023_101 * rh).atan()
+        - 4.686_035;
+    wb.min(t_c)
+}
+
+/// Wet-side economizer parameters.
+#[derive(Debug, Clone)]
+pub struct WetSideConfig {
+    /// Chilled-water supply setpoint, °C.
+    pub chw_setpoint_c: f64,
+    /// Cooling-tower approach: the water leaves this many K above the
+    /// ambient wet-bulb.
+    pub tower_approach_k: f64,
+    /// Tower fans + pumps, as a fraction of IT load while economizing.
+    pub tower_fraction: f64,
+    /// Full mechanical (chiller) cooling power as a fraction of IT load.
+    pub mechanical_fraction: f64,
+    /// Partial-assist band, K: wet-bulb within this of the threshold runs
+    /// tower + partly loaded chiller.
+    pub mix_band_k: f64,
+}
+
+impl Default for WetSideConfig {
+    fn default() -> Self {
+        WetSideConfig {
+            chw_setpoint_c: 10.0,
+            tower_approach_k: 4.0,
+            tower_fraction: 0.10,
+            mechanical_fraction: 0.45,
+            mix_band_k: 4.0,
+        }
+    }
+}
+
+/// One-year wet-side simulation result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WetSideReport {
+    /// Climate name.
+    pub climate: &'static str,
+    /// Hours of full free (tower-only) cooling.
+    pub free_hours: f64,
+    /// Hours of partial chiller assist.
+    pub partial_hours: f64,
+    /// Hours on full mechanical cooling.
+    pub mechanical_hours: f64,
+    /// Cooling energy, kWh per kW of IT.
+    pub cooling_kwh_per_kw: f64,
+    /// Always-mechanical baseline, kWh per kW.
+    pub baseline_kwh_per_kw: f64,
+}
+
+impl WetSideReport {
+    /// Cooling-energy savings vs. the mechanical baseline.
+    pub fn savings(&self) -> f64 {
+        1.0 - self.cooling_kwh_per_kw / self.baseline_kwh_per_kw
+    }
+
+    /// Fraction of the year tower-only.
+    pub fn free_fraction(&self) -> f64 {
+        self.free_hours / (self.free_hours + self.partial_hours + self.mechanical_hours)
+    }
+}
+
+/// Simulate one year of wet-side economizer operation.
+pub fn simulate_year_wetside(
+    climate: ClimateParams,
+    config: &WetSideConfig,
+    seed: u64,
+) -> WetSideReport {
+    let name = climate.name;
+    let mut wx = WeatherModel::new(climate, seed);
+    let start = SimTime::from_date(2010, 1, 1);
+    let end = SimTime::from_date(2010, 12, 31) + SimDuration::hours(23);
+    // Tower can carry the full load when its output water (wet-bulb +
+    // approach) is at or below the chilled-water setpoint.
+    let threshold = config.chw_setpoint_c - config.tower_approach_k;
+    let (mut free, mut partial, mut mech) = (0.0f64, 0.0f64, 0.0f64);
+    let (mut kwh, mut base) = (0.0f64, 0.0f64);
+    let mut t = start;
+    while t <= end {
+        let s = wx.sample_at(t);
+        let wb = wet_bulb_c(s.temp_c, s.rh_pct);
+        base += config.mechanical_fraction;
+        if wb <= threshold {
+            free += 1.0;
+            kwh += config.tower_fraction;
+        } else if wb < threshold + config.mix_band_k {
+            partial += 1.0;
+            let frac = (wb - threshold) / config.mix_band_k;
+            kwh += config.tower_fraction + frac * config.mechanical_fraction;
+        } else {
+            mech += 1.0;
+            kwh += config.tower_fraction + config.mechanical_fraction;
+        }
+        t += SimDuration::hours(1);
+    }
+    WetSideReport {
+        climate: name,
+        free_hours: free,
+        partial_hours: partial,
+        mechanical_hours: mech,
+        cooling_kwh_per_kw: kwh,
+        baseline_kwh_per_kw: base,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frostlab_climate::presets;
+
+    #[test]
+    fn wet_bulb_reference_points() {
+        // Saturated air: wet bulb ≈ dry bulb.
+        assert!((wet_bulb_c(20.0, 99.0) - 20.0).abs() < 0.7);
+        // Stull's own example: 20 °C, 50 % RH → T_w ≈ 13.7 °C.
+        assert!((wet_bulb_c(20.0, 50.0) - 13.7).abs() < 0.5);
+        // Dry desert air: large depression.
+        let wb = wet_bulb_c(35.0, 15.0);
+        assert!(wb < 20.0, "wet bulb {wb}");
+        // Wet bulb never exceeds dry bulb.
+        for t in [-5.0, 5.0, 25.0, 40.0] {
+            for rh in [10.0, 50.0, 95.0] {
+                assert!(wet_bulb_c(t, rh) <= t + 0.8, "t={t} rh={rh}");
+            }
+        }
+    }
+
+    #[test]
+    fn helsinki_wetside_mostly_free() {
+        let r = simulate_year_wetside(presets::helsinki_winter_2010(), &WetSideConfig::default(), 5);
+        assert!(r.free_fraction() > 0.6, "free {}", r.free_fraction());
+        assert!(r.savings() > 0.4, "savings {}", r.savings());
+    }
+
+    #[test]
+    fn desert_wetside_beats_its_own_airside_gap() {
+        // New Mexico: dry air ⇒ big wet-bulb depression ⇒ wet-side gets
+        // substantially MORE free hours than a dry-bulb-limited air-side at
+        // an equivalent threshold. (This is Intel's [2] argument.)
+        let wet = simulate_year_wetside(presets::new_mexico(), &WetSideConfig::default(), 5);
+        let air = crate::economizer::simulate_year(
+            presets::new_mexico(),
+            &crate::economizer::EconomizerConfig {
+                // Same effective ceiling: chw 10 − approach 4 = 6 °C supply
+                // coil temperature ⇒ comparable dry-bulb limit.
+                supply_limit_c: 10.0,
+                mix_band_k: 4.0,
+                ..Default::default()
+            },
+            5,
+        );
+        assert!(
+            wet.free_fraction() > air.free_fraction(),
+            "wet {} vs air {}",
+            wet.free_fraction(),
+            air.free_fraction()
+        );
+    }
+
+    #[test]
+    fn hours_sum_to_year() {
+        let r = simulate_year_wetside(presets::north_east_england(), &WetSideConfig::default(), 2);
+        let total = r.free_hours + r.partial_hours + r.mechanical_hours;
+        assert!((total - 8760.0).abs() <= 24.0);
+    }
+}

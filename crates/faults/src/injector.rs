@@ -1,0 +1,303 @@
+//! Stochastic fault injection.
+//!
+//! Each host owns a [`HostFaults`] sampler: a bundle of hazard models plus a
+//! private, label-derived RNG stream, polled once per simulation step with
+//! the current environment. The per-host streams mean the draws for host #3
+//! never change when host #7 is added to the fleet — scenario edits don't
+//! scramble previously observed histories.
+
+use frostlab_simkern::rng::Rng;
+
+use crate::hazard::{CyclingFatigue, EnvHazard};
+use crate::types::{FaultKind, HostId};
+
+/// Cold-exposure fault model for the motherboard sensor chip (§4.2.1).
+///
+/// The chip misbehaved only on the host that saw the deepest cold. Model:
+/// while the CPU reads below `threshold_c`, the chip faults at a constant
+/// rate — i.e. exposure time in deep cold is what matters.
+#[derive(Debug, Clone)]
+pub struct SensorColdFault {
+    /// CPU temperature below which the chip is at risk, °C.
+    pub threshold_c: f64,
+    /// Fault rate while below threshold, per hour.
+    pub rate_per_hour: f64,
+}
+
+impl Default for SensorColdFault {
+    fn default() -> Self {
+        SensorColdFault {
+            threshold_c: -2.0,
+            rate_per_hour: 1.0 / 60.0, // ~1 fault per 60 h of deep-cold CPU time
+        }
+    }
+}
+
+/// Conversion from accumulated Coffin–Manson damage to hang probability:
+/// each reference-cycle (20 K) unit of fatigue adds this failure
+/// probability. Solder-joint N_f at ΔT = 20 K is of order 10⁵–10⁶ cycles,
+/// so the per-cycle probability must be ~10⁻⁶ — the workload's 10-minute
+/// CPU micro-cycles (≈50 damage units/day) then cost ≈0.5 % per host over
+/// a three-month campaign, while sustained deep thermal cycling still
+/// registers in long ablations.
+const FATIGUE_PROB_PER_UNIT: f64 = 2.0e-6;
+
+/// Per-host fault sampler.
+#[derive(Debug, Clone)]
+pub struct HostFaults {
+    /// Which host this sampler belongs to.
+    pub host: HostId,
+    rng: Rng,
+    transient: EnvHazard,
+    disk: EnvHazard,
+    psu: EnvHazard,
+    sensor_cold: SensorColdFault,
+    fatigue: CyclingFatigue,
+    fatigue_billed: f64,
+    /// Memory bit-flip rate per page operation.
+    pub mem_flip_rate_per_page_op: f64,
+}
+
+/// Summary of one poll step.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PollOutcome {
+    /// Faults other than memory flips, in occurrence order.
+    pub faults: Vec<FaultKind>,
+    /// Number of memory bit flips this step.
+    pub memory_flips: u32,
+}
+
+impl HostFaults {
+    /// Poll all stochastic fault processes over `dt_hours`.
+    ///
+    /// * `cpu_temp_c` — physical CPU temperature (drives Arrhenius, the
+    ///   sensor cold fault and fatigue observation);
+    /// * `ambient_rh_pct` — RH around the machine (drives Peck);
+    /// * `page_ops` — memory page operations performed this step.
+    pub fn poll(
+        &mut self,
+        dt_hours: f64,
+        cpu_temp_c: f64,
+        ambient_rh_pct: f64,
+        page_ops: u64,
+    ) -> PollOutcome {
+        let mut out = PollOutcome::default();
+
+        // Thermal-cycling fatigue.
+        self.fatigue.observe(cpu_temp_c);
+        let unbilled = self.fatigue.damage() - self.fatigue_billed;
+        let fatigue_p = unbilled * FATIGUE_PROB_PER_UNIT;
+        self.fatigue_billed = self.fatigue.damage();
+
+        // Transient system failure: environmental + fatigue.
+        let p_env = self
+            .transient
+            .failure_probability(cpu_temp_c, ambient_rh_pct, dt_hours);
+        if self.rng.chance(p_env + fatigue_p) {
+            out.faults.push(FaultKind::TransientSystemFailure);
+        }
+
+        // Sensor chip cold fault.
+        if cpu_temp_c < self.sensor_cold.threshold_c
+            && self
+                .rng
+                .chance(1.0 - (-self.sensor_cold.rate_per_hour * dt_hours).exp())
+        {
+            out.faults.push(FaultKind::SensorChipErratic);
+        }
+
+        // Disk media fault.
+        if self
+            .rng
+            .chance(self.disk.failure_probability(cpu_temp_c, ambient_rh_pct, dt_hours))
+        {
+            out.faults.push(FaultKind::DiskPendingSector);
+        }
+
+        // PSU failure.
+        if self
+            .rng
+            .chance(self.psu.failure_probability(cpu_temp_c, ambient_rh_pct, dt_hours))
+        {
+            out.faults.push(FaultKind::PsuFailure);
+        }
+
+        // Memory bit flips: Poisson in exposure.
+        if page_ops > 0 && self.mem_flip_rate_per_page_op > 0.0 {
+            let mean = page_ops as f64 * self.mem_flip_rate_per_page_op;
+            out.memory_flips = self.rng.poisson(mean) as u32;
+        }
+
+        out
+    }
+
+    /// Accumulated thermal-cycling damage (diagnostics).
+    pub fn fatigue_damage(&self) -> f64 {
+        self.fatigue.damage()
+    }
+}
+
+/// Factory for per-host samplers, all derived from one experiment seed.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    root: Rng,
+    /// Memory flip rate applied to non-ECC hosts (paper estimate:
+    /// ~1 / 570 M page ops).
+    pub mem_flip_rate_per_page_op: f64,
+}
+
+impl FaultInjector {
+    /// Create an injector; `seed_rng` is usually `Rng::new(seed)`.
+    pub fn new(seed_rng: &Rng) -> Self {
+        FaultInjector {
+            root: seed_rng.derive("faults"),
+            mem_flip_rate_per_page_op: frostlab_hardware::memory::PAPER_FLIPS_PER_PAGE_OP,
+        }
+    }
+
+    /// Build the sampler for one host.
+    pub fn host(&self, host: HostId, defective_series: bool) -> HostFaults {
+        let label = format!("host/{}", host.0);
+        HostFaults {
+            host,
+            rng: self.root.derive(&label),
+            transient: EnvHazard::transient_system_failure(defective_series),
+            disk: EnvHazard::disk_media_fault(),
+            psu: EnvHazard::psu_failure(),
+            sensor_cold: SensorColdFault::default(),
+            fatigue: CyclingFatigue::solder_joint(),
+            fatigue_billed: 0.0,
+            mem_flip_rate_per_page_op: self.mem_flip_rate_per_page_op,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn injector(seed: u64) -> FaultInjector {
+        FaultInjector::new(&Rng::new(seed))
+    }
+
+    #[test]
+    fn deterministic_per_host_streams() {
+        let inj = injector(5);
+        let mut a1 = inj.host(HostId(3), false);
+        let mut a2 = inj.host(HostId(3), false);
+        for _ in 0..200 {
+            assert_eq!(
+                a1.poll(1.0, 5.0, 70.0, 1_000_000),
+                a2.poll(1.0, 5.0, 70.0, 1_000_000)
+            );
+        }
+    }
+
+    #[test]
+    fn hosts_are_independent_streams() {
+        let inj = injector(6);
+        let mut h3 = inj.host(HostId(3), false);
+        let mut h7 = inj.host(HostId(7), false);
+        let mut diff = false;
+        for _ in 0..500 {
+            // Large memory exposure makes the Poisson draws informative.
+            let a = h3.poll(2.0, 30.0, 80.0, 2_000_000_000);
+            let b = h7.poll(2.0, 30.0, 80.0, 2_000_000_000);
+            if a != b {
+                diff = true;
+            }
+        }
+        assert!(diff, "independent hosts should not produce identical fault trains");
+    }
+
+    #[test]
+    fn memory_flip_rate_matches_paper_estimate() {
+        let inj = injector(7);
+        let mut h = inj.host(HostId(1), false);
+        // 10^10 page ops in chunks → expect ≈ 17.5 flips at 1/570e6.
+        let mut flips = 0u64;
+        for _ in 0..10_000 {
+            let o = h.poll(0.2, 21.0, 40.0, 1_000_000);
+            flips += u64::from(o.memory_flips);
+        }
+        // Total exposure 10^10 ops; mean 17.5, sd ~4.2.
+        assert!((4..=40).contains(&flips), "flips {flips}");
+    }
+
+    #[test]
+    fn deep_cold_exposure_triggers_sensor_faults() {
+        let inj = injector(8);
+        let mut h = inj.host(HostId(1), false);
+        let mut sensor_faults = 0;
+        // 600 hours of CPU below −4 °C: expect ~10 cold faults at 1/60 h.
+        for _ in 0..600 {
+            let o = h.poll(1.0, -4.5, 85.0, 0);
+            sensor_faults += o
+                .faults
+                .iter()
+                .filter(|f| **f == FaultKind::SensorChipErratic)
+                .count();
+        }
+        assert!(sensor_faults >= 2, "got {sensor_faults}");
+        // And none when warm.
+        let mut h2 = inj.host(HostId(2), false);
+        let mut warm_faults = 0;
+        for _ in 0..600 {
+            let o = h2.poll(1.0, 10.0, 85.0, 0);
+            warm_faults += o
+                .faults
+                .iter()
+                .filter(|f| **f == FaultKind::SensorChipErratic)
+                .count();
+        }
+        assert_eq!(warm_faults, 0);
+    }
+
+    #[test]
+    fn defective_series_hangs_more() {
+        // Count hangs across many host-campaigns for both series.
+        let inj = injector(9);
+        let count_hangs = |defective: bool, id_base: u32| {
+            let mut hangs = 0;
+            for i in 0..60 {
+                let mut h = inj.host(HostId(id_base + i), defective);
+                for _ in 0..(12 * 7 * 24 / 4) {
+                    // 12 weeks in 4-hour steps
+                    let o = h.poll(4.0, 2.0, 70.0, 0);
+                    hangs += o
+                        .faults
+                        .iter()
+                        .filter(|f| **f == FaultKind::TransientSystemFailure)
+                        .count();
+                }
+            }
+            hangs
+        };
+        let good = count_hangs(false, 1000);
+        let bad = count_hangs(true, 2000);
+        assert!(
+            bad > 3 * good.max(1),
+            "defective series should hang much more: {bad} vs {good}"
+        );
+    }
+
+    #[test]
+    fn fatigue_contributes_after_big_swings() {
+        let inj = injector(10);
+        let mut h = inj.host(HostId(1), false);
+        for i in 0..2_000 {
+            let t = if i % 2 == 0 { -10.0 } else { 40.0 };
+            h.poll(1.0, t, 50.0, 0);
+        }
+        assert!(h.fatigue_damage() > 100.0, "damage {}", h.fatigue_damage());
+    }
+
+    #[test]
+    fn zero_exposure_zero_flips() {
+        let inj = injector(11);
+        let mut h = inj.host(HostId(1), false);
+        for _ in 0..100 {
+            assert_eq!(h.poll(1.0, 21.0, 40.0, 0).memory_flips, 0);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! The operators' repair policy, as practiced in the paper.
+//!
+//! §4.2.1 documents the policy implicitly through host #15's saga:
+//!
+//! * a failure on Saturday 04:40 was **inspected and reset the following
+//!   Monday** — visits happen on the next working day, not immediately;
+//! * the first failure was "marked as transient" and the host resumed in
+//!   the tent;
+//! * after the **second** failure the host was reset in place, failed to
+//!   resume, was taken indoors, failed a Memtest86+ run, and was left to
+//!   run indoors — and a replacement machine (#19) took its slot.
+//!
+//! [`RepairPolicy`] encodes that escalation ladder, and [`HostRecord`]
+//! tracks one host's trip through it.
+
+use frostlab_simkern::time::{SimDuration, SimTime};
+
+use crate::types::HostId;
+
+/// Where a machine currently lives, from the repair workflow's viewpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// In its assigned slot, running the workload.
+    InService,
+    /// Failed, waiting for the next staff visit.
+    AwaitingInspection,
+    /// Taken indoors for diagnosis after repeat failures.
+    TakenIndoors,
+    /// Permanently replaced by a spare machine.
+    Replaced,
+}
+
+/// The escalation policy parameters.
+#[derive(Debug, Clone)]
+pub struct RepairPolicy {
+    /// How many in-place resets are tried before escalating (paper: 1 —
+    /// the second failure escalates).
+    pub max_inplace_resets: u32,
+    /// Probability that a reset in outside conditions succeeds on an
+    /// escalated (repeat-failure) host. Host #15 "could not resume normal
+    /// operations" — genuinely sick hardware often can't.
+    pub escalated_reset_success: f64,
+}
+
+impl Default for RepairPolicy {
+    fn default() -> Self {
+        RepairPolicy {
+            max_inplace_resets: 1,
+            escalated_reset_success: 0.25,
+        }
+    }
+}
+
+/// Action the staff takes at an inspection visit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairAction {
+    /// Reset in place; host resumes in its slot.
+    ResetInPlace,
+    /// Take the host indoors and run diagnostics (Memtest86+).
+    TakeIndoors,
+}
+
+/// One host's repair history.
+#[derive(Debug, Clone)]
+pub struct HostRecord {
+    /// Which host.
+    pub host: HostId,
+    disposition: Disposition,
+    failures: Vec<SimTime>,
+    resets: u32,
+}
+
+impl HostRecord {
+    /// Fresh record for an in-service host.
+    pub fn new(host: HostId) -> Self {
+        HostRecord {
+            host,
+            disposition: Disposition::InService,
+            failures: Vec::new(),
+            resets: 0,
+        }
+    }
+
+    /// Current disposition.
+    pub fn disposition(&self) -> Disposition {
+        self.disposition
+    }
+
+    /// All failure timestamps.
+    pub fn failures(&self) -> &[SimTime] {
+        &self.failures
+    }
+
+    /// Record a system failure at `at`. The host waits for inspection.
+    pub fn record_failure(&mut self, at: SimTime) {
+        self.failures.push(at);
+        if self.disposition == Disposition::InService {
+            self.disposition = Disposition::AwaitingInspection;
+        }
+    }
+
+    /// When will staff next visit after a failure at `at`? The paper's
+    /// cadence: next working day (Mon–Fri), mid-morning.
+    pub fn next_inspection(at: SimTime) -> SimTime {
+        let mut date = at.date();
+        loop {
+            date = date.succ();
+            // weekday_index: 0 = Mon … 6 = Sun.
+            if date.weekday_index() < 5 {
+                return date.to_sim_time() + SimDuration::hours(10);
+            }
+        }
+    }
+
+    /// Decide the action at the inspection visit, per policy.
+    pub fn inspect(&mut self, policy: &RepairPolicy) -> RepairAction {
+        assert_eq!(
+            self.disposition,
+            Disposition::AwaitingInspection,
+            "inspecting a host that did not fail"
+        );
+        if self.resets < policy.max_inplace_resets {
+            self.resets += 1;
+            self.disposition = Disposition::InService;
+            RepairAction::ResetInPlace
+        } else {
+            self.disposition = Disposition::TakenIndoors;
+            RepairAction::TakeIndoors
+        }
+    }
+
+    /// Mark the host as permanently replaced (a spare takes its slot).
+    pub fn replace(&mut self) {
+        self.disposition = Disposition::Replaced;
+    }
+
+    /// Number of in-place resets performed.
+    pub fn reset_count(&self) -> u32 {
+        self.resets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frostlab_simkern::time::SimTime;
+
+    #[test]
+    fn host15_saga() {
+        // First failure: Sunday Mar 7 04:40 (the paper says Saturday; the
+        // 2010 calendar says Sunday — see EXPERIMENTS.md).
+        let policy = RepairPolicy::default();
+        let mut rec = HostRecord::new(HostId(15));
+
+        let f1 = SimTime::from_ymd_hms(2010, 3, 7, 4, 40, 0);
+        rec.record_failure(f1);
+        assert_eq!(rec.disposition(), Disposition::AwaitingInspection);
+
+        // Inspection lands on Monday Mar 8.
+        let visit = HostRecord::next_inspection(f1);
+        assert_eq!(visit.date(), frostlab_simkern::time::Date::new(2010, 3, 8).unwrap());
+        assert_eq!(visit.date().weekday(), "Mon");
+
+        // First visit: reset in place, marked transient.
+        assert_eq!(rec.inspect(&policy), RepairAction::ResetInPlace);
+        assert_eq!(rec.disposition(), Disposition::InService);
+
+        // Second failure: Wednesday Mar 17 12:20.
+        let f2 = SimTime::from_ymd_hms(2010, 3, 17, 12, 20, 0);
+        rec.record_failure(f2);
+        assert_eq!(rec.inspect(&policy), RepairAction::TakeIndoors);
+        assert_eq!(rec.disposition(), Disposition::TakenIndoors);
+
+        rec.replace();
+        assert_eq!(rec.disposition(), Disposition::Replaced);
+        assert_eq!(rec.failures().len(), 2);
+        assert_eq!(rec.reset_count(), 1);
+    }
+
+    #[test]
+    fn weekday_failure_inspected_next_day() {
+        // Fail on a Tuesday → inspected Wednesday.
+        let f = SimTime::from_ymd_hms(2010, 3, 2, 23, 0, 0);
+        let visit = HostRecord::next_inspection(f);
+        assert_eq!(visit.date().weekday(), "Wed");
+    }
+
+    #[test]
+    fn friday_failure_waits_for_monday() {
+        let f = SimTime::from_ymd_hms(2010, 3, 5, 15, 0, 0); // Friday
+        let visit = HostRecord::next_inspection(f);
+        assert_eq!(visit.date().weekday(), "Mon");
+        assert!(visit - f > SimDuration::days(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "did not fail")]
+    fn inspecting_healthy_host_is_a_bug() {
+        let mut rec = HostRecord::new(HostId(1));
+        rec.inspect(&RepairPolicy::default());
+    }
+
+    #[test]
+    fn custom_policy_allows_more_resets() {
+        let policy = RepairPolicy {
+            max_inplace_resets: 3,
+            ..Default::default()
+        };
+        let mut rec = HostRecord::new(HostId(2));
+        for i in 0..3 {
+            rec.record_failure(SimTime::from_secs(i * 86_400));
+            assert_eq!(rec.inspect(&policy), RepairAction::ResetInPlace);
+        }
+        rec.record_failure(SimTime::from_secs(10 * 86_400));
+        assert_eq!(rec.inspect(&policy), RepairAction::TakeIndoors);
+    }
+}

@@ -1,0 +1,245 @@
+//! Hard drives with S.M.A.R.T. state and block storage.
+//!
+//! The experiment monitored "hard drive S.M.A.R.T. readings" from the first
+//! prototype onwards, and after the wrong-hash incidents the drives "passed
+//! their S.M.A.R.T. long test runs" — evidence pointing the blame at memory
+//! rather than storage. [`Disk`] models the attributes the study actually
+//! consulted (temperature, power-on hours, reallocated/pending sectors, long
+//! self-test) on top of a simple block device used by the RAID layer.
+
+use crate::component::ComponentHealth;
+
+/// Logical block size, bytes.
+pub const BLOCK_SIZE: usize = 4096;
+
+/// Result of a S.M.A.R.T. long self-test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelfTestResult {
+    /// Completed without error.
+    Passed,
+    /// Read errors encountered (pending sectors present or disk failed).
+    Failed,
+}
+
+/// The S.M.A.R.T. attributes the study tracked.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmartData {
+    /// Attribute 194: current temperature, °C.
+    pub temperature_c: f64,
+    /// Attribute 9: power-on hours.
+    pub power_on_hours: f64,
+    /// Attribute 5: reallocated sector count.
+    pub reallocated_sectors: u32,
+    /// Attribute 197: current pending sectors.
+    pub pending_sectors: u32,
+    /// Lifetime minimum temperature seen, °C (vendor-specific attribute).
+    pub min_temperature_c: f64,
+    /// Lifetime maximum temperature seen, °C.
+    pub max_temperature_c: f64,
+}
+
+/// Errors from block I/O.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskError {
+    /// Block index out of range.
+    OutOfRange,
+    /// The disk has failed outright.
+    DiskFailed,
+    /// Unreadable sector (pending sector hit).
+    ReadError,
+}
+
+impl std::fmt::Display for DiskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiskError::OutOfRange => write!(f, "block index out of range"),
+            DiskError::DiskFailed => write!(f, "disk failed"),
+            DiskError::ReadError => write!(f, "unreadable sector"),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+/// A hard drive: block storage plus S.M.A.R.T. bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Disk {
+    blocks: Vec<[u8; BLOCK_SIZE]>,
+    /// Blocks currently unreadable (pending sectors).
+    bad_blocks: Vec<bool>,
+    health: ComponentHealth,
+    smart: SmartData,
+}
+
+impl Disk {
+    /// Create a zero-filled disk with `num_blocks` blocks.
+    pub fn new(num_blocks: usize) -> Self {
+        Disk {
+            blocks: vec![[0u8; BLOCK_SIZE]; num_blocks],
+            bad_blocks: vec![false; num_blocks],
+            health: ComponentHealth::Healthy,
+            smart: SmartData {
+                temperature_c: 20.0,
+                power_on_hours: 0.0,
+                reallocated_sectors: 0,
+                pending_sectors: 0,
+                min_temperature_c: 20.0,
+                max_temperature_c: 20.0,
+            },
+        }
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Current health.
+    pub fn health(&self) -> ComponentHealth {
+        self.health
+    }
+
+    /// Current S.M.A.R.T. snapshot.
+    pub fn smart(&self) -> SmartData {
+        self.smart
+    }
+
+    /// Advance operating time and record the current drive temperature.
+    pub fn tick(&mut self, dt_hours: f64, temperature_c: f64) {
+        self.smart.power_on_hours += dt_hours;
+        self.smart.temperature_c = temperature_c;
+        self.smart.min_temperature_c = self.smart.min_temperature_c.min(temperature_c);
+        self.smart.max_temperature_c = self.smart.max_temperature_c.max(temperature_c);
+    }
+
+    /// Read a block.
+    pub fn read_block(&self, index: usize) -> Result<&[u8; BLOCK_SIZE], DiskError> {
+        if self.health == ComponentHealth::Failed {
+            return Err(DiskError::DiskFailed);
+        }
+        if index >= self.blocks.len() {
+            return Err(DiskError::OutOfRange);
+        }
+        if self.bad_blocks[index] {
+            return Err(DiskError::ReadError);
+        }
+        Ok(&self.blocks[index])
+    }
+
+    /// Write a block. Writing to a pending sector reallocates it (the drive
+    /// remaps the sector; attribute 5 increments, 197 decrements) — real
+    /// drive behaviour.
+    pub fn write_block(&mut self, index: usize, data: &[u8; BLOCK_SIZE]) -> Result<(), DiskError> {
+        if self.health == ComponentHealth::Failed {
+            return Err(DiskError::DiskFailed);
+        }
+        if index >= self.blocks.len() {
+            return Err(DiskError::OutOfRange);
+        }
+        if self.bad_blocks[index] {
+            self.bad_blocks[index] = false;
+            self.smart.pending_sectors = self.smart.pending_sectors.saturating_sub(1);
+            self.smart.reallocated_sectors += 1;
+            if self.health == ComponentHealth::Healthy {
+                self.health = ComponentHealth::Degraded;
+            }
+        }
+        self.blocks[index] = *data;
+        Ok(())
+    }
+
+    /// Mark a block unreadable (media fault injection).
+    pub fn inject_pending_sector(&mut self, index: usize) {
+        if index < self.bad_blocks.len() && !self.bad_blocks[index] {
+            self.bad_blocks[index] = true;
+            self.smart.pending_sectors += 1;
+        }
+    }
+
+    /// Fail the whole drive.
+    pub fn fail(&mut self) {
+        self.health = ComponentHealth::Failed;
+    }
+
+    /// Run a S.M.A.R.T. long self-test: scans every sector.
+    pub fn long_self_test(&self) -> SelfTestResult {
+        if self.health == ComponentHealth::Failed || self.bad_blocks.iter().any(|&b| b) {
+            SelfTestResult::Failed
+        } else {
+            SelfTestResult::Passed
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block_of(byte: u8) -> [u8; BLOCK_SIZE] {
+        [byte; BLOCK_SIZE]
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut d = Disk::new(8);
+        d.write_block(3, &block_of(0xAB)).unwrap();
+        assert_eq!(d.read_block(3).unwrap()[0], 0xAB);
+        assert_eq!(d.read_block(0).unwrap()[0], 0);
+    }
+
+    #[test]
+    fn out_of_range() {
+        let mut d = Disk::new(4);
+        assert_eq!(d.read_block(4).unwrap_err(), DiskError::OutOfRange);
+        assert_eq!(d.write_block(9, &block_of(1)).unwrap_err(), DiskError::OutOfRange);
+    }
+
+    #[test]
+    fn pending_sector_lifecycle() {
+        let mut d = Disk::new(4);
+        d.inject_pending_sector(2);
+        assert_eq!(d.smart().pending_sectors, 1);
+        assert_eq!(d.read_block(2).unwrap_err(), DiskError::ReadError);
+        assert_eq!(d.long_self_test(), SelfTestResult::Failed);
+        // A write remaps the sector.
+        d.write_block(2, &block_of(7)).unwrap();
+        assert_eq!(d.smart().pending_sectors, 0);
+        assert_eq!(d.smart().reallocated_sectors, 1);
+        assert_eq!(d.health(), ComponentHealth::Degraded);
+        assert_eq!(d.read_block(2).unwrap()[0], 7);
+        assert_eq!(d.long_self_test(), SelfTestResult::Passed);
+    }
+
+    #[test]
+    fn failed_disk_rejects_io() {
+        let mut d = Disk::new(4);
+        d.fail();
+        assert_eq!(d.read_block(0).unwrap_err(), DiskError::DiskFailed);
+        assert_eq!(d.write_block(0, &block_of(1)).unwrap_err(), DiskError::DiskFailed);
+        assert_eq!(d.long_self_test(), SelfTestResult::Failed);
+    }
+
+    #[test]
+    fn smart_temperature_extremes() {
+        let mut d = Disk::new(1);
+        d.tick(1.0, -15.0);
+        d.tick(1.0, 35.0);
+        d.tick(1.0, 10.0);
+        let s = d.smart();
+        assert_eq!(s.min_temperature_c, -15.0);
+        assert_eq!(s.max_temperature_c, 35.0);
+        assert_eq!(s.temperature_c, 10.0);
+        assert!((s.power_on_hours - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn healthy_disk_passes_long_test() {
+        // The paper: drives passed their long tests even after months outside.
+        let mut d = Disk::new(16);
+        for i in 0..16 {
+            d.write_block(i, &block_of(i as u8)).unwrap();
+        }
+        d.tick(2000.0, -5.0);
+        assert_eq!(d.long_self_test(), SelfTestResult::Passed);
+    }
+}

@@ -1,0 +1,114 @@
+//! Case/CPU fans.
+//!
+//! Fans are moving parts with bearings — the other tribal-knowledge cold
+//! victim (grease stiffens in deep cold). The model: a thermostatic RPM
+//! curve, a bearing-wear state that manifests as RPM droop, and a stall
+//! state. Stall detection (RPM = 0 while demanded > 0) is what a
+//! motherboard's fan alarm would report to `lm-sensors`.
+
+use crate::component::ComponentHealth;
+
+/// A thermostatically controlled fan.
+#[derive(Debug, Clone)]
+pub struct Fan {
+    /// RPM at the bottom of the control band.
+    pub min_rpm: f64,
+    /// RPM at (and above) the top of the control band.
+    pub max_rpm: f64,
+    /// Control band: temperature where ramping starts, °C.
+    pub ramp_start_c: f64,
+    /// Control band: temperature of full speed, °C.
+    pub ramp_full_c: f64,
+    /// Bearing wear factor, 1.0 = new; droops RPM as it falls.
+    wear: f64,
+    health: ComponentHealth,
+}
+
+impl Fan {
+    /// A typical 92 mm case fan: 900–2800 RPM across 25–60 °C.
+    pub fn typical_case_fan() -> Self {
+        Fan {
+            min_rpm: 900.0,
+            max_rpm: 2800.0,
+            ramp_start_c: 25.0,
+            ramp_full_c: 60.0,
+            wear: 1.0,
+            health: ComponentHealth::Healthy,
+        }
+    }
+
+    /// RPM produced for a measured component temperature.
+    pub fn rpm(&self, temp_c: f64) -> f64 {
+        if self.health == ComponentHealth::Failed {
+            return 0.0;
+        }
+        let span = self.ramp_full_c - self.ramp_start_c;
+        let frac = ((temp_c - self.ramp_start_c) / span).clamp(0.0, 1.0);
+        (self.min_rpm + frac * (self.max_rpm - self.min_rpm)) * self.wear
+    }
+
+    /// Apply bearing wear (fault layer; fraction of remaining margin).
+    pub fn apply_wear(&mut self, amount: f64) {
+        self.wear = (self.wear - amount).max(0.0);
+        if self.wear < 0.5 {
+            self.health = ComponentHealth::Degraded;
+        }
+        if self.wear == 0.0 {
+            self.health = ComponentHealth::Failed;
+        }
+    }
+
+    /// Stall the fan outright.
+    pub fn stall(&mut self) {
+        self.health = ComponentHealth::Failed;
+    }
+
+    /// Current health.
+    pub fn health(&self) -> ComponentHealth {
+        self.health
+    }
+
+    /// True if the motherboard would raise a fan alarm at this temperature.
+    pub fn alarm(&self, temp_c: f64) -> bool {
+        self.rpm(temp_c) < self.min_rpm * 0.5 && temp_c > self.ramp_start_c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rpm_curve_shape() {
+        let fan = Fan::typical_case_fan();
+        assert_eq!(fan.rpm(0.0), 900.0);
+        assert_eq!(fan.rpm(25.0), 900.0);
+        assert_eq!(fan.rpm(60.0), 2800.0);
+        assert_eq!(fan.rpm(90.0), 2800.0);
+        let mid = fan.rpm(42.5);
+        assert!((mid - 1850.0).abs() < 1.0, "{mid}");
+    }
+
+    #[test]
+    fn wear_droops_rpm_then_fails() {
+        let mut fan = Fan::typical_case_fan();
+        fan.apply_wear(0.3);
+        assert!((fan.rpm(60.0) - 0.7 * 2800.0).abs() < 1.0);
+        assert_eq!(fan.health(), ComponentHealth::Healthy);
+        fan.apply_wear(0.3);
+        assert_eq!(fan.health(), ComponentHealth::Degraded);
+        fan.apply_wear(1.0);
+        assert_eq!(fan.health(), ComponentHealth::Failed);
+        assert_eq!(fan.rpm(60.0), 0.0);
+    }
+
+    #[test]
+    fn stall_raises_alarm_when_hot() {
+        let mut fan = Fan::typical_case_fan();
+        assert!(!fan.alarm(50.0));
+        fan.stall();
+        assert!(fan.alarm(50.0));
+        // No alarm when it's cold: nothing demands airflow.
+        assert!(!fan.alarm(10.0));
+    }
+}

@@ -1,0 +1,92 @@
+//! Power supply units.
+//!
+//! PSUs are the component that industry tribal knowledge most often blames
+//! for cold/humidity deaths (§3, third research question). The model tracks
+//! conversion efficiency (wall draw = DC load / η) so the Technoline meter
+//! in the telemetry layer sees realistic wall power, and exposes a failure
+//! state for the fault layer.
+
+use crate::component::ComponentHealth;
+
+/// A switching power supply.
+#[derive(Debug, Clone)]
+pub struct Psu {
+    /// Rated output, W.
+    pub rated_w: f64,
+    /// Conversion efficiency at typical load (0–1).
+    pub efficiency: f64,
+    health: ComponentHealth,
+}
+
+impl Psu {
+    /// Create a PSU with the given rating and efficiency.
+    ///
+    /// # Panics
+    /// Panics unless `0 < efficiency <= 1`.
+    pub fn new(rated_w: f64, efficiency: f64) -> Self {
+        assert!(efficiency > 0.0 && efficiency <= 1.0, "efficiency in (0,1]");
+        Psu {
+            rated_w,
+            efficiency,
+            health: ComponentHealth::Healthy,
+        }
+    }
+
+    /// Wall (AC) power drawn to deliver `dc_load_w` to the board.
+    /// A failed PSU delivers nothing and draws nothing.
+    pub fn wall_power_w(&self, dc_load_w: f64) -> f64 {
+        if self.health == ComponentHealth::Failed {
+            0.0
+        } else {
+            dc_load_w.min(self.rated_w) / self.efficiency
+        }
+    }
+
+    /// Current health.
+    pub fn health(&self) -> ComponentHealth {
+        self.health
+    }
+
+    /// Fail the unit.
+    pub fn fail(&mut self) {
+        self.health = ComponentHealth::Failed;
+    }
+
+    /// Repair/replace the unit.
+    pub fn replace(&mut self) {
+        self.health = ComponentHealth::Healthy;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_power_includes_losses() {
+        let psu = Psu::new(300.0, 0.8);
+        assert!((psu.wall_power_w(80.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn output_capped_at_rating() {
+        let psu = Psu::new(200.0, 0.8);
+        assert!((psu.wall_power_w(500.0) - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failed_psu_draws_nothing() {
+        let mut psu = Psu::new(300.0, 0.85);
+        psu.fail();
+        assert_eq!(psu.wall_power_w(100.0), 0.0);
+        assert!(!psu.health().is_operational());
+        psu.replace();
+        assert!(psu.health().is_operational());
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn bad_efficiency_rejected() {
+        Psu::new(300.0, 0.0);
+    }
+}

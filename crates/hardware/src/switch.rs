@@ -1,0 +1,127 @@
+//! The 8-port network switches (§4.2.1, last paragraph).
+//!
+//! The authors shared connectivity through two 8-port switches "known to
+//! contain cosmetic errors, i.e., an annoying whining sound during normal
+//! operation". Both failed after about a week in the tent — but so did the
+//! spare that never left the building, so the defect was inherent to those
+//! individual units, not caused by the conditions. [`SwitchUnit`] models
+//! that: a latent defect with an operating-hours-based failure, independent
+//! of environment.
+
+use crate::component::ComponentHealth;
+
+/// One 8-port Ethernet switch.
+#[derive(Debug, Clone)]
+pub struct SwitchUnit {
+    /// Identifier for reports.
+    pub label: &'static str,
+    /// The audible whine: present on the defective series.
+    pub whines: bool,
+    /// Latent defect: fails after roughly this many powered hours,
+    /// regardless of where it operates. `None` = sound unit.
+    defect_lifetime_h: Option<f64>,
+    powered_hours: f64,
+    health: ComponentHealth,
+}
+
+impl SwitchUnit {
+    /// A unit from the whiny, defective batch.
+    pub fn defective(label: &'static str, lifetime_h: f64) -> Self {
+        SwitchUnit {
+            label,
+            whines: true,
+            defect_lifetime_h: Some(lifetime_h),
+            powered_hours: 0.0,
+            health: ComponentHealth::Degraded, // the whine is an anomaly
+        }
+    }
+
+    /// A sound unit.
+    pub fn sound(label: &'static str) -> Self {
+        SwitchUnit {
+            label,
+            whines: false,
+            defect_lifetime_h: None,
+            powered_hours: 0.0,
+            health: ComponentHealth::Healthy,
+        }
+    }
+
+    /// Accumulate powered-on time; the latent defect matures with hours,
+    /// not with temperature.
+    pub fn tick(&mut self, dt_hours: f64) {
+        if self.health == ComponentHealth::Failed {
+            return;
+        }
+        self.powered_hours += dt_hours;
+        if let Some(limit) = self.defect_lifetime_h {
+            if self.powered_hours >= limit {
+                self.health = ComponentHealth::Failed;
+            }
+        }
+    }
+
+    /// Is the unit forwarding frames?
+    pub fn is_forwarding(&self) -> bool {
+        self.health.is_operational()
+    }
+
+    /// Current health.
+    pub fn health(&self) -> ComponentHealth {
+        self.health
+    }
+
+    /// Powered-on hours so far.
+    pub fn powered_hours(&self) -> f64 {
+        self.powered_hours
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defective_unit_fails_by_hours_not_location() {
+        // Two identical defective units, one "in the tent", one "indoors":
+        // both fail at the same powered-hours point.
+        let mut tent_unit = SwitchUnit::defective("sw-1", 170.0);
+        let mut indoor_unit = SwitchUnit::defective("sw-3 (spare)", 170.0);
+        for _ in 0..169 {
+            tent_unit.tick(1.0);
+            indoor_unit.tick(1.0);
+        }
+        assert!(tent_unit.is_forwarding());
+        assert!(indoor_unit.is_forwarding());
+        tent_unit.tick(1.0);
+        indoor_unit.tick(1.0);
+        assert!(!tent_unit.is_forwarding());
+        assert!(!indoor_unit.is_forwarding());
+    }
+
+    #[test]
+    fn sound_unit_never_fails_from_hours() {
+        let mut sw = SwitchUnit::sound("good");
+        sw.tick(100_000.0);
+        assert!(sw.is_forwarding());
+        assert_eq!(sw.health(), ComponentHealth::Healthy);
+    }
+
+    #[test]
+    fn whine_is_degraded_but_operational() {
+        let sw = SwitchUnit::defective("whiny", 1000.0);
+        assert!(sw.whines);
+        assert_eq!(sw.health(), ComponentHealth::Degraded);
+        assert!(sw.is_forwarding());
+    }
+
+    #[test]
+    fn failed_unit_stops_accumulating() {
+        let mut sw = SwitchUnit::defective("sw", 10.0);
+        sw.tick(20.0);
+        assert!(!sw.is_forwarding());
+        let h = sw.powered_hours();
+        sw.tick(5.0);
+        assert_eq!(sw.powered_hours(), h);
+    }
+}

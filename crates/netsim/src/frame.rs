@@ -1,0 +1,96 @@
+//! Ethernet-style frames.
+
+use bytes::Bytes;
+
+/// A 48-bit MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address ff:ff:ff:ff:ff:ff.
+    pub const BROADCAST: MacAddr = MacAddr([0xFF; 6]);
+
+    /// Locally administered address derived from a small integer id —
+    /// convenient for fleet numbering (host #15 → `02:fb:00:00:00:0f`).
+    pub fn from_id(id: u32) -> MacAddr {
+        let b = id.to_be_bytes();
+        MacAddr([0x02, 0xFB, b[0], b[1], b[2], b[3]])
+    }
+
+    /// True for the broadcast address.
+    pub fn is_broadcast(self) -> bool {
+        self == Self::BROADCAST
+    }
+}
+
+impl std::fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+/// EtherType used by the frostlab transport.
+pub const ETHERTYPE_FROST: u16 = 0xF057;
+
+/// An Ethernet-ish frame. Payload is reference-counted (`Bytes`), so
+/// flooding a frame out of several switch ports does not copy it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Source MAC.
+    pub src: MacAddr,
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// EtherType.
+    pub ethertype: u16,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+impl Frame {
+    /// Build a transport frame.
+    pub fn new(src: MacAddr, dst: MacAddr, payload: Bytes) -> Frame {
+        Frame {
+            src,
+            dst,
+            ethertype: ETHERTYPE_FROST,
+            payload,
+        }
+    }
+
+    /// Total on-wire size (header 14 + payload + FCS 4), bytes.
+    pub fn wire_len(&self) -> usize {
+        14 + self.payload.len() + 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_from_id_unique_and_local() {
+        let a = MacAddr::from_id(1);
+        let b = MacAddr::from_id(2);
+        assert_ne!(a, b);
+        assert_eq!(a.0[0] & 0x02, 0x02, "locally administered bit set");
+        assert!(!a.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_broadcast());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(MacAddr::from_id(15).to_string(), "02:fb:00:00:00:0f");
+        assert_eq!(MacAddr::BROADCAST.to_string(), "ff:ff:ff:ff:ff:ff");
+    }
+
+    #[test]
+    fn wire_len() {
+        let f = Frame::new(MacAddr::from_id(1), MacAddr::from_id(2), Bytes::from_static(b"hello"));
+        assert_eq!(f.wire_len(), 14 + 5 + 4);
+    }
+}

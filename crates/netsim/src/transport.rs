@@ -1,0 +1,411 @@
+//! A miniature reliable, in-order message transport.
+//!
+//! Just enough TCP to carry the collector's rsync traffic across a lossy
+//! switch fabric: message-oriented segments with 64-bit sequence numbers, a
+//! fixed sliding window, cumulative ACKs, and timer-driven retransmission.
+//! The state machine is polled (`poll`/`on_frame`), never callback-driven,
+//! so it composes with the deterministic event loop.
+//!
+//! Wire format of a segment (payload of one [`Frame`]):
+//!
+//! ```text
+//! kind(1) seq(8) ack(8) len(4) data(len)      all big-endian
+//! kind: 0 = DATA, 1 = ACK
+//! ```
+
+use std::collections::{BTreeMap, VecDeque};
+
+use bytes::{BufMut, Bytes, BytesMut};
+use frostlab_simkern::time::{SimDuration, SimTime};
+
+use crate::frame::{Frame, MacAddr};
+
+const KIND_DATA: u8 = 0;
+const KIND_ACK: u8 = 1;
+
+/// Maximum unacknowledged messages in flight.
+pub const WINDOW: usize = 8;
+
+/// Default retransmission timeout.
+pub const DEFAULT_RTO: SimDuration = SimDuration::secs(10);
+
+/// One endpoint of a point-to-point reliable channel.
+#[derive(Debug)]
+pub struct Endpoint {
+    local: MacAddr,
+    remote: MacAddr,
+    /// Next sequence number to assign to an outgoing message.
+    next_seq: u64,
+    /// Messages accepted from the application but not yet sent.
+    send_queue: VecDeque<(u64, Bytes)>,
+    /// In-flight messages: seq → (payload, last transmission time).
+    in_flight: BTreeMap<u64, (Bytes, SimTime)>,
+    /// Lowest sequence number not yet acknowledged by the peer.
+    send_base: u64,
+    /// Next sequence expected from the peer.
+    recv_next: u64,
+    /// Out-of-order messages held for reassembly.
+    recv_buf: BTreeMap<u64, Bytes>,
+    /// In-order messages ready for the application.
+    delivered: VecDeque<Bytes>,
+    /// ACK owed to the peer.
+    ack_pending: bool,
+    /// Retransmission timeout.
+    pub rto: SimDuration,
+    /// Total retransmissions (diagnostics).
+    pub retransmissions: u64,
+}
+
+impl Endpoint {
+    /// New endpoint speaking to `remote`.
+    pub fn new(local: MacAddr, remote: MacAddr) -> Self {
+        Endpoint {
+            local,
+            remote,
+            next_seq: 0,
+            send_queue: VecDeque::new(),
+            in_flight: BTreeMap::new(),
+            send_base: 0,
+            recv_next: 0,
+            recv_buf: BTreeMap::new(),
+            delivered: VecDeque::new(),
+            ack_pending: false,
+            rto: DEFAULT_RTO,
+            retransmissions: 0,
+        }
+    }
+
+    /// Local address.
+    pub fn local(&self) -> MacAddr {
+        self.local
+    }
+
+    /// Queue an application message for reliable delivery.
+    pub fn send(&mut self, payload: Bytes) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.send_queue.push_back((seq, payload));
+    }
+
+    /// Bytes the application has queued or in flight (back-pressure signal).
+    pub fn outstanding(&self) -> usize {
+        self.send_queue.len() + self.in_flight.len()
+    }
+
+    /// True when everything sent has been acknowledged.
+    pub fn idle(&self) -> bool {
+        self.outstanding() == 0
+    }
+
+    fn encode(&self, kind: u8, seq: u64, ack: u64, data: &Bytes) -> Frame {
+        let mut b = BytesMut::with_capacity(21 + data.len());
+        b.put_u8(kind);
+        b.put_u64(seq);
+        b.put_u64(ack);
+        b.put_u32(data.len() as u32);
+        b.extend_from_slice(data);
+        Frame::new(self.local, self.remote, b.freeze())
+    }
+
+    /// Produce the frames to transmit at time `now`: window fills,
+    /// retransmissions whose timer expired, and any owed ACK.
+    pub fn poll(&mut self, now: SimTime) -> Vec<Frame> {
+        let mut out = Vec::new();
+        // Fill the window.
+        while self.in_flight.len() < WINDOW {
+            match self.send_queue.pop_front() {
+                Some((seq, data)) => {
+                    out.push(self.encode(KIND_DATA, seq, self.recv_next, &data));
+                    self.in_flight.insert(seq, (data, now));
+                }
+                None => break,
+            }
+        }
+        // Retransmit expired segments.
+        let expired: Vec<u64> = self
+            .in_flight
+            .iter()
+            .filter(|(_, (_, sent))| now - *sent >= self.rto)
+            .map(|(&seq, _)| seq)
+            .collect();
+        for seq in expired {
+            let (data, sent) = self
+                .in_flight
+                .get_mut(&seq)
+                .expect("seq collected from the same map");
+            *sent = now;
+            let data = data.clone();
+            self.retransmissions += 1;
+            out.push(self.encode(KIND_DATA, seq, self.recv_next, &data));
+        }
+        // Piggyback-less ACK if owed and nothing else carried it.
+        if self.ack_pending {
+            out.push(self.encode(KIND_ACK, 0, self.recv_next, &Bytes::new()));
+            self.ack_pending = false;
+        }
+        out
+    }
+
+    /// Ingest a frame addressed to this endpoint.
+    pub fn on_frame(&mut self, frame: &Frame) {
+        if frame.src != self.remote || frame.dst != self.local {
+            return;
+        }
+        let p = &frame.payload;
+        if p.len() < 21 {
+            return; // malformed
+        }
+        let kind = p[0];
+        let seq = u64::from_be_bytes(p[1..9].try_into().expect("length checked"));
+        let ack = u64::from_be_bytes(p[9..17].try_into().expect("length checked"));
+        let len = u32::from_be_bytes(p[17..21].try_into().expect("length checked")) as usize;
+        if p.len() < 21 + len {
+            return; // malformed
+        }
+
+        // Cumulative ACK processing (both DATA and ACK carry it).
+        if ack > self.send_base {
+            self.send_base = ack;
+            self.in_flight.retain(|&s, _| s >= ack);
+        }
+
+        if kind == KIND_DATA {
+            let data = frame.payload.slice(21..21 + len);
+            if seq >= self.recv_next {
+                self.recv_buf.entry(seq).or_insert(data);
+                // Deliver any now-contiguous prefix.
+                while let Some(d) = self.recv_buf.remove(&self.recv_next) {
+                    self.delivered.push_back(d);
+                    self.recv_next += 1;
+                }
+            }
+            // Duplicate or new: either way the peer needs our current ack.
+            self.ack_pending = true;
+        }
+    }
+
+    /// Take everything delivered in order so far.
+    pub fn take_delivered(&mut self) -> Vec<Bytes> {
+        self.delivered.drain(..).collect()
+    }
+}
+
+/// Drive a pair of endpoints over a [`crate::net::Network`] until both are
+/// idle or `deadline` passes. Returns the simulated completion time.
+///
+/// This is the integration harness the collector uses: it interleaves
+/// `poll`, frame transmission, network advancement and inbox drains on a
+/// fixed tick.
+pub fn drive_until_idle(
+    net: &mut crate::net::Network,
+    a: &mut Endpoint,
+    b: &mut Endpoint,
+    start: SimTime,
+    tick: SimDuration,
+    deadline: SimTime,
+) -> SimTime {
+    let mut now = start;
+    loop {
+        for f in a.poll(now) {
+            net.send(f, now);
+        }
+        for f in b.poll(now) {
+            net.send(f, now);
+        }
+        now += tick;
+        net.advance_to(now);
+        for f in net.take_inbox(a.local()) {
+            a.on_frame(&f);
+        }
+        for f in net.take_inbox(b.local()) {
+            b.on_frame(&f);
+        }
+        if (a.idle() && b.idle()) || now >= deadline {
+            // One extra exchange so final ACKs land.
+            for f in a.poll(now) {
+                net.send(f, now);
+            }
+            for f in b.poll(now) {
+                net.send(f, now);
+            }
+            net.advance_to(now + tick);
+            for f in net.take_inbox(a.local()) {
+                a.on_frame(&f);
+            }
+            for f in net.take_inbox(b.local()) {
+                b.on_frame(&f);
+            }
+            return now;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::Network;
+    use frostlab_simkern::rng::Rng;
+
+    fn pair() -> (Network, Endpoint, Endpoint) {
+        let mut net = Network::new(&Rng::new(7));
+        let sw = net.add_switch();
+        let (ma, mb) = (MacAddr::from_id(1), MacAddr::from_id(2));
+        net.add_host(ma);
+        net.add_host(mb);
+        net.attach_host(ma, sw, 0);
+        net.attach_host(mb, sw, 1);
+        (net, Endpoint::new(ma, mb), Endpoint::new(mb, ma))
+    }
+
+    fn msgs(n: usize) -> Vec<Bytes> {
+        (0..n)
+            .map(|i| Bytes::from(format!("message-{i:04}-{}", "x".repeat(i % 50))))
+            .collect()
+    }
+
+    #[test]
+    fn in_order_delivery_clean_network() {
+        let (mut net, mut a, mut b) = pair();
+        let sent = msgs(50);
+        for m in &sent {
+            a.send(m.clone());
+        }
+        drive_until_idle(
+            &mut net,
+            &mut a,
+            &mut b,
+            SimTime::ZERO,
+            SimDuration::secs(2),
+            SimTime::from_secs(3600),
+        );
+        assert_eq!(b.take_delivered(), sent);
+        assert_eq!(a.retransmissions, 0);
+    }
+
+    #[test]
+    fn reliable_under_heavy_loss() {
+        let (mut net, mut a, mut b) = pair();
+        net.loss_prob = 0.3;
+        let sent = msgs(40);
+        for m in &sent {
+            a.send(m.clone());
+        }
+        drive_until_idle(
+            &mut net,
+            &mut a,
+            &mut b,
+            SimTime::ZERO,
+            SimDuration::secs(2),
+            SimTime::from_secs(24 * 3600),
+        );
+        assert_eq!(b.take_delivered(), sent, "all messages, in order, despite loss");
+        assert!(a.retransmissions > 0, "loss must have forced retransmissions");
+    }
+
+    #[test]
+    fn bidirectional_traffic() {
+        let (mut net, mut a, mut b) = pair();
+        let to_b = msgs(20);
+        let to_a: Vec<Bytes> = (0..20).map(|i| Bytes::from(format!("resp-{i}"))).collect();
+        for m in &to_b {
+            a.send(m.clone());
+        }
+        for m in &to_a {
+            b.send(m.clone());
+        }
+        drive_until_idle(
+            &mut net,
+            &mut a,
+            &mut b,
+            SimTime::ZERO,
+            SimDuration::secs(2),
+            SimTime::from_secs(3600),
+        );
+        assert_eq!(b.take_delivered(), to_b);
+        assert_eq!(a.take_delivered(), to_a);
+    }
+
+    #[test]
+    fn window_limits_in_flight() {
+        let (_net, mut a, _b) = pair();
+        for m in msgs(30) {
+            a.send(m);
+        }
+        let frames = a.poll(SimTime::ZERO);
+        let data_frames = frames.iter().filter(|f| f.payload[0] == KIND_DATA).count();
+        assert_eq!(data_frames, WINDOW);
+    }
+
+    #[test]
+    fn duplicates_are_suppressed() {
+        let (mut net, mut a, mut b) = pair();
+        a.send(Bytes::from_static(b"only-once"));
+        // Transmit, deliver; then force a retransmission by never letting
+        // the ACK reach back (drop everything b sends this round).
+        for f in a.poll(SimTime::ZERO) {
+            net.send(f, SimTime::ZERO);
+        }
+        net.advance_to(SimTime::from_secs(5));
+        for f in net.take_inbox(b.local()) {
+            b.on_frame(&f);
+        }
+        let _ = b.poll(SimTime::from_secs(5)); // ACK frames discarded
+        // RTO expires; a retransmits; b sees a duplicate.
+        let retx_at = SimTime::from_secs(15);
+        for f in a.poll(retx_at) {
+            net.send(f, retx_at);
+        }
+        net.advance_to(SimTime::from_secs(20));
+        for f in net.take_inbox(b.local()) {
+            b.on_frame(&f);
+        }
+        assert_eq!(b.take_delivered().len(), 1, "exactly one delivery");
+        assert_eq!(a.retransmissions, 1);
+    }
+
+    #[test]
+    fn frames_from_strangers_ignored() {
+        let (_net, _a, mut b) = pair();
+        let stranger = Frame::new(
+            MacAddr::from_id(99),
+            MacAddr::from_id(2),
+            Bytes::from_static(&[0u8; 30]),
+        );
+        b.on_frame(&stranger);
+        assert!(b.take_delivered().is_empty());
+    }
+
+    #[test]
+    fn malformed_frames_ignored() {
+        let (_net, a, mut b) = pair();
+        let junk = Frame::new(a.remote, a.local, Bytes::from_static(b"tiny"));
+        // (src=b's remote? construct directly: from a's perspective) —
+        // simpler: craft a frame from the correct peer but too short.
+        let short = Frame::new(MacAddr::from_id(1), MacAddr::from_id(2), Bytes::from_static(b"xy"));
+        b.on_frame(&short);
+        b.on_frame(&junk);
+        assert!(b.take_delivered().is_empty());
+    }
+
+    #[test]
+    fn large_payload_transfer() {
+        let (mut net, mut a, mut b) = pair();
+        let big: Vec<Bytes> = (0..16)
+            .map(|i| Bytes::from(vec![i as u8; 8 * 1024]))
+            .collect();
+        for m in &big {
+            a.send(m.clone());
+        }
+        drive_until_idle(
+            &mut net,
+            &mut a,
+            &mut b,
+            SimTime::ZERO,
+            SimDuration::secs(2),
+            SimTime::from_secs(3600),
+        );
+        let got = b.take_delivered();
+        assert_eq!(got.len(), 16);
+        assert!(got.iter().enumerate().all(|(i, m)| m.len() == 8192 && m[0] == i as u8));
+    }
+}

@@ -1,0 +1,75 @@
+//! CSV emission for the figure harness.
+//!
+//! The reproduction binaries print the exact series a plotting tool would
+//! consume: one timestamp column (ISO date-time *and* fractional days since
+//! the experiment start, because the paper's x-axes are dates) and one
+//! column per channel. Missing samples are empty cells, which is how the
+//! Lascar's late arrival shows up in Fig. 3/4.
+
+use frostlab_simkern::time::SimTime;
+
+use crate::series::TimeSeries;
+
+/// Render aligned series as CSV. Channels are sampled by exact timestamp
+/// match against the union of all timestamps.
+pub fn to_csv(channels: &[(&str, &TimeSeries)]) -> String {
+    use std::collections::BTreeMap;
+    let mut rows: BTreeMap<SimTime, Vec<Option<f64>>> = BTreeMap::new();
+    for (ci, (_, series)) in channels.iter().enumerate() {
+        for &(t, v) in series.points() {
+            rows.entry(t).or_insert_with(|| vec![None; channels.len()])[ci] = Some(v);
+        }
+    }
+    let mut out = String::new();
+    out.push_str("datetime,days");
+    for (name, _) in channels {
+        out.push(',');
+        out.push_str(name);
+    }
+    out.push('\n');
+    for (t, vals) in rows {
+        out.push_str(&format!("{},{:.4}", t.datetime(), t.as_days_f64()));
+        for v in vals {
+            out.push(',');
+            if let Some(v) = v {
+                out.push_str(&format!("{v:.2}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_shape_and_alignment() {
+        let a = TimeSeries::from_points([
+            (SimTime::from_secs(0), 1.0),
+            (SimTime::from_secs(600), 2.0),
+        ]);
+        let b = TimeSeries::from_points([(SimTime::from_secs(600), 3.5)]);
+        let csv = to_csv(&[("outside", &a), ("inside", &b)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "datetime,days,outside,inside");
+        assert!(lines[1].ends_with(",1.00,"), "missing inside cell: {}", lines[1]);
+        assert!(lines[2].ends_with(",2.00,3.50"), "{}", lines[2]);
+    }
+
+    #[test]
+    fn empty_channels() {
+        let a = TimeSeries::new();
+        let csv = to_csv(&[("only", &a)]);
+        assert_eq!(csv.lines().count(), 1);
+    }
+
+    #[test]
+    fn dates_render() {
+        let a = TimeSeries::from_points([(SimTime::from_date(2010, 3, 7), -9.5)]);
+        let csv = to_csv(&[("t", &a)]);
+        assert!(csv.contains("2010-03-07 00:00:00"), "{csv}");
+    }
+}

@@ -1,0 +1,236 @@
+//! A minimal time-series container.
+//!
+//! Timestamps must be strictly increasing — the instruments all sample
+//! forward in time, and the figure code depends on ordering. Values are
+//! `f64`; gaps are represented by absent samples (and can be *detected*,
+//! which the Fig. 3/4 code uses to draw the Lascar's missing early weeks).
+
+use frostlab_simkern::time::{SimDuration, SimTime};
+
+/// One sampled channel.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a sample.
+    ///
+    /// # Panics
+    /// Panics if `t` is not strictly after the previous sample.
+    pub fn push(&mut self, t: SimTime, value: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(t > last, "non-monotonic sample at {t:?} after {last:?}");
+        }
+        self.points.push((t, value));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The raw samples.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Values only.
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.points.iter().map(|&(_, v)| v)
+    }
+
+    /// First sample time.
+    pub fn start(&self) -> Option<SimTime> {
+        self.points.first().map(|&(t, _)| t)
+    }
+
+    /// Last sample time.
+    pub fn end(&self) -> Option<SimTime> {
+        self.points.last().map(|&(t, _)| t)
+    }
+
+    /// Minimum value (None when empty).
+    pub fn min(&self) -> Option<f64> {
+        self.values().fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
+    }
+
+    /// Maximum value.
+    pub fn max(&self) -> Option<f64> {
+        self.values().fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> Option<f64> {
+        if self.points.is_empty() {
+            None
+        } else {
+            Some(self.values().sum::<f64>() / self.len() as f64)
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> Option<f64> {
+        if self.len() < 2 {
+            return None;
+        }
+        let mean = self.mean().expect("non-empty");
+        let var = self.values().map(|v| (v - mean).powi(2)).sum::<f64>() / (self.len() - 1) as f64;
+        Some(var.sqrt())
+    }
+
+    /// Sub-series within `[from, to]` inclusive.
+    pub fn window(&self, from: SimTime, to: SimTime) -> TimeSeries {
+        TimeSeries {
+            points: self
+                .points
+                .iter()
+                .filter(|&&(t, _)| t >= from && t <= to)
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// Gaps longer than `min_gap` between consecutive samples:
+    /// `(gap_start, gap_end)` pairs.
+    pub fn gaps(&self, min_gap: SimDuration) -> Vec<(SimTime, SimTime)> {
+        self.points
+            .windows(2)
+            .filter(|w| w[1].0 - w[0].0 > min_gap)
+            .map(|w| (w[0].0, w[1].0))
+            .collect()
+    }
+
+    /// Downsample by averaging into fixed buckets of width `bucket`,
+    /// timestamped at the bucket start. Empty buckets are skipped.
+    pub fn resample_mean(&self, bucket: SimDuration) -> TimeSeries {
+        assert!(bucket.as_secs() > 0, "bucket must be positive");
+        let mut out = TimeSeries::new();
+        let mut i = 0;
+        while i < self.points.len() {
+            let bucket_start = SimTime::from_secs(
+                self.points[i].0.as_secs().div_euclid(bucket.as_secs()) * bucket.as_secs(),
+            );
+            let bucket_end = bucket_start + bucket;
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            while i < self.points.len() && self.points[i].0 < bucket_end {
+                sum += self.points[i].1;
+                n += 1;
+                i += 1;
+            }
+            out.push(bucket_start, sum / n as f64);
+        }
+        out
+    }
+
+    /// Build from an iterator of points (must be strictly increasing).
+    pub fn from_points(points: impl IntoIterator<Item = (SimTime, f64)>) -> TimeSeries {
+        let mut s = TimeSeries::new();
+        for (t, v) in points {
+            s.push(t, v);
+        }
+        s
+    }
+
+    /// Keep only the samples for which `keep` returns true.
+    pub fn filtered(&self, mut keep: impl FnMut(SimTime, f64) -> bool) -> TimeSeries {
+        TimeSeries {
+            points: self
+                .points
+                .iter()
+                .filter(|&&(t, v)| keep(t, v))
+                .copied()
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: i64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn sample() -> TimeSeries {
+        TimeSeries::from_points((0..10).map(|i| (t(i * 600), i as f64)))
+    }
+
+    #[test]
+    fn basic_stats() {
+        let s = sample();
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.min(), Some(0.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert_eq!(s.mean(), Some(4.5));
+        assert!((s.std_dev().unwrap() - 3.0276).abs() < 1e-3);
+        assert_eq!(s.start(), Some(t(0)));
+        assert_eq!(s.end(), Some(t(5400)));
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = TimeSeries::new();
+        assert!(s.is_empty());
+        assert_eq!(s.min(), None);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.std_dev(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-monotonic")]
+    fn non_monotonic_rejected() {
+        let mut s = TimeSeries::new();
+        s.push(t(100), 1.0);
+        s.push(t(100), 2.0);
+    }
+
+    #[test]
+    fn window_slicing() {
+        let s = sample();
+        let w = s.window(t(600), t(1800));
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.values().collect::<Vec<_>>(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn gap_detection() {
+        let mut s = TimeSeries::new();
+        s.push(t(0), 1.0);
+        s.push(t(600), 1.0);
+        s.push(t(7200), 1.0); // 110-minute gap
+        s.push(t(7800), 1.0);
+        let gaps = s.gaps(SimDuration::minutes(30));
+        assert_eq!(gaps, vec![(t(600), t(7200))]);
+    }
+
+    #[test]
+    fn resample_mean() {
+        let s = sample(); // samples every 10 min, values 0..9
+        let r = s.resample_mean(SimDuration::minutes(30));
+        // Buckets: [0,1,2], [3,4,5], [6,7,8], [9].
+        assert_eq!(r.len(), 4);
+        let vals: Vec<f64> = r.values().collect();
+        assert_eq!(vals, vec![1.0, 4.0, 7.0, 9.0]);
+        assert_eq!(r.points()[1].0, t(1800));
+    }
+
+    #[test]
+    fn filtered() {
+        let s = sample();
+        let f = s.filtered(|_, v| v as i64 % 2 == 0);
+        assert_eq!(f.len(), 5);
+    }
+}

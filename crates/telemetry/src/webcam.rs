@@ -1,0 +1,176 @@
+//! The terrace webcam.
+//!
+//! Footnote 1 of the paper: *"An hourly webcam image of the terrace (with
+//! the tent) is available at http://www.cs.helsinki.fi/Exactum-kamera/"*.
+//! The camera was part of the experiment's public face; here it renders an
+//! hourly ASCII "frame" of the scene from the simulation state — useful as
+//! a human-readable campaign digest (and in anger, for eyeballing whether
+//! the tent model is doing something absurd at 03:00 on Mar 2).
+
+use frostlab_simkern::time::SimTime;
+
+/// Everything the camera can see in one frame.
+#[derive(Debug, Clone, Copy)]
+pub struct SceneState {
+    /// Frame timestamp.
+    pub t: SimTime,
+    /// Outside temperature, °C.
+    pub outside_c: f64,
+    /// Tent-internal temperature, °C.
+    pub tent_c: f64,
+    /// Wind speed, m/s.
+    pub wind_ms: f64,
+    /// Solar irradiance, W/m² (0 = night).
+    pub solar_w_m2: f64,
+    /// Is precipitation falling?
+    pub precipitating: bool,
+    /// Snow depth on the terrace, cm.
+    pub snow_cm: f64,
+    /// Number of machines running in the tent.
+    pub machines_running: usize,
+}
+
+/// Render one hourly frame as ASCII art with a status line.
+pub fn render_frame(s: &SceneState) -> String {
+    let sky = if s.solar_w_m2 <= 0.0 {
+        "  *    .      *        .     *    " // night
+    } else if s.precipitating {
+        "  \\ \\  \\ \\   \\ \\  \\ \\   \\ \\  \\ \\ " // falling snow/rain
+    } else if s.solar_w_m2 > 200.0 {
+        "        \\ | /      ---( )---      " // sunny
+    } else {
+        "   ~~~~    ~~~~~~     ~~~~   ~~~  " // overcast
+    };
+    let wind = match s.wind_ms {
+        w if w > 8.0 => "≋≋≋",
+        w if w > 4.0 => "≈≈ ",
+        _ => "   ",
+    };
+    let snow_line: String = if s.snow_cm > 1.0 {
+        "_".repeat(34).replace('_', "*")
+    } else {
+        "_".repeat(34)
+    };
+    let lights = "o".repeat(s.machines_running.min(9));
+    format!(
+        "+----------------------------------+\n\
+         |{sky}|\n\
+         |        __________                |\n\
+         | {wind}   /| tent    |\\    [cam]     |\n\
+         |     /_|__________|_\\             |\n\
+         |       | {lights:<9}|               |\n\
+         |{snow_line}|\n\
+         +----------------------------------+\n\
+         {} | out {:+5.1} C | tent {:+5.1} C | wind {:4.1} m/s | snow {:4.1} cm | {} hosts\n",
+        s.t.datetime(),
+        s.outside_c,
+        s.tent_c,
+        s.wind_ms,
+        s.snow_cm,
+        s.machines_running,
+    )
+}
+
+/// A camera that keeps the last `capacity` hourly frames (ring buffer, like
+/// the real site's rolling archive).
+#[derive(Debug, Clone)]
+pub struct TerraceWebcam {
+    frames: Vec<(SimTime, String)>,
+    capacity: usize,
+    next_due: SimTime,
+}
+
+impl TerraceWebcam {
+    /// New camera, first frame at `start`.
+    pub fn new(start: SimTime, capacity: usize) -> Self {
+        TerraceWebcam {
+            frames: Vec::new(),
+            capacity: capacity.max(1),
+            next_due: start,
+        }
+    }
+
+    /// Capture a frame if one is due at `scene.t` (hourly cadence).
+    /// Returns true if a frame was taken.
+    pub fn poll(&mut self, scene: &SceneState) -> bool {
+        if scene.t < self.next_due {
+            return false;
+        }
+        self.next_due = scene.t + frostlab_simkern::time::SimDuration::hours(1);
+        if self.frames.len() == self.capacity {
+            self.frames.remove(0);
+        }
+        self.frames.push((scene.t, render_frame(scene)));
+        true
+    }
+
+    /// The archived frames, oldest first.
+    pub fn frames(&self) -> &[(SimTime, String)] {
+        &self.frames
+    }
+
+    /// The most recent frame, if any.
+    pub fn latest(&self) -> Option<&str> {
+        self.frames.last().map(|(_, f)| f.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frostlab_simkern::time::SimDuration;
+
+    fn scene(t_secs: i64) -> SceneState {
+        SceneState {
+            t: SimTime::from_secs(t_secs),
+            outside_c: -12.3,
+            tent_c: 4.5,
+            wind_ms: 5.2,
+            solar_w_m2: 0.0,
+            precipitating: false,
+            snow_cm: 8.0,
+            machines_running: 9,
+        }
+    }
+
+    #[test]
+    fn frame_contains_the_facts() {
+        let f = render_frame(&scene(0));
+        assert!(f.contains("-12.3 C"));
+        assert!(f.contains("+4.5 C"));
+        assert!(f.contains("9 hosts"));
+        assert!(f.contains("ooooooooo"), "one light per machine:\n{f}");
+        assert!(f.contains("tent"));
+        // Snowy terrace renders stars.
+        assert!(f.contains("***"));
+    }
+
+    #[test]
+    fn sky_varies_with_conditions() {
+        let mut s = scene(0);
+        let night = render_frame(&s);
+        s.solar_w_m2 = 350.0;
+        let sunny = render_frame(&s);
+        s.precipitating = true;
+        let snowing = render_frame(&s);
+        assert_ne!(night.lines().nth(1), sunny.lines().nth(1));
+        assert_ne!(sunny.lines().nth(1), snowing.lines().nth(1));
+    }
+
+    #[test]
+    fn hourly_cadence_and_ring_buffer() {
+        let mut cam = TerraceWebcam::new(SimTime::ZERO, 3);
+        let mut taken = 0;
+        for min in 0..(5 * 60) {
+            let mut s = scene(min * 60);
+            s.t = SimTime::from_secs(min * 60);
+            if cam.poll(&s) {
+                taken += 1;
+            }
+        }
+        assert_eq!(taken, 5, "one frame per hour");
+        assert_eq!(cam.frames().len(), 3, "ring buffer holds the last 3");
+        assert_eq!(cam.frames()[0].0, SimTime::ZERO + SimDuration::hours(2));
+        assert!(cam.latest().is_some());
+    }
+}

@@ -1,0 +1,127 @@
+//! The [`Enclosure`] abstraction and the prototype's plastic-box shelter.
+//!
+//! The experiment ran equipment in three different environments: the tent on
+//! the roof terrace, the basement shelter (control group), and — for the
+//! prototype weekend — a generic PC "sandwiched between two hard plastic
+//! boxes" that protected against snow but "did not really impede air flow or
+//! contain any heat" (§3.1). The orchestrator treats all three uniformly
+//! through this trait.
+
+use frostlab_climate::psychro;
+use frostlab_climate::weather::WeatherSample;
+
+/// Instantaneous air state inside an enclosure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnclosureState {
+    /// Air temperature around the equipment, °C.
+    pub air_temp_c: f64,
+    /// Relative humidity around the equipment, %.
+    pub air_rh_pct: f64,
+}
+
+/// An environment that equipment lives in.
+pub trait Enclosure {
+    /// Advance the enclosure by `dt_secs` given the current outside weather
+    /// and the total IT power dissipated inside it.
+    fn step(&mut self, dt_secs: f64, outside: &WeatherSample, it_power_w: f64);
+
+    /// Current internal air state.
+    fn state(&self) -> EnclosureState;
+
+    /// Display name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The prototype-weekend shelter: two plastic boxes that keep snow out but
+/// neither block airflow nor retain heat. Inside air tracks outside air with
+/// a short lag and a small machine-heat offset.
+#[derive(Debug, Clone)]
+pub struct PlasticBoxes {
+    air_temp_c: f64,
+    rh_pct: f64,
+    /// Effective loss conductance, W/K. Very large: the boxes are open.
+    ua_w_k: f64,
+    /// Thermal capacity of the trapped air pocket, J/K.
+    capacity_j_k: f64,
+}
+
+impl PlasticBoxes {
+    /// Create the prototype shelter, initialized to the given outside state.
+    pub fn new(initial: &WeatherSample) -> Self {
+        PlasticBoxes {
+            air_temp_c: initial.temp_c,
+            rh_pct: initial.rh_pct,
+            ua_w_k: 60.0,
+            capacity_j_k: 6_000.0,
+        }
+    }
+}
+
+impl Enclosure for PlasticBoxes {
+    fn step(&mut self, dt_secs: f64, outside: &WeatherSample, it_power_w: f64) {
+        let t_inf = outside.temp_c + it_power_w / self.ua_w_k;
+        let k = (-dt_secs * self.ua_w_k / self.capacity_j_k).exp();
+        self.air_temp_c = t_inf + (self.air_temp_c - t_inf) * k;
+        self.rh_pct = psychro::rh_after_heating(outside.temp_c, outside.rh_pct, self.air_temp_c);
+    }
+
+    fn state(&self) -> EnclosureState {
+        EnclosureState {
+            air_temp_c: self.air_temp_c,
+            air_rh_pct: self.rh_pct,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "plastic boxes"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frostlab_simkern::time::SimTime;
+
+    fn wx(temp_c: f64, rh: f64) -> WeatherSample {
+        WeatherSample {
+            t: SimTime::ZERO,
+            temp_c,
+            rh_pct: rh,
+            wind_ms: 3.0,
+            solar_w_m2: 0.0,
+            cloud: 0.8,
+        }
+    }
+
+    #[test]
+    fn boxes_track_outside_closely() {
+        let out = wx(-10.0, 90.0);
+        let mut b = PlasticBoxes::new(&out);
+        // 120 W PC inside, one hour of stepping.
+        for _ in 0..60 {
+            b.step(60.0, &out, 120.0);
+        }
+        let s = b.state();
+        // Offset = 120/60 = 2 K above outside.
+        assert!((s.air_temp_c - (-8.0)).abs() < 0.1, "{}", s.air_temp_c);
+        // Heated air ⇒ slightly drier than outside.
+        assert!(s.air_rh_pct < 90.0);
+        assert!(s.air_rh_pct > 60.0);
+    }
+
+    #[test]
+    fn boxes_follow_a_cold_drop_quickly() {
+        let mild = wx(-5.0, 85.0);
+        let cold = wx(-15.0, 85.0);
+        let mut b = PlasticBoxes::new(&mild);
+        for _ in 0..30 {
+            b.step(60.0, &mild, 120.0);
+        }
+        // Temperature drops outside; inside should follow within ~15 min
+        // (tau = 6000/60 = 100 s).
+        for _ in 0..15 {
+            b.step(60.0, &cold, 120.0);
+        }
+        assert!((b.state().air_temp_c - (-13.0)).abs() < 0.3, "{}", b.state().air_temp_c);
+    }
+}

@@ -1,0 +1,222 @@
+//! In-chassis thermal chain: enclosure air → case air → CPU / disks.
+//!
+//! This is the model that turns "−10 °C in the tent" into the paper's
+//! reported "CPU had been operating in temperatures as low as −4 °C": the
+//! case air runs a few kelvin above intake (set by the chassis airflow), the
+//! CPU runs `R_th·P_cpu` above case air, and disks ride a fixed offset above
+//! case air. Each stage is a first-order lag solved on an [`RcNetwork`].
+//!
+//! Vendor B's small-form-factor workstations were "considered unreliable …
+//! due to bad air flow circulation" (§3); their parameter set models that
+//! with a weak case airflow, which pushes component temperatures up — and
+//! lets the experiment ask the paper's fourth research question (does the
+//! cold alleviate the known problem?).
+
+use crate::network::{BoundaryId, NodeId, RcNetwork};
+
+/// Thermal parameters for one chassis design.
+#[derive(Debug, Clone)]
+pub struct ServerThermalParams {
+    /// Conductance from case air to intake air (chassis airflow), W/K.
+    pub case_airflow_w_k: f64,
+    /// Thermal capacity of the case air + structure, J/K.
+    pub case_capacity_j_k: f64,
+    /// CPU heatsink thermal resistance, K/W.
+    pub cpu_rth_k_w: f64,
+    /// CPU + heatsink capacity, J/K.
+    pub cpu_capacity_j_k: f64,
+    /// Disk temperature offset above case air, K.
+    pub hdd_offset_k: f64,
+}
+
+impl ServerThermalParams {
+    /// Vendor A: medium-tower clone desktops, decent airflow.
+    pub fn vendor_a_tower() -> Self {
+        ServerThermalParams {
+            case_airflow_w_k: 15.0,
+            case_capacity_j_k: 4_000.0,
+            cpu_rth_k_w: 0.35,
+            cpu_capacity_j_k: 450.0,
+            hdd_offset_k: 4.0,
+        }
+    }
+
+    /// Vendor B: small-form-factor workstations with the known airflow
+    /// problem — weak case airflow, hot components.
+    pub fn vendor_b_sff() -> Self {
+        ServerThermalParams {
+            case_airflow_w_k: 6.0,
+            case_capacity_j_k: 2_000.0,
+            cpu_rth_k_w: 0.50,
+            cpu_capacity_j_k: 350.0,
+            hdd_offset_k: 7.0,
+        }
+    }
+
+    /// Vendor C: 2U rack servers with strong forced airflow.
+    pub fn vendor_c_2u() -> Self {
+        ServerThermalParams {
+            case_airflow_w_k: 30.0,
+            case_capacity_j_k: 8_000.0,
+            cpu_rth_k_w: 0.25,
+            cpu_capacity_j_k: 600.0,
+            hdd_offset_k: 5.0,
+        }
+    }
+}
+
+/// Live thermal state of one server chassis.
+#[derive(Debug, Clone)]
+pub struct ServerCaseThermal {
+    params: ServerThermalParams,
+    net: RcNetwork,
+    case_node: NodeId,
+    cpu_node: NodeId,
+    intake: BoundaryId,
+}
+
+impl ServerCaseThermal {
+    /// Build the chassis model, starting in equilibrium with `intake_c`.
+    pub fn new(params: ServerThermalParams, intake_c: f64) -> Self {
+        let mut net = RcNetwork::new();
+        let case_node = net.add_node(params.case_capacity_j_k, intake_c);
+        let cpu_node = net.add_node(params.cpu_capacity_j_k, intake_c);
+        let intake = net.add_boundary(intake_c);
+        net.connect_boundary(case_node, intake, params.case_airflow_w_k);
+        net.connect(case_node, cpu_node, 1.0 / params.cpu_rth_k_w);
+        ServerCaseThermal {
+            params,
+            net,
+            case_node,
+            cpu_node,
+            intake,
+        }
+    }
+
+    /// Advance by `dt_secs` with the given intake-air temperature, CPU power
+    /// and total chassis power (CPU power is part of the total; the non-CPU
+    /// remainder heats the case air directly).
+    pub fn step(&mut self, dt_secs: f64, intake_c: f64, cpu_power_w: f64, total_power_w: f64) {
+        let other_w = (total_power_w - cpu_power_w).max(0.0);
+        self.net.set_boundary_temp(self.intake, intake_c);
+        self.net.set_power(self.case_node, other_w);
+        self.net.set_power(self.cpu_node, cpu_power_w);
+        self.net.step(dt_secs);
+    }
+
+    /// Case-internal air temperature, °C.
+    pub fn case_temp_c(&self) -> f64 {
+        self.net.temp(self.case_node)
+    }
+
+    /// CPU die temperature as the motherboard sensor would report it, °C.
+    pub fn cpu_temp_c(&self) -> f64 {
+        self.net.temp(self.cpu_node)
+    }
+
+    /// Disk temperature (S.M.A.R.T. attribute 194), °C.
+    pub fn hdd_temp_c(&self) -> f64 {
+        self.case_temp_c() + self.params.hdd_offset_k
+    }
+
+    /// Reset all nodes to the intake temperature (power-off soak).
+    pub fn soak_to(&mut self, temp_c: f64) {
+        self.net.set_temp(self.case_node, temp_c);
+        self.net.set_temp(self.cpu_node, temp_c);
+        self.net.set_boundary_temp(self.intake, temp_c);
+    }
+
+    /// The parameter set in use.
+    pub fn params(&self) -> &ServerThermalParams {
+        &self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn settle(s: &mut ServerCaseThermal, intake: f64, cpu_w: f64, total_w: f64) {
+        for _ in 0..600 {
+            s.step(30.0, intake, cpu_w, total_w);
+        }
+    }
+
+    #[test]
+    fn paper_cpu_reading_reproduced() {
+        // Prototype weekend: ambient ≈ −10 °C, idle generic PC.
+        // The paper observed CPU ≈ −4 °C.
+        let mut s = ServerCaseThermal::new(ServerThermalParams::vendor_a_tower(), -10.0);
+        settle(&mut s, -10.0, 12.0, 70.0);
+        let cpu = s.cpu_temp_c();
+        assert!((-7.0..=-1.0).contains(&cpu), "idle CPU at {cpu} °C");
+    }
+
+    #[test]
+    fn load_raises_cpu_temperature() {
+        let mut s = ServerCaseThermal::new(ServerThermalParams::vendor_a_tower(), 20.0);
+        settle(&mut s, 20.0, 15.0, 90.0);
+        let idle = s.cpu_temp_c();
+        settle(&mut s, 20.0, 65.0, 140.0);
+        let load = s.cpu_temp_c();
+        assert!(load > idle + 10.0, "idle {idle}, load {load}");
+    }
+
+    #[test]
+    fn vendor_b_runs_hotter_than_a() {
+        let mut a = ServerCaseThermal::new(ServerThermalParams::vendor_a_tower(), 21.0);
+        let mut b = ServerCaseThermal::new(ServerThermalParams::vendor_b_sff(), 21.0);
+        settle(&mut a, 21.0, 60.0, 120.0);
+        settle(&mut b, 21.0, 60.0, 120.0);
+        assert!(
+            b.cpu_temp_c() > a.cpu_temp_c() + 8.0,
+            "B {} vs A {}",
+            b.cpu_temp_c(),
+            a.cpu_temp_c()
+        );
+    }
+
+    #[test]
+    fn cold_intake_alleviates_vendor_b_heat_problem() {
+        // Research question 4: vendor B in the basement (21 °C) vs the tent
+        // (−5 °C): the cold should pull the hot SFF CPUs well below their
+        // indoor operating point.
+        let mut indoors = ServerCaseThermal::new(ServerThermalParams::vendor_b_sff(), 21.0);
+        let mut tent = ServerCaseThermal::new(ServerThermalParams::vendor_b_sff(), -5.0);
+        settle(&mut indoors, 21.0, 60.0, 120.0);
+        settle(&mut tent, -5.0, 60.0, 120.0);
+        assert!(tent.cpu_temp_c() < indoors.cpu_temp_c() - 20.0);
+    }
+
+    #[test]
+    fn case_between_intake_and_cpu() {
+        let mut s = ServerCaseThermal::new(ServerThermalParams::vendor_c_2u(), 10.0);
+        settle(&mut s, 10.0, 80.0, 250.0);
+        assert!(s.case_temp_c() > 10.0);
+        assert!(s.cpu_temp_c() > s.case_temp_c());
+        assert!(s.hdd_temp_c() > s.case_temp_c());
+    }
+
+    #[test]
+    fn soak_resets_state() {
+        let mut s = ServerCaseThermal::new(ServerThermalParams::vendor_a_tower(), 20.0);
+        settle(&mut s, 20.0, 60.0, 130.0);
+        s.soak_to(-15.0);
+        assert_eq!(s.cpu_temp_c(), -15.0);
+        assert_eq!(s.case_temp_c(), -15.0);
+    }
+
+    #[test]
+    fn thermal_response_is_minutes_not_hours() {
+        // After an intake step change, the CPU should be most of the way to
+        // the new equilibrium within ~15 minutes.
+        let mut s = ServerCaseThermal::new(ServerThermalParams::vendor_a_tower(), 20.0);
+        settle(&mut s, 20.0, 15.0, 80.0);
+        let before = s.cpu_temp_c();
+        for _ in 0..30 {
+            s.step(30.0, 0.0, 15.0, 80.0);
+        }
+        let after_15min = s.cpu_temp_c();
+        assert!(before - after_15min > 12.0, "only moved {} K", before - after_15min);
+    }
+}

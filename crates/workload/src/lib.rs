@@ -1,0 +1,35 @@
+//! # frostlab-workload
+//!
+//! The synthetic load of §3.5, end to end:
+//!
+//! > "All servers execute a synthetic workload, which consist of packing a
+//! > Linux kernel source directory with the standard tar and bzip2 archive
+//! > programs. After packing, each compressed tarball is verified by
+//! > calculating its md5sum hash function and comparing the result with an
+//! > initial value calculated before installation. If the results differ,
+//! > the packed tarball is stored. If not, the tarball is overwritten in
+//! > the next cycle. Each host executes its synthetic load every 10
+//! > minutes … each host sleeps for 0 to 119 seconds before commencing."
+//!
+//! * [`source_tree`] — a deterministic synthetic "Linux kernel source
+//!   directory" (plausible paths, C-flavoured content);
+//! * [`job`] — one pack-verify cycle over the real tar → block-compress →
+//!   MD5 pipeline from `frostlab-compress`, with a bit-flip hook that
+//!   corrupts the in-flight archive exactly the way a bad non-ECC DIMM
+//!   would;
+//! * [`schedule`] — the 10-minute cadence with 0–119 s desynchronization
+//!   jitter;
+//! * [`stats`] — run/error bookkeeping that feeds the T2/T3 reproductions
+//!   (5 wrong hashes in 27 627 runs; the page-operation exposure estimate).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod job;
+pub mod schedule;
+pub mod source_tree;
+pub mod stats;
+
+pub use job::{JobConfig, JobRunner, JobTemplate, RunOutcome};
+pub use schedule::LoadSchedule;
+pub use stats::WorkloadStats;

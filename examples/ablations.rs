@@ -1,0 +1,139 @@
+//! Ablation studies over the design choices DESIGN.md calls out.
+//!
+//! 1. **Tent interventions, one at a time** — which of R/I/B/F actually
+//!    mattered? (The paper applied them cumulatively; we can un-bundle.)
+//! 2. **ECC vs non-ECC** — would ECC DIMMs have eliminated the five wrong
+//!    hashes? (The paper's §4.2.2 implies yes; we check.)
+//! 3. **Fleet scaling** — how many machines would the experiment have
+//!    needed to bound the failure rate usefully?
+//!
+//! ```sh
+//! cargo run --release --example ablations
+//! ```
+
+use frostlab::analysis::report::{pct, Table};
+use frostlab::analysis::stats::wilson_interval;
+use frostlab::climate::presets;
+use frostlab::climate::weather::WeatherModel;
+use frostlab::core::config::ExperimentConfig;
+use frostlab::core::Experiment;
+use frostlab::faults::types::HostId;
+use frostlab::faults::FaultInjector;
+use frostlab::simkern::rng::Rng;
+use frostlab::simkern::time::{SimDuration, SimTime};
+use frostlab::thermal::enclosure::Enclosure;
+use frostlab::thermal::tent::{Tent, TentConfig, TentParams};
+
+fn tent_week_mean(config: TentConfig) -> f64 {
+    let mut wx = WeatherModel::new(presets::helsinki_winter_2010(), 17);
+    let start = SimTime::from_date(2010, 2, 20);
+    let first = wx.sample_at(start);
+    let mut tent = Tent::new(TentParams::default(), config, &first);
+    let mut t = start;
+    let end = start + SimDuration::days(7);
+    let (mut sum, mut n) = (0.0, 0u64);
+    while t <= end {
+        let w = wx.sample_at(t);
+        tent.step(60.0, &w, 1000.0);
+        sum += tent.state().air_temp_c;
+        n += 1;
+        t += SimDuration::minutes(1);
+    }
+    sum / n as f64
+}
+
+fn ablation_tent() {
+    let base = tent_week_mean(TentConfig::initial());
+    let mut t = Table::new(
+        "ablation 1 — tent interventions, applied alone (same cold week, 1 kW inside)",
+        &["configuration", "mean tent °C", "Δ vs unmodified"],
+    );
+    let cases: [(&str, TentConfig); 6] = [
+        ("unmodified", TentConfig::initial()),
+        ("R only (foil)", TentConfig { foil: true, ..Default::default() }),
+        ("I only (inner tent out)", TentConfig { inner_removed: true, ..Default::default() }),
+        (
+            "B only (tarpaulin + door)",
+            TentConfig { tarpaulin_removed: true, door_half_open: true, ..Default::default() },
+        ),
+        ("F only (fan)", TentConfig { fan: true, ..Default::default() }),
+        ("all four (paper final)", TentConfig::fully_modified()),
+    ];
+    for (name, cfg) in cases {
+        let mean = tent_week_mean(cfg);
+        t.row(&[
+            name.to_string(),
+            format!("{mean:.1}"),
+            format!("{:+.1} K", mean - base),
+        ]);
+    }
+    println!("{t}");
+}
+
+fn ablation_ecc() {
+    println!("ablation 2 — ECC everywhere vs the paper's mixed fleet (scripted campaign)");
+    for force_ecc in [false, true] {
+        let cfg = ExperimentConfig {
+            force_ecc,
+            ..ExperimentConfig::paper_scripted(42)
+        };
+        let r = Experiment::new(cfg).run();
+        let corrected: u64 = r.hosts.values().map(|h| h.silent_corruptions).sum();
+        println!(
+            "  force_ecc={force_ecc:<5} wrong hashes: {} | silent corruptions: {corrected} | stored archives: {}",
+            r.workload.hash_errors().len(),
+            r.stored_archives.len(),
+        );
+    }
+    println!("  (ECC turns all five §4.2.2 incidents into corrected, logged events)\n");
+}
+
+fn ablation_fleet_scaling() {
+    // Pure hazard-model study: simulate N hosts × one winter, many times,
+    // and show how the Wilson interval around the true rate narrows.
+    let mut t = Table::new(
+        "ablation 3 — fleet size vs failure-rate precision (tent conditions, 90 days)",
+        &["fleet size", "mean failed", "rate", "95% Wilson width"],
+    );
+    let injector = FaultInjector::new(&Rng::new(99));
+    for fleet in [9u32, 18, 36, 72, 144] {
+        let mut failed_total = 0u64;
+        let trials = 30u32;
+        for trial in 0..trials {
+            for host in 0..fleet {
+                let defective = host % 5 == 4; // 1-in-5 from the bad series
+                let mut f = injector.host(HostId(trial * 1000 + host), defective);
+                let mut failed = false;
+                for _ in 0..(90 * 6) {
+                    // 90 days in 4-hour steps, tent-ish conditions
+                    let o = f.poll(4.0, 2.0, 70.0, 0);
+                    if o.faults.contains(&frostlab::faults::types::FaultKind::TransientSystemFailure)
+                    {
+                        failed = true;
+                    }
+                }
+                failed_total += u64::from(failed);
+            }
+        }
+        let n = u64::from(fleet) * u64::from(trials);
+        let rate = failed_total as f64 / n as f64;
+        // Interval width for a *single* campaign of this fleet size.
+        let (lo, hi) = wilson_interval((rate * f64::from(fleet)).round() as u64, u64::from(fleet));
+        t.row(&[
+            fleet.to_string(),
+            format!("{:.2}", rate * f64::from(fleet)),
+            pct(rate),
+            format!("{:.1} pp", 100.0 * (hi - lo)),
+        ]);
+    }
+    println!("{t}");
+    println!("reading: at the paper's n = 18, the failure-rate interval spans tens of");
+    println!("percentage points — 'comparable to Intel' is the strongest defensible claim,");
+    println!("exactly as the authors phrased it.");
+}
+
+fn main() {
+    ablation_tent();
+    ablation_ecc();
+    ablation_fleet_scaling();
+}

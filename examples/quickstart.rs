@@ -1,0 +1,54 @@
+//! Quickstart: re-run the paper's campaign and print the headline results.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use frostlab::core::tables;
+use frostlab::core::{Experiment, ExperimentConfig};
+
+fn main() {
+    println!("frostlab quickstart — Running Servers around Zero Degrees (GreenNetworking 2010)\n");
+    println!("Simulating the scripted campaign (Feb 12 – May 13, 2010)…\n");
+
+    let results = Experiment::new(ExperimentConfig::paper_scripted(42)).run();
+
+    println!(
+        "synthetic-load runs : {} (paper reported 27 627 at writing time,\n\
+         \u{20}                     ~2 weeks after the last install; the full\n\
+         \u{20}                     three-month campaign executes far more)",
+        results.workload.total_runs()
+    );
+    println!(
+        "wrong md5sums       : {} (paper: 5)",
+        results.workload.hash_errors().len()
+    );
+    let cmp = results.failure_comparison();
+    println!(
+        "fleet failure rate  : {:.1} % (paper: 5.6 %, Intel PoC: 4.46 %)",
+        100.0 * cmp.fleet().rate
+    );
+    println!(
+        "lowest CPU reading  : {:.1} °C (paper: −4 °C)",
+        results.fleet_min_cpu_c()
+    );
+    println!(
+        "outside minimum     : {:.1} °C (paper: −22 °C during the season)",
+        results
+            .outside
+            .iter()
+            .map(|o| o.temp_c)
+            .fold(f64::INFINITY, f64::min)
+    );
+    println!(
+        "collection uptime   : {:.1} % of 20-minute rounds (switch deaths cost the rest)",
+        100.0 * results.collection_availability()
+    );
+    println!(
+        "tent group energy   : {:.0} kWh metered ({:.0} kWh true)",
+        results.tent_energy_metered_kwh, results.tent_energy_true_kwh
+    );
+
+    println!("\n{}", tables::t1_failures(&results));
+    println!("{}", tables::t2_hashes(&results));
+}

@@ -1,0 +1,100 @@
+//! Why the tent exists: precipitation exposure with and without shelter.
+//!
+//! §3.1–3.2 spend most of their words on rain/snow shielding — the plastic
+//! boxes, then the tent, were *water* defenses, with airflow as the
+//! competing constraint. This ablation runs the winter's precipitation over
+//! (a) a machine in the tent, (b) a machine under a minimal "hardware-store
+//! shed" roof (the authors' stated ideal), and (c) a bare machine on the
+//! terrace, and converts water exposure into an ingress-failure risk.
+//!
+//! Ingress model for the bare machine: falling rain wets the internals
+//! directly; falling snow lands on the warm case, melts, and wets them too
+//! (the §3.1 worry, "melting into water"). Risk accumulates as
+//! `1 − exp(−k · liquid_mm)`.
+//!
+//! ```sh
+//! cargo run --release --example tent_vs_no_tent [seed]
+//! ```
+
+use frostlab::analysis::report::{pct, Table};
+use frostlab::climate::precip::{PrecipModel, PrecipPhase};
+use frostlab::climate::presets;
+use frostlab::climate::weather::WeatherModel;
+use frostlab::simkern::rng::Rng;
+use frostlab::simkern::time::{SimDuration, SimTime};
+
+/// Ingress-failure risk per mm of liquid water reaching the internals.
+const K_PER_MM: f64 = 0.02;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    println!("tent vs no tent — precipitation exposure, Feb 12 … May 13, seed {seed}\n");
+
+    let mut wx = WeatherModel::new(presets::helsinki_winter_2010(), seed);
+    let mut pm = PrecipModel::new(&Rng::new(seed));
+    let start = SimTime::from_date(2010, 2, 12);
+    let end = SimTime::from_date(2010, 5, 13);
+
+    let mut snow_mm = 0.0f64; // water equivalent falling as snow
+    let mut rain_mm = 0.0f64;
+    let mut wet_hours = 0.0f64;
+    let mut t = start;
+    let step = SimDuration::minutes(10);
+    let dt_h = 10.0 / 60.0;
+    while t <= end {
+        let w = wx.sample_at(t);
+        let p = pm.step(&w);
+        match p.phase {
+            PrecipPhase::Snow => {
+                snow_mm += p.rate_mm_h * dt_h;
+                wet_hours += dt_h;
+            }
+            PrecipPhase::Rain => {
+                rain_mm += p.rate_mm_h * dt_h;
+                wet_hours += dt_h;
+            }
+            PrecipPhase::None => {}
+        }
+        t += step;
+    }
+
+    println!("campaign precipitation on the terrace:");
+    println!("  snow  : {snow_mm:.0} mm water equivalent (≈ {:.0} cm fresh depth)", snow_mm);
+    println!("  rain  : {rain_mm:.0} mm");
+    println!("  hours with precipitation: {wet_hours:.0}\n");
+
+    // Exposure per shelter option. A powered case melts every flake that
+    // lands on it, so for the bare machine snow counts as liquid.
+    let bare_liquid = snow_mm + rain_mm;
+    // The shed roof stops fall but wind-driven rain/snow still grazes the
+    // sides: ~5 % of totals.
+    let shed_liquid = 0.05 * bare_liquid;
+    // The tent: dry (that was the point). Wind-pumped spindrift through the
+    // opened bottom after B is a token exposure.
+    let tent_liquid = 0.01 * bare_liquid;
+
+    let mut table = Table::new(
+        "water ingress risk over the campaign",
+        &["shelter", "liquid on internals", "P(ingress failure)"],
+    );
+    for (name, liquid) in [
+        ("bare machine on the terrace", bare_liquid),
+        ("hardware-store shed roof (authors' ideal)", shed_liquid),
+        ("the tent", tent_liquid),
+    ] {
+        let p = 1.0 - (-K_PER_MM * liquid).exp();
+        table.row(&[
+            name.to_string(),
+            format!("{liquid:.1} mm"),
+            pct(p),
+        ]);
+    }
+    println!("{table}");
+    println!("reading: without shielding the campaign is hopeless (risk → certainty);");
+    println!("even a minimal roof removes almost all of it, which is why the authors call");
+    println!("an open shed the ideal — the tent's remaining problem was never water, it");
+    println!("was the heat retention the R/I/B/F modifications then had to fight.");
+}

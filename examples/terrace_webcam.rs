@@ -1,0 +1,77 @@
+//! The Exactum terrace webcam (footnote 1 of the paper), simulated.
+//!
+//! Renders one day of hourly frames of the tent on the roof terrace —
+//! weather, snowpack, tent temperature and the machines' "lights".
+//!
+//! ```sh
+//! cargo run --release --example terrace_webcam [seed] [yyyy-mm-dd]
+//! ```
+
+use frostlab::climate::precip::{PrecipModel, PrecipPhase};
+use frostlab::climate::presets;
+use frostlab::climate::weather::WeatherModel;
+use frostlab::simkern::rng::Rng;
+use frostlab::simkern::time::{SimDuration, SimTime};
+use frostlab::telemetry::webcam::{render_frame, SceneState};
+use frostlab::thermal::enclosure::Enclosure;
+use frostlab::thermal::tent::{Tent, TentConfig, TentParams};
+
+fn parse_date(s: &str) -> Option<SimTime> {
+    let mut it = s.split('-');
+    let y: i32 = it.next()?.parse().ok()?;
+    let m: u32 = it.next()?.parse().ok()?;
+    let d: u32 = it.next()?.parse().ok()?;
+    Some(SimTime::from_date(y, m, d))
+}
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let day = std::env::args()
+        .nth(2)
+        .and_then(|s| parse_date(&s))
+        .unwrap_or_else(|| SimTime::from_date(2010, 3, 2));
+
+    println!("Exactum-kamera — simulated terrace, {} (seed {seed})\n", day.date());
+
+    // Spin everything up from Feb 12 so the snowpack and tent are in a
+    // realistic state by the chosen day.
+    let mut wx = WeatherModel::new(presets::helsinki_winter_2010(), seed);
+    let mut precip = PrecipModel::new(&Rng::new(seed));
+    let start = SimTime::from_date(2010, 2, 12);
+    let first = wx.sample_at(start);
+    let mut tent = Tent::new(TentParams::default(), TentConfig::initial(), &first);
+    let mut t = start;
+    while t < day {
+        let w = wx.sample_at(t);
+        precip.step(&w);
+        tent.step(600.0, &w, 1000.0);
+        t += SimDuration::minutes(10);
+    }
+
+    // The day itself: one frame per hour (every other printed, for width).
+    for hour in (0..24).step_by(3) {
+        let frame_t = day + SimDuration::hours(hour);
+        while t <= frame_t {
+            let w = wx.sample_at(t);
+            precip.step(&w);
+            tent.step(60.0, &w, 1000.0);
+            t += SimDuration::minutes(1);
+        }
+        let w = wx.sample_at(t);
+        let p = precip.step(&w);
+        let scene = SceneState {
+            t: frame_t,
+            outside_c: w.temp_c,
+            tent_c: tent.state().air_temp_c,
+            wind_ms: w.wind_ms,
+            solar_w_m2: w.solar_w_m2,
+            precipitating: p.phase != PrecipPhase::None,
+            snow_cm: precip.snowpack_mm_we() / 10.0 * 1.0, // ≈ cm settled snow
+            machines_running: 9,
+        };
+        println!("{}", render_frame(&scene));
+    }
+}

@@ -1,0 +1,78 @@
+//! The full scripted campaign with the complete report — every table, the
+//! figure summaries, the host-by-host outcome.
+//!
+//! ```sh
+//! cargo run --release --example winter_campaign [seed]
+//! ```
+
+use frostlab::analysis::report::Table;
+use frostlab::core::figures;
+use frostlab::core::prototype::run_prototype;
+use frostlab::core::tables;
+use frostlab::core::{Experiment, ExperimentConfig};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let cfg = ExperimentConfig::paper_scripted(seed);
+
+    println!("winter campaign — scripted reproduction, seed {seed}\n");
+
+    // Phase 1: the prototype weekend.
+    let proto = run_prototype(&cfg);
+    println!("{}", tables::t5_prototype(&proto));
+
+    // Phase 2: the normal phase.
+    println!("running the normal phase (Feb 19 – May 13)…\n");
+    let results = Experiment::new(cfg).run();
+
+    println!("{}", tables::t1_failures(&results));
+    println!("{}", tables::t2_hashes(&results));
+    println!("{}", tables::t3_memory(&results));
+    println!("{}", tables::t4_pue());
+    println!("{}", tables::t6_savings(seed));
+
+    // Figure summaries (full CSVs come from the fig3/fig4 bench binaries).
+    let f3 = figures::fig3_temperature(&results);
+    println!("Fig. 3 summary: {}", f3.summary);
+    println!(
+        "  marks: {:?} | inside-channel gaps: {}",
+        f3.marks
+            .iter()
+            .map(|(m, t)| format!("{m}@{}", t.date()))
+            .collect::<Vec<_>>(),
+        f3.inside_gaps.len()
+    );
+    let f4 = figures::fig4_humidity(&results);
+    println!("Fig. 4 summary: {}\n", f4.summary);
+
+    // Host-by-host outcome.
+    let mut t = Table::new(
+        "host outcomes",
+        &["host", "vendor", "group", "failures", "resets", "disposition", "min CPU °C"],
+    );
+    for h in results.hosts.values() {
+        t.row(&[
+            format!("#{:02}{}", h.id, if h.defective { " (defect series)" } else { "" }),
+            h.vendor.to_string(),
+            h.placement.to_string(),
+            h.failures.len().to_string(),
+            h.resets.to_string(),
+            format!("{:?}", h.disposition),
+            if h.min_cpu_c.is_finite() {
+                format!("{:.1}", h.min_cpu_c)
+            } else {
+                "—".to_string()
+            },
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "collection availability: {:.1} % | tent energy: {:.0} kWh metered / {:.0} kWh true",
+        100.0 * results.collection_availability(),
+        results.tent_energy_metered_kwh,
+        results.tent_energy_true_kwh
+    );
+}

@@ -1,0 +1,265 @@
+//! Workspace-wide property tests (proptest): the invariants that must hold
+//! for *arbitrary* inputs, not just the paper's.
+
+use frostlab::climate::psychro;
+use frostlab::compress::archive::{archive, unarchive, FileEntry};
+use frostlab::compress::block::{compress, decompress};
+use frostlab::compress::bwt::{bwt_forward, bwt_inverse};
+use frostlab::compress::huffman;
+use frostlab::compress::md5::md5;
+use frostlab::compress::mtf::{mtf_decode, mtf_encode};
+use frostlab::compress::recover::recover;
+use frostlab::compress::rle::{rle_decode, rle_encode};
+use frostlab::hardware::disk::{Disk, BLOCK_SIZE};
+use frostlab::hardware::raid::{Raid1, Raid5};
+use frostlab::netsim::rsyncp;
+use frostlab::simkern::event::EventQueue;
+use frostlab::simkern::rng::Rng;
+use frostlab::simkern::time::SimTime;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn block_compression_roundtrips(data in proptest::collection::vec(any::<u8>(), 0..8192),
+                                    block_size in 64usize..4096) {
+        let packed = compress(&data, block_size);
+        prop_assert_eq!(decompress(&packed).expect("clean stream"), data);
+    }
+
+    #[test]
+    fn rle_roundtrips(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        prop_assert_eq!(rle_decode(&rle_encode(&data)).expect("self-encoded"), data);
+    }
+
+    #[test]
+    fn bwt_roundtrips(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let (last, primary) = bwt_forward(&data);
+        prop_assert_eq!(bwt_inverse(&last, primary).expect("valid transform"), data);
+    }
+
+    #[test]
+    fn mtf_roundtrips(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        prop_assert_eq!(mtf_decode(&mtf_encode(&data)), data);
+    }
+
+    #[test]
+    fn huffman_roundtrips(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let (lengths, bits, _) = huffman::encode(&data);
+        prop_assert_eq!(huffman::decode(&lengths, &bits, data.len()).expect("own code"), data);
+    }
+
+    #[test]
+    fn single_bit_flip_never_passes_silently(
+        data in proptest::collection::vec(any::<u8>(), 256..4096),
+        flip_seed in any::<u64>(),
+    ) {
+        // Any single-bit corruption of the archive must change the MD5 —
+        // the property the whole verification scheme rests on.
+        let packed = compress(&data, 512);
+        let mut rng = Rng::new(flip_seed);
+        let byte = rng.below(packed.len() as u64) as usize;
+        let bit = rng.below(8) as u8;
+        let mut corrupted = packed.clone();
+        corrupted[byte] ^= 1 << bit;
+        prop_assert_ne!(md5(&corrupted), md5(&packed));
+        // And recover never reports more than one bad block for one flip.
+        let report = recover(&corrupted);
+        prop_assert!(report.corrupted_count() <= 1);
+    }
+
+    #[test]
+    fn rsync_reconstructs_any_pair(
+        old in proptest::collection::vec(any::<u8>(), 0..4096),
+        new in proptest::collection::vec(any::<u8>(), 0..4096),
+        block in 16usize..512,
+    ) {
+        let (rebuilt, _) = rsyncp::sync(&old, &new, block);
+        prop_assert_eq!(rebuilt, new);
+    }
+
+    #[test]
+    fn rsync_identical_files_ship_no_literals(
+        data in proptest::collection::vec(any::<u8>(), 1..4096),
+        block in 16usize..512,
+    ) {
+        let (_, delta) = rsyncp::sync(&data, &data, block);
+        prop_assert_eq!(delta.literal_bytes(), 0);
+    }
+
+    #[test]
+    fn tar_roundtrips(files in proptest::collection::vec(
+        (proptest::string::string_regex("[a-z]{1,12}(/[a-z]{1,12}){0,3}").expect("valid regex"),
+         proptest::collection::vec(any::<u8>(), 0..2048)),
+        0..8,
+    )) {
+        // Deduplicate paths (tar allows duplicates, but equality then needs
+        // order bookkeeping that obscures the property).
+        let mut seen = std::collections::BTreeSet::new();
+        let entries: Vec<FileEntry> = files
+            .into_iter()
+            .filter(|(p, _)| seen.insert(p.clone()))
+            .map(|(path, data)| FileEntry { path, mode: 0o644, mtime: 1_266_000_000, data })
+            .collect();
+        let tar = archive(&entries);
+        prop_assert_eq!(unarchive(&tar).expect("own archive"), entries);
+    }
+
+    #[test]
+    fn raid5_tolerates_any_single_failure(
+        writes in proptest::collection::vec((0usize..30, any::<u8>()), 1..40),
+        victim in 0usize..3,
+    ) {
+        let mut arr = Raid5::new(vec![Disk::new(10), Disk::new(10), Disk::new(10)]);
+        let mut model = vec![[0u8; BLOCK_SIZE]; arr.num_blocks()];
+        for (block, byte) in writes {
+            let block = block % arr.num_blocks();
+            let data = [byte; BLOCK_SIZE];
+            arr.write_block(block, &data).expect("healthy array");
+            model[block] = data;
+        }
+        arr.member_mut(victim).fail();
+        for (i, expect) in model.iter().enumerate() {
+            prop_assert_eq!(&arr.read_block(i).expect("degraded read"), expect);
+        }
+    }
+
+    #[test]
+    fn raid1_mirrors_agree_after_any_write_sequence(
+        writes in proptest::collection::vec((0usize..16, any::<u8>()), 1..40),
+    ) {
+        let mut arr = Raid1::new(Disk::new(16), Disk::new(16));
+        for (block, byte) in &writes {
+            arr.write_block(*block, &[*byte; BLOCK_SIZE]).expect("healthy mirror");
+        }
+        for i in 0..16 {
+            let a = *arr.member(0).read_block(i).expect("member 0");
+            let b = *arr.member(1).read_block(i).expect("member 1");
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn event_queue_pops_sorted(times in proptest::collection::vec(0i64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_secs(*t), i);
+        }
+        let mut prev = SimTime::from_secs(-1);
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn dew_point_never_exceeds_temperature(
+        t in -40.0f64..40.0,
+        rh in 0.1f64..100.0,
+    ) {
+        let dp = psychro::dew_point_c(t, rh);
+        prop_assert!(dp <= t + 0.3, "dp {dp} > t {t} at rh {rh}");
+        // And heating at constant moisture always lowers RH.
+        let rh_after = psychro::rh_after_heating(t, rh, t + 10.0);
+        prop_assert!(rh_after <= rh + 1e-9);
+    }
+
+    #[test]
+    fn rng_streams_stay_in_unit_interval(seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        for _ in 0..256 {
+            let x = rng.f64();
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn memtest_no_false_positives(words in 16usize..512, rounds in 0u32..4, seed in any::<u64>()) {
+        // A healthy DRAM array must never be condemned, for any geometry,
+        // round count or random-data seed.
+        let mut mem = frostlab::hardware::memtest::DramArray::new(words);
+        let report = frostlab::hardware::memtest::run_memtest(&mut mem, rounds, seed);
+        prop_assert!(report.passed(), "false positive: {:?}", &report.errors[..report.errors.len().min(2)]);
+    }
+
+    #[test]
+    fn memtest_always_catches_stuck_bits(
+        words in 16usize..256,
+        word in 0usize..256,
+        bit in 0u8..64,
+        stuck_high in any::<bool>(),
+    ) {
+        // A hard stuck-at fault must be caught by the deterministic passes
+        // alone (zero random rounds).
+        let word = word % words;
+        let mut mem = frostlab::hardware::memtest::DramArray::new(words);
+        let value = if stuck_high { 1u64 << bit } else { 0 };
+        mem.inject_stuck_at(word, 1u64 << bit, value);
+        let report = frostlab::hardware::memtest::run_memtest(&mut mem, 0, 1);
+        prop_assert!(!report.passed(), "stuck bit {bit} of word {word} escaped");
+        prop_assert!(report.errors.iter().any(|e| e.word == word));
+    }
+
+    #[test]
+    fn wilson_interval_always_contains_point_estimate(
+        successes in 0u64..1000,
+        extra in 0u64..1000,
+    ) {
+        let trials = successes + extra;
+        prop_assume!(trials > 0);
+        let (lo, hi) = frostlab::analysis::stats::wilson_interval(successes, trials);
+        let p = successes as f64 / trials as f64;
+        prop_assert!(lo <= p + 1e-12 && p <= hi + 1e-12, "[{lo},{hi}] vs {p}");
+        prop_assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+    }
+
+    #[test]
+    fn kaplan_meier_monotone_and_bounded(
+        obs in proptest::collection::vec((1.0f64..5000.0, any::<bool>()), 1..60),
+    ) {
+        use frostlab::analysis::survival::{kaplan_meier, Observation};
+        let data: Vec<Observation> = obs
+            .into_iter()
+            .map(|(hours, failed)| Observation { hours, failed })
+            .collect();
+        let curve = kaplan_meier(&data);
+        let mut prev = 1.0;
+        for step in &curve {
+            prop_assert!(step.survival <= prev + 1e-12);
+            prop_assert!((0.0..=1.0).contains(&step.survival));
+            prev = step.survival;
+        }
+    }
+
+    #[test]
+    fn wet_bulb_never_exceeds_dry_bulb(t in -25.0f64..45.0, rh in 5.0f64..99.0) {
+        let wb = frostlab::energy::wetside::wet_bulb_c(t, rh);
+        prop_assert!(wb <= t, "wb {wb} > t {t} at rh {rh}");
+        prop_assert!(wb > t - 30.0, "absurd depression: {wb} at t {t}, rh {rh}");
+    }
+
+    #[test]
+    fn huffman_never_beats_entropy(
+        data in proptest::collection::vec(0u8..8, 64..2048),
+    ) {
+        // Information-theoretic sanity: coded length ≥ Shannon entropy.
+        let mut counts = [0u64; 256];
+        for &b in &data {
+            counts[b as usize] += 1;
+        }
+        let n = data.len() as f64;
+        let entropy_bits: f64 = counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n;
+                -(c as f64) * p.log2()
+            })
+            .sum();
+        let (_, _, bits) = huffman::encode(&data);
+        prop_assert!(bits as f64 >= entropy_bits - 1e-6, "{bits} bits vs H = {entropy_bits}");
+        // And within one bit per symbol of optimal.
+        prop_assert!((bits as f64) <= entropy_bits + n + 1.0);
+    }
+}

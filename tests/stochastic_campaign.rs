@@ -1,0 +1,119 @@
+//! Stochastic-mode integration tests: faults drawn from the hazard models
+//! over shortened windows (debug-speed), checking calibration bands and
+//! reproducibility rather than exact history.
+
+use frostlab::core::config::{ExperimentConfig, FaultMode};
+use frostlab::core::Experiment;
+use frostlab::faults::common_cause::{common_cause_candidates, DetectorConfig};
+use frostlab::faults::types::FaultKind;
+use frostlab::simkern::time::{SimDuration, SimTime};
+
+fn stochastic_window(seed: u64, days: i64) -> frostlab::core::ExperimentResults {
+    let cfg = ExperimentConfig {
+        fault_mode: FaultMode::Stochastic,
+        end: SimTime::from_date(2010, 2, 12) + SimDuration::days(days),
+        ..ExperimentConfig::short(seed, days)
+    };
+    Experiment::new(cfg).run()
+}
+
+#[test]
+fn stochastic_mode_is_deterministic_per_seed() {
+    let a = stochastic_window(3, 20);
+    let b = stochastic_window(3, 20);
+    assert_eq!(a.fault_events.len(), b.fault_events.len());
+    assert_eq!(a.workload.total_runs(), b.workload.total_runs());
+    assert_eq!(
+        a.workload.hash_errors().len(),
+        b.workload.hash_errors().len()
+    );
+}
+
+#[test]
+fn stochastic_seeds_differ() {
+    let a = stochastic_window(1, 20);
+    let b = stochastic_window(2, 20);
+    // Weather alone differs; run counts (jitter, hangs) almost surely too.
+    let same_outside = a
+        .outside
+        .iter()
+        .zip(&b.outside)
+        .filter(|(x, y)| x.temp_c == y.temp_c)
+        .count();
+    assert!(same_outside < a.outside.len() / 10);
+}
+
+#[test]
+fn stochastic_failure_counts_in_calibration_band() {
+    // Across a handful of 20-day windows, total hangs should be small but
+    // not always zero (the hazard calibration: ~1–2 per 90-day campaign).
+    let mut total_hangs = 0usize;
+    for seed in 0..6 {
+        let r = stochastic_window(seed, 20);
+        total_hangs += r
+            .fault_events
+            .iter()
+            .filter(|e| e.kind == FaultKind::TransientSystemFailure)
+            .count();
+    }
+    assert!(
+        total_hangs <= 12,
+        "6 windows × 20 days should not produce {total_hangs} hangs"
+    );
+}
+
+#[test]
+fn stochastic_repair_workflow_executes() {
+    // Find some window where a hang occurred and check the machinery ran.
+    for seed in 0..12 {
+        let r = stochastic_window(seed, 20);
+        let hang = r
+            .fault_events
+            .iter()
+            .find(|e| e.kind == FaultKind::TransientSystemFailure);
+        if let Some(ev) = hang {
+            let h = &r.hosts[&ev.host.0];
+            assert!(!h.failures.is_empty());
+            // The host was either reset (visit happened) or is still
+            // awaiting its inspection at campaign end — both are valid.
+            return;
+        }
+    }
+    // No hang in any window is possible but unlikely; don't fail the suite.
+}
+
+#[test]
+fn no_common_cause_clusters_in_nominal_winters() {
+    // The paper found none; nominal stochastic winters shouldn't fabricate
+    // them either (sensor cold faults need deep-cold CPUs, which the warm
+    // tent largely prevents).
+    let r = stochastic_window(7, 20);
+    let clusters = common_cause_candidates(
+        &r.fault_events
+            .iter()
+            .filter(|e| e.kind != FaultKind::MemoryBitFlip)
+            .cloned()
+            .collect::<Vec<_>>(),
+        &DetectorConfig::default(),
+    );
+    assert!(
+        clusters.len() <= 1,
+        "unexpected common-cause clusters: {clusters:?}"
+    );
+}
+
+#[test]
+fn ecc_hosts_never_store_archives() {
+    // Vendor C has ECC: its flips correct, never corrupting a run.
+    for seed in 0..4 {
+        let r = stochastic_window(seed, 15);
+        for err in r.workload.hash_errors() {
+            let host = &r.hosts[&err.host];
+            assert_ne!(
+                host.vendor,
+                frostlab::hardware::server::Vendor::C,
+                "ECC host produced a wrong hash"
+            );
+        }
+    }
+}

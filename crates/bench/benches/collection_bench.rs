@@ -1,0 +1,98 @@
+//! Collection-pipeline benchmarks: one monitoring round against the fleet,
+//! and the adaptive-RTO transport pushing a round's worth of log deltas
+//! across a link dropping 5 % of frames (the regime the retry machinery is
+//! tuned for).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use frostlab_netsim::collector::{Collector, MonitoredHost};
+use frostlab_netsim::transport::{drive_until_idle, Endpoint};
+use frostlab_netsim::{MacAddr, Network};
+use frostlab_simkern::rng::Rng;
+use frostlab_simkern::time::{SimDuration, SimTime};
+
+const FLEET: u32 = 19;
+/// One 20-minute round's worth of fresh log bytes per host (md5sum lines
+/// plus sensor samples) — matches the experiment's appender.
+const ROUND_BYTES: usize = 160;
+
+fn fleet(rng: &mut Rng, collector: &Collector) -> Vec<MonitoredHost> {
+    (1..=FLEET)
+        .map(|id| {
+            let mut h = MonitoredHost::new(id, rng, vec![collector.key.public]);
+            // A mirror history to delta against: a week of prior rounds.
+            for round in 0..500u32 {
+                h.append("md5sums.log", format!("{round:08} {id:02} ok\n").as_bytes());
+            }
+            h
+        })
+        .collect()
+}
+
+fn bench_collection_round(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collection");
+    g.throughput(Throughput::Elements(FLEET as u64));
+    g.bench_function("round_19_hosts", |b| {
+        let mut rng = Rng::new(7);
+        let mut collector = Collector::new(&mut rng);
+        let mut hosts = fleet(&mut rng, &collector);
+        // Warm the mirrors so the measured round is the steady state:
+        // authenticate + signature exchange + a small delta per host.
+        let mut t = SimTime::from_secs(0);
+        for h in &mut hosts {
+            collector.collect(h, true, t);
+        }
+        let mut round = 0u64;
+        b.iter(|| {
+            round += 1;
+            t += SimDuration::minutes(20);
+            for h in &mut hosts {
+                h.append("md5sums.log", format!("round {round:010}\n").as_bytes());
+                criterion::black_box(collector.collect(h, true, t));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_lossy_transport(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transport");
+    // A round's worth of deltas for the whole fleet, as one payload stream.
+    let payload: Vec<u8> = (0..ROUND_BYTES).map(|i| (i % 251) as u8).collect();
+    g.throughput(Throughput::Bytes((FLEET as usize * ROUND_BYTES) as u64));
+    g.bench_function("fleet_round_5pct_loss", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut net = Network::new(&Rng::new(seed));
+            let sw = net.add_switch();
+            let (ma, mb) = (MacAddr::from_id(1), MacAddr::from_id(2));
+            net.add_host(ma);
+            net.add_host(mb);
+            net.attach_host(ma, sw, 0).expect("free port");
+            net.attach_host(mb, sw, 1).expect("free port");
+            net.loss_prob = 0.05;
+
+            let mut a = Endpoint::new(ma, mb);
+            let mut b_ep = Endpoint::new(mb, ma);
+            for _ in 0..FLEET {
+                a.send(bytes::Bytes::from(payload.clone()));
+            }
+            let start = SimTime::from_secs(0);
+            let deadline = start + SimDuration::days(1);
+            drive_until_idle(
+                &mut net,
+                &mut a,
+                &mut b_ep,
+                start,
+                SimDuration::secs(1),
+                deadline,
+            );
+            assert!(!a.peer_dead(), "5% loss must never kill the session");
+            criterion::black_box(b_ep.take_delivered().len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_collection_round, bench_lossy_transport);
+criterion_main!(benches);

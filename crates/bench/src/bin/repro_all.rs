@@ -42,5 +42,8 @@ fn main() {
         results.lascar_outliers_removed
     );
 
-    println!("\nmachine-readable summary:\n{}", results.summary().to_json());
+    match results.summary().to_json() {
+        Ok(json) => println!("\nmachine-readable summary:\n{json}"),
+        Err(e) => eprintln!("summary serialization failed: {e}"),
+    }
 }

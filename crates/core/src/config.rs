@@ -2,6 +2,7 @@
 
 use frostlab_climate::presets;
 use frostlab_climate::weather::ClimateParams;
+use frostlab_faults::chaos::ChaosConfig;
 use frostlab_simkern::time::{SimDuration, SimTime};
 use frostlab_thermal::tent::TentParams;
 use frostlab_workload::job::JobConfig;
@@ -47,6 +48,9 @@ pub struct ExperimentConfig {
     /// Ablation: pretend every DIMM in the fleet is ECC (the what-if the
     /// paper's §4.2.2 implies — ECC would have corrected all five flips).
     pub force_ecc: bool,
+    /// Chaos injection for resilience studies (`None` = off). Ignored in
+    /// scripted mode — the paper's history is replayed verbatim there.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl ExperimentConfig {
@@ -66,6 +70,15 @@ impl ExperimentConfig {
             lascar_deployed_at: SimTime::from_date(2010, 3, 5),
             sensor_log_interval: SimDuration::minutes(20),
             force_ecc: false,
+            chaos: None,
+        }
+    }
+
+    /// Stochastic campaign with §4.2.1-grade chaos injection enabled.
+    pub fn paper_chaos(seed: u64) -> ExperimentConfig {
+        ExperimentConfig {
+            chaos: Some(ChaosConfig::paper_like()),
+            ..ExperimentConfig::paper_stochastic(seed)
         }
     }
 

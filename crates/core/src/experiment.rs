@@ -21,6 +21,7 @@ use std::collections::BTreeMap;
 
 use frostlab_climate::station::{StationConfig, WeatherStation};
 use frostlab_climate::weather::{WeatherModel, WeatherSample};
+use frostlab_faults::chaos::{ChaosEngine, ChaosEvent};
 use frostlab_faults::injector::{FaultInjector, HostFaults};
 use frostlab_faults::repair::{Disposition, HostRecord, RepairAction, RepairPolicy};
 use frostlab_faults::types::{FaultEvent, FaultKind, HostId};
@@ -41,9 +42,10 @@ use frostlab_workload::schedule::LoadSchedule;
 use frostlab_workload::stats::{Placement, WorkloadStats};
 
 use crate::config::{ExperimentConfig, FaultMode};
-use crate::fleet::{paper_fleet, switch_assignment, HostPlan};
+use crate::fleet::{paper_fleet, switch_assignment, HostPlan, SwitchFailoverPolicy};
 use crate::results::{ExperimentResults, HostSummary, StoredArchive};
 use crate::scripted::{paper_script, ScriptedEvent};
+use crate::watchdog::{IncidentKind, Watchdog};
 
 /// One live machine in the campaign.
 struct HostSim {
@@ -99,6 +101,15 @@ impl HostSim {
     }
 }
 
+/// Live chaos-injection state (stochastic mode with `cfg.chaos` set).
+struct ChaosState {
+    engine: ChaosEngine,
+    /// Per-attempt loss draws during a link-loss burst.
+    draws: Rng,
+    loss_until: SimTime,
+    loss_prob: f64,
+}
+
 /// The campaign driver. Construct with a config, then [`Experiment::run`].
 pub struct Experiment {
     cfg: ExperimentConfig,
@@ -113,6 +124,11 @@ pub struct Experiment {
     script: Vec<(SimTime, ScriptedEvent)>,
     script_next: usize,
     switch_up: [bool; 2],
+    watchdog: Watchdog,
+    failover: SwitchFailoverPolicy,
+    chaos: Option<ChaosState>,
+    /// Chaos-mode switch repairs scheduled by the failover policy.
+    pending_switch_restores: Vec<(SimTime, usize)>,
     // accumulation
     workload: WorkloadStats,
     fault_events: Vec<FaultEvent>,
@@ -201,6 +217,29 @@ impl Experiment {
         let lascar = LascarLogger::new(LascarConfig::default(), cfg.lascar_deployed_at, &root);
         let meter = CostControlMeter::new(&root);
 
+        // Chaos injection only exists in stochastic mode; scripted mode
+        // replays the paper's history verbatim. The engine and its draw
+        // stream come from `derive`, so enabling/disabling chaos never
+        // shifts any other consumer's randomness.
+        let chaos = match (&cfg.fault_mode, &cfg.chaos) {
+            (FaultMode::Stochastic, Some(chaos_cfg)) => {
+                let host_ids: Vec<u32> = hosts.iter().map(|h| h.plan.id).collect();
+                Some(ChaosState {
+                    engine: ChaosEngine::generate(
+                        chaos_cfg,
+                        (cfg.start, cfg.end),
+                        &host_ids,
+                        2,
+                        &root,
+                    ),
+                    draws: root.derive("chaos-draws"),
+                    loss_until: cfg.start,
+                    loss_prob: 0.0,
+                })
+            }
+            _ => None,
+        };
+
         Experiment {
             station,
             wx,
@@ -213,6 +252,10 @@ impl Experiment {
             script,
             script_next: 0,
             switch_up: [true, true],
+            watchdog: Watchdog::new(),
+            failover: SwitchFailoverPolicy::default(),
+            chaos,
+            pending_switch_restores: Vec::new(),
             workload: WorkloadStats::new(),
             fault_events: Vec::new(),
             stored_archives: Vec::new(),
@@ -258,6 +301,8 @@ impl Experiment {
         host.record.record_failure(at);
         host.inspection_due = Some(due);
         let id = host.plan.id;
+        self.watchdog
+            .open(IncidentKind::HostHang, &format!("host-{id}"), at);
         self.record_fault(at, id, FaultKind::TransientSystemFailure);
     }
 
@@ -273,6 +318,8 @@ impl Experiment {
                 if let Some(h) = self.hosts.iter_mut().find(|h| h.plan.id == host) {
                     h.server.sensors.inject_cold_fault();
                 }
+                self.watchdog
+                    .open(IncidentKind::SensorFault, &format!("host-{host}/sensor"), at);
                 self.record_fault(at, host, FaultKind::SensorChipErratic);
             }
             ScriptedEvent::SensorRedetect { host } => {
@@ -284,13 +331,25 @@ impl Experiment {
                 if let Some(h) = self.hosts.iter_mut().find(|h| h.plan.id == host) {
                     h.server.sensors.warm_reboot();
                 }
+                self.watchdog.resolve(
+                    &format!("host-{host}/sensor"),
+                    at,
+                    "sensor chip warm-rebooted",
+                );
             }
             ScriptedEvent::SwitchDown { switch } => {
                 self.switch_up[switch] = false;
+                self.watchdog
+                    .open(IncidentKind::SwitchFailure, &format!("switch-{switch}"), at);
                 self.record_fault(at, 101 + switch as u32, FaultKind::SwitchFailure);
             }
             ScriptedEvent::SwitchRestored { switch } => {
                 self.switch_up[switch] = true;
+                self.watchdog.resolve(
+                    &format!("switch-{switch}"),
+                    at,
+                    "spare switch swapped in",
+                );
             }
             ScriptedEvent::FlipNextRun { host } => {
                 if let Some(h) = self.hosts.iter_mut().find(|h| h.plan.id == host) {
@@ -323,6 +382,84 @@ impl Experiment {
         dram.inject_intermittent(word, 1u64 << bit, period);
         let report = frostlab_hardware::memtest::run_memtest(&mut dram, 8, self.cfg.seed);
         host.memtest_failed = Some(!report.passed());
+        let id = host.plan.id;
+        self.collector.abandon(id);
+    }
+
+    /// Apply one chaos event (stochastic mode only).
+    fn handle_chaos(&mut self, at: SimTime, ev: ChaosEvent) {
+        match ev {
+            ChaosEvent::LinkLossBurst { loss, duration } => {
+                if let Some(chaos) = self.chaos.as_mut() {
+                    chaos.loss_until = at + duration;
+                    chaos.loss_prob = loss;
+                }
+            }
+            // Jitter delays frames but the 20-minute cadence dwarfs any
+            // per-hop delay, so a jitter burst is invisible at this layer;
+            // the frame-level effect lives in `frostlab_netsim::net`.
+            ChaosEvent::JitterBurst { .. } => {}
+            ChaosEvent::SwitchDeath { switch } => {
+                if !self.switch_up[switch] {
+                    return; // already dead
+                }
+                self.switch_up[switch] = false;
+                self.watchdog
+                    .open(IncidentKind::SwitchFailure, &format!("switch-{switch}"), at);
+                self.record_fault(at, 101 + switch as u32, FaultKind::SwitchFailure);
+                // The spare-swap repair workflow bounds the outage — while
+                // spares last.
+                if let Some(restore_at) = self.failover.take_spare(at) {
+                    self.pending_switch_restores.push((restore_at, switch));
+                }
+            }
+            ChaosEvent::HostHang { host } => {
+                if let Some(idx) = self.hosts.iter().position(|h| h.plan.id == host) {
+                    if self.hosts[idx].installed(at) {
+                        self.apply_hang(idx, at);
+                    }
+                }
+            }
+            ChaosEvent::HostReboot { host } => {
+                // Transient: the box comes straight back without operator
+                // attention; only the in-flight run is lost.
+                if let Some(h) = self
+                    .hosts
+                    .iter_mut()
+                    .find(|h| h.plan.id == host && h.installed(at))
+                {
+                    if h.server.is_running() {
+                        h.server.reset();
+                        h.schedule.resume_at(at);
+                        h.next_run_at = h.schedule.next_run();
+                        self.record_fault(at, host, FaultKind::TransientSystemFailure);
+                    }
+                }
+            }
+            ChaosEvent::SensorFreeze { host } => {
+                if let Some(h) = self
+                    .hosts
+                    .iter_mut()
+                    .find(|h| h.plan.id == host && h.installed(at))
+                {
+                    h.server.sensors.inject_cold_fault();
+                    self.watchdog.open(
+                        IncidentKind::SensorFault,
+                        &format!("host-{host}/sensor"),
+                        at,
+                    );
+                    self.record_fault(at, host, FaultKind::SensorChipErratic);
+                }
+            }
+        }
+    }
+
+    /// Does the chaos link-loss burst eat this collection attempt?
+    fn chaos_drops_attempt(&mut self, t: SimTime) -> bool {
+        match self.chaos.as_mut() {
+            Some(chaos) if t < chaos.loss_until => chaos.draws.chance(chaos.loss_prob),
+            _ => false,
+        }
     }
 
     /// Run the campaign to completion.
@@ -381,6 +518,29 @@ impl Experiment {
                 let (at, ev) = self.script[self.script_next].clone();
                 self.script_next += 1;
                 self.handle_scripted(at, ev);
+            }
+
+            // 4b. Chaos events due, then any failover-scheduled switch
+            // repairs that have come due.
+            let chaos_due = match self.chaos.as_mut() {
+                Some(chaos) => chaos.engine.pop_due(t),
+                None => Vec::new(),
+            };
+            for (at, ev) in chaos_due {
+                self.handle_chaos(at, ev);
+            }
+            while let Some(pos) = self
+                .pending_switch_restores
+                .iter()
+                .position(|(due, _)| *due <= t)
+            {
+                let (at, switch) = self.pending_switch_restores.remove(pos);
+                self.switch_up[switch] = true;
+                self.watchdog.resolve(
+                    &format!("switch-{switch}"),
+                    at,
+                    "spare switch swapped in",
+                );
             }
 
             // 5. Hosts.
@@ -506,6 +666,11 @@ impl Experiment {
                                 host.server.reset();
                                 host.schedule.resume_at(t);
                                 host.next_run_at = host.schedule.next_run();
+                                self.watchdog.resolve(
+                                    &format!("host-{}", host.plan.id),
+                                    t,
+                                    "reset in place",
+                                );
                             }
                             RepairAction::TakeIndoors => withdrawals.push(idx),
                         }
@@ -516,23 +681,53 @@ impl Experiment {
                 self.apply_hang(idx, at);
             }
             for idx in withdrawals {
+                let id = self.hosts[idx].plan.id;
                 self.take_indoors(idx);
+                self.watchdog
+                    .resolve(&format!("host-{id}"), t, "taken indoors (memtest)");
             }
             if fault_poll_due {
                 self.next_fault_poll = t + self.cfg.fault_poll_interval;
             }
 
-            // 6. Collection round.
+            // 6. Collection round, plus the watchdog's staleness sweep.
             if t >= self.next_collection {
                 for idx in 0..self.hosts.len() {
                     if !self.hosts[idx].installed(t) {
                         continue;
                     }
-                    let reachable = self.reachable(&self.hosts[idx]);
+                    let reachable =
+                        self.reachable(&self.hosts[idx]) && !self.chaos_drops_attempt(t);
                     let host = &mut self.hosts[idx];
                     self.collector.collect(&mut host.store, reachable, t);
+                    // Staleness check: alarm only when nothing else (an open
+                    // switch or host incident) already explains the gap.
+                    let id = host.plan.id;
+                    let explained = self.watchdog.is_open(&format!("host-{id}"))
+                        || (host.plan.placement == Placement::Tent
+                            && self
+                                .watchdog
+                                .is_open(&format!("switch-{}", switch_assignment(id))));
+                    let staleness = self.collector.staleness(id, t);
+                    self.watchdog.observe_staleness(id, staleness, explained, t);
                 }
                 self.next_collection = t + self.cfg.collection_interval;
+            }
+
+            // 6b. Catch-up retries with backoff for hosts whose mirror is
+            // stale. A scheduled failure at this same tick has already
+            // pushed the host's next attempt into the future, so a host is
+            // never tried twice in one tick.
+            for id in self.collector.due_retries(t) {
+                let Some(idx) = self.hosts.iter().position(|h| h.plan.id == id) else {
+                    continue;
+                };
+                if !self.hosts[idx].installed(t) {
+                    continue;
+                }
+                let reachable = self.reachable(&self.hosts[idx]) && !self.chaos_drops_attempt(t);
+                let host = &mut self.hosts[idx];
+                self.collector.retry_collect(&mut host.store, reachable, t);
             }
 
             // 7. Power metering (tent group feed).
@@ -595,6 +790,8 @@ impl Experiment {
             fault_events: self.fault_events,
             hosts,
             collection: self.collector.history().to_vec(),
+            collection_gaps: self.collector.gaps().to_vec(),
+            incidents: self.watchdog.into_incidents(),
             stored_archives: self.stored_archives,
             tent_energy_metered_kwh: self.meter.energy_kwh(),
             tent_energy_true_kwh: self.energy_true_wh / 1000.0,
@@ -665,13 +862,118 @@ mod tests {
     fn summary_json_roundtrips() {
         let results = Experiment::new(ExperimentConfig::short(11, 8)).run();
         let summary = results.summary();
-        let json = summary.to_json();
+        let json = summary.to_json().expect("plain data serializes");
         assert!(json.contains("\"total_runs\""));
         let back: crate::results::CampaignSummary =
             serde_json::from_str(&json).expect("valid JSON");
         assert_eq!(back, summary);
         assert_eq!(back.seed, 11);
         assert!(back.collection_availability > 0.0);
+    }
+
+    #[test]
+    fn watchdog_logs_the_switch_outage_with_recovery() {
+        // 20 days from Feb 12 cover both §4.2.1 switch deaths (Feb 26 and
+        // Feb 28) and the Mar 1 restoration.
+        let results = Experiment::new(ExperimentConfig::short(5, 20)).run();
+        let switch_incidents: Vec<_> = results
+            .incidents
+            .iter()
+            .filter(|i| i.kind == crate::watchdog::IncidentKind::SwitchFailure)
+            .collect();
+        assert_eq!(switch_incidents.len(), 2, "{:?}", results.incidents);
+        let restored = SimTime::from_ymd_hms(2010, 3, 1, 11, 30, 0);
+        for i in &switch_incidents {
+            assert_eq!(i.resolved, Some(restored), "{i:?}");
+            assert_eq!(i.resolution.as_deref(), Some("spare switch swapped in"));
+        }
+        assert_eq!(
+            switch_incidents[0].started,
+            SimTime::from_ymd_hms(2010, 2, 26, 9, 0, 0)
+        );
+        // Stale tent mirrors during the outage are explained by the open
+        // switch incidents — no spurious staleness alarms.
+        assert!(
+            !results
+                .incidents
+                .iter()
+                .any(|i| i.kind == crate::watchdog::IncidentKind::CollectionStale),
+            "{:?}",
+            results.incidents
+        );
+        // The log round-trips as machine-readable JSON.
+        let json = results.incident_log_json().expect("plain data");
+        assert!(json.contains("switch-0") && json.contains("switch-1"));
+    }
+
+    #[test]
+    fn retries_heal_the_switch_outage_gap() {
+        let results = Experiment::new(ExperimentConfig::short(5, 20)).run();
+        // Retry attempts were made during the outage…
+        let retry_attempts = results
+            .collection
+            .iter()
+            .filter(|r| r.kind == frostlab_netsim::collector::AttemptKind::Retry)
+            .count();
+        assert!(retry_attempts > 0, "no catch-up retries recorded");
+        // …and every tent host's gap healed shortly after the Mar 1 repair:
+        // the backoff cap is 20 minutes, so recovery lands within ~25 min
+        // of the restoration instead of waiting for the 2 h scheduled round.
+        let restored = SimTime::from_ymd_hms(2010, 3, 1, 11, 30, 0);
+        assert!(!results.collection_gaps.is_empty());
+        for gap in &results.collection_gaps {
+            assert!(gap.failed_attempts > 0);
+            assert!(gap.end > restored, "{gap:?}");
+            assert!(
+                gap.end - restored < SimDuration::minutes(30),
+                "recovery should ride a capped retry, not the next scheduled round: {gap:?}"
+            );
+        }
+        // Availability still measures the scheduled cadence only.
+        let avail = results.collection_availability();
+        assert!(avail < 1.0 && avail > 0.5, "availability {avail}");
+    }
+
+    #[test]
+    fn chaos_campaign_runs_deterministically() {
+        let cfg = || ExperimentConfig {
+            chaos: Some(frostlab_faults::chaos::ChaosConfig::paper_like()),
+            fault_mode: FaultMode::Stochastic,
+            ..ExperimentConfig::short(13, 20)
+        };
+        let a = Experiment::new(cfg()).run();
+        let b = Experiment::new(cfg()).run();
+        assert_eq!(a.workload.total_runs(), b.workload.total_runs());
+        assert_eq!(a.collection.len(), b.collection.len());
+        assert_eq!(a.incidents, b.incidents);
+        // 20 hostile days should produce injected events beyond the two
+        // scripted switch deaths.
+        assert!(
+            a.fault_events.len() > 2,
+            "chaos injected nothing: {:?}",
+            a.fault_events
+        );
+    }
+
+    #[test]
+    fn chaos_off_stochastic_matches_plain_stochastic() {
+        // `chaos: None` must be bit-identical to a build that never had
+        // chaos at all — same seed, same stochastic draws, same outputs.
+        let plain = Experiment::new(ExperimentConfig {
+            fault_mode: FaultMode::Stochastic,
+            ..ExperimentConfig::short(17, 15)
+        })
+        .run();
+        let with_none = Experiment::new(ExperimentConfig {
+            fault_mode: FaultMode::Stochastic,
+            chaos: None,
+            ..ExperimentConfig::short(17, 15)
+        })
+        .run();
+        assert_eq!(plain.workload.total_runs(), with_none.workload.total_runs());
+        assert_eq!(plain.tent_temp_truth, with_none.tent_temp_truth);
+        assert_eq!(plain.collection.len(), with_none.collection.len());
+        assert_eq!(plain.tent_energy_true_kwh, with_none.tent_energy_true_kwh);
     }
 
     #[test]

@@ -13,8 +13,9 @@
 //! constraints in the text (e.g. #15 was running in the tent before its
 //! Mar 7 failure).
 
+use frostlab_faults::repair::HostRecord;
 use frostlab_hardware::server::Vendor;
-use frostlab_simkern::time::SimTime;
+use frostlab_simkern::time::{SimDuration, SimTime};
 use frostlab_workload::stats::Placement;
 
 /// One machine's static plan.
@@ -99,6 +100,51 @@ pub fn switch_assignment(host: u32) -> usize {
     }
 }
 
+/// The spare-switch swap repair policy for the monitoring fabric.
+///
+/// §4.2.1: the switches came from a defective batch and two of them died
+/// during the campaign; each was replaced with a spare unit on the next
+/// visit to the roof. The policy models that workflow: a dead switch waits
+/// for the next operator inspection window (working days, 10:00 — the same
+/// cadence host repairs use) and then takes a fixed swap time to re-cable
+/// and power the spare. While spares remain, every switch death has a
+/// bounded repair window; once the spares run out the outage lasts until
+/// campaign end.
+#[derive(Debug, Clone)]
+pub struct SwitchFailoverPolicy {
+    /// Spare units on the shelf (the paper's batch left a couple unused).
+    pub spares: u32,
+    /// Hands-on time to swap the spare in once the operator is on site.
+    pub swap_time: SimDuration,
+}
+
+impl Default for SwitchFailoverPolicy {
+    fn default() -> Self {
+        SwitchFailoverPolicy {
+            spares: 2,
+            swap_time: SimDuration::minutes(90),
+        }
+    }
+}
+
+impl SwitchFailoverPolicy {
+    /// When a switch that died at `failed_at` comes back, if a spare is
+    /// available: the next operator inspection window plus the swap time.
+    pub fn restore_time(&self, failed_at: SimTime) -> SimTime {
+        HostRecord::next_inspection(failed_at) + self.swap_time
+    }
+
+    /// Consume a spare for one swap. Returns `None` (no restore possible)
+    /// when the shelf is empty, otherwise the restore time.
+    pub fn take_spare(&mut self, failed_at: SimTime) -> Option<SimTime> {
+        if self.spares == 0 {
+            return None;
+        }
+        self.spares -= 1;
+        Some(self.restore_time(failed_at))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,6 +216,34 @@ mod tests {
             let sw = switch_assignment(h.id);
             assert!(sw < 2, "host {} on switch {sw}", h.id);
         }
+    }
+
+    #[test]
+    fn failover_policy_matches_scripted_restores() {
+        // Both §4.2.1 switch deaths (Fri Feb 26 09:00 and Sun Feb 28 14:00)
+        // wait for the Monday-morning inspection and come back after the
+        // 90-minute swap — exactly the paper script's restore events.
+        let policy = SwitchFailoverPolicy::default();
+        let restored = SimTime::from_ymd_hms(2010, 3, 1, 11, 30, 0);
+        assert_eq!(
+            policy.restore_time(SimTime::from_ymd_hms(2010, 2, 26, 9, 0, 0)),
+            restored
+        );
+        assert_eq!(
+            policy.restore_time(SimTime::from_ymd_hms(2010, 2, 28, 14, 0, 0)),
+            restored
+        );
+    }
+
+    #[test]
+    fn spare_shelf_is_finite() {
+        let mut policy = SwitchFailoverPolicy::default();
+        let at = SimTime::from_ymd_hms(2010, 3, 3, 9, 0, 0);
+        let first = policy.take_spare(at);
+        assert!(first.is_some());
+        assert!(first.unwrap() > at, "repair takes time");
+        assert!(policy.take_spare(at).is_some());
+        assert_eq!(policy.take_spare(at), None, "shelf empty after two swaps");
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod prototype;
 pub mod results;
 pub mod scripted;
 pub mod tables;
+pub mod watchdog;
 
 pub use config::ExperimentConfig;
 pub use experiment::Experiment;

@@ -7,8 +7,10 @@ use frostlab_climate::station::WeatherObservation;
 use frostlab_faults::repair::Disposition;
 use frostlab_faults::types::FaultEvent;
 use frostlab_hardware::server::Vendor;
-use frostlab_netsim::collector::CollectRecord;
+use frostlab_netsim::collector::{AttemptKind, CollectRecord, CollectionGap};
 use frostlab_simkern::time::SimTime;
+
+use crate::watchdog::{Incident, IncidentRecord};
 use frostlab_telemetry::series::TimeSeries;
 use frostlab_workload::stats::{Placement, WorkloadStats};
 
@@ -88,8 +90,13 @@ pub struct ExperimentResults {
     pub fault_events: Vec<FaultEvent>,
     /// Per-host summaries.
     pub hosts: BTreeMap<u32, HostSummary>,
-    /// Collector attempt history.
+    /// Collector attempt history (scheduled rounds and catch-up retries).
     pub collection: Vec<CollectRecord>,
+    /// Healed collection outages, per host (start, end, failed attempts).
+    pub collection_gaps: Vec<CollectionGap>,
+    /// The watchdog's incident ledger: switch deaths, host hangs, sensor
+    /// faults and unexplained staleness, with resolution timestamps.
+    pub incidents: Vec<Incident>,
     /// Wrong-hash archives kept for forensics.
     pub stored_archives: Vec<StoredArchive>,
     /// Tent-group energy as the Technoline counted it, kWh.
@@ -123,22 +130,38 @@ impl ExperimentResults {
         )
     }
 
-    /// Collection availability over the campaign.
+    /// Collection availability over the campaign: the fraction of
+    /// *scheduled* 20-minute rounds that succeeded. Backoff-driven catch-up
+    /// retries are excluded so the retry policy's persistence cannot
+    /// flatter (or dilute) the cadence the paper reports on.
     pub fn collection_availability(&self) -> f64 {
-        if self.collection.is_empty() {
+        let (mut ok, mut total) = (0usize, 0usize);
+        for r in &self.collection {
+            if r.kind != AttemptKind::Scheduled {
+                continue;
+            }
+            total += 1;
+            if matches!(
+                r.outcome,
+                frostlab_netsim::collector::CollectOutcome::Success { .. }
+            ) {
+                ok += 1;
+            }
+        }
+        if total == 0 {
             return 1.0;
         }
-        let ok = self
-            .collection
-            .iter()
-            .filter(|r| {
-                matches!(
-                    r.outcome,
-                    frostlab_netsim::collector::CollectOutcome::Success { .. }
-                )
-            })
-            .count();
-        ok as f64 / self.collection.len() as f64
+        ok as f64 / total as f64
+    }
+
+    /// The incident ledger in its machine-readable form.
+    pub fn incident_log(&self) -> Vec<IncidentRecord> {
+        self.incidents.iter().map(IncidentRecord::from).collect()
+    }
+
+    /// The incident ledger as pretty JSON.
+    pub fn incident_log_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(&self.incident_log())
     }
 
     /// Literal bytes the rsync collection actually moved over the wire
@@ -243,7 +266,7 @@ pub struct CampaignSummary {
 
 impl CampaignSummary {
     /// Serialize to pretty JSON.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("summary is plain data")
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
     }
 }

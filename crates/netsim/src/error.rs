@@ -1,0 +1,76 @@
+//! Typed errors for the network substrate.
+//!
+//! The seed code panicked on topology misuse (attaching to a taken port,
+//! sending from an unregistered NIC) and on malformed wire data. A fault
+//! platform must degrade gracefully instead of aborting the simulation, so
+//! these conditions are now ordinary values the orchestrator can observe.
+
+use crate::frame::MacAddr;
+use crate::net::SwitchId;
+
+/// Everything that can go wrong while building or driving the network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// A MAC address that was never registered with [`crate::net::Network::add_host`].
+    UnknownHost(MacAddr),
+    /// A switch id that does not exist in this network.
+    UnknownSwitch(SwitchId),
+    /// Port index beyond the switch's port count.
+    PortOutOfRange {
+        /// The switch addressed.
+        switch: SwitchId,
+        /// The offending port index.
+        port: u8,
+    },
+    /// The port already has an attachment.
+    PortInUse {
+        /// The switch addressed.
+        switch: SwitchId,
+        /// The occupied port.
+        port: u8,
+    },
+    /// A transport segment too short or inconsistent to parse.
+    MalformedSegment {
+        /// Observed payload length.
+        len: usize,
+    },
+    /// The peer exceeded the retransmission budget and was declared dead.
+    PeerDead,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::UnknownHost(mac) => write!(f, "unknown host {mac}"),
+            NetError::UnknownSwitch(sw) => write!(f, "unknown switch {}", sw.0),
+            NetError::PortOutOfRange { switch, port } => {
+                write!(f, "port {port} out of range on switch {}", switch.0)
+            }
+            NetError::PortInUse { switch, port } => {
+                write!(f, "port {port} on switch {} already in use", switch.0)
+            }
+            NetError::MalformedSegment { len } => {
+                write!(f, "malformed transport segment ({len} bytes)")
+            }
+            NetError::PeerDead => write!(f, "peer declared dead after retry budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render() {
+        let e = NetError::PortInUse {
+            switch: SwitchId(1),
+            port: 3,
+        };
+        assert!(e.to_string().contains("port 3"));
+        assert!(NetError::PeerDead.to_string().contains("dead"));
+        assert!(NetError::MalformedSegment { len: 2 }.to_string().contains("2 bytes"));
+    }
+}

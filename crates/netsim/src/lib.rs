@@ -30,11 +30,13 @@
 
 pub mod auth;
 pub mod collector;
+pub mod error;
 pub mod frame;
 pub mod net;
 pub mod rsyncp;
 pub mod transport;
 
+pub use error::NetError;
 pub use frame::{Frame, MacAddr};
 pub use net::{Network, SwitchId};
 pub use transport::Endpoint;

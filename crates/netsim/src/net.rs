@@ -20,6 +20,7 @@ use frostlab_simkern::event::EventQueue;
 use frostlab_simkern::rng::Rng;
 use frostlab_simkern::time::{SimDuration, SimTime};
 
+use crate::error::NetError;
 use crate::frame::{Frame, MacAddr};
 
 /// Identifier of a switch in the network.
@@ -76,6 +77,10 @@ pub struct NetStats {
     pub dropped_congestion: u64,
     /// Frames flooded (unknown destination or broadcast).
     pub flooded: u64,
+    /// Frames sent from a NIC the network has never heard of.
+    pub dropped_unknown_src: u64,
+    /// Extra frame copies injected by the duplication fault knob.
+    pub duplicated: u64,
 }
 
 /// The switched network.
@@ -87,6 +92,13 @@ pub struct Network {
     pub latency: SimDuration,
     /// Per-hop frame-loss probability.
     pub loss_prob: f64,
+    /// Maximum extra per-hop delay (uniform in `0..=jitter_max`); models
+    /// the bursty queueing the chaos engine injects. Zero (the default)
+    /// draws no randomness, preserving byte-identical RNG streams.
+    pub jitter_max: SimDuration,
+    /// Per-hop frame duplication probability (faulty NIC/switch behaviour).
+    /// Zero (the default) draws no randomness.
+    pub dup_prob: f64,
     /// Per-port egress capacity, bytes per second (`None` = unlimited).
     /// 100BASE-TX, the era's desktop standard, is 12 500 000 B/s; tail-drop
     /// applies when a port's 1-second egress budget is exhausted.
@@ -109,6 +121,8 @@ impl Network {
             queue: EventQueue::new(),
             latency: SimDuration::secs(1),
             loss_prob: 0.0,
+            jitter_max: SimDuration::ZERO,
+            dup_prob: 0.0,
             port_capacity_bps: None,
             egress: BTreeMap::new(),
             rng: seed_rng.derive("network"),
@@ -137,51 +151,82 @@ impl Network {
         );
     }
 
+    fn check_port(&self, sw: SwitchId, port: u8) -> Result<(), NetError> {
+        if sw.0 >= self.switches.len() {
+            return Err(NetError::UnknownSwitch(sw));
+        }
+        if (port as usize) >= SWITCH_PORTS {
+            return Err(NetError::PortOutOfRange { switch: sw, port });
+        }
+        if self.switches[sw.0].ports[port as usize].is_some() {
+            return Err(NetError::PortInUse { switch: sw, port });
+        }
+        Ok(())
+    }
+
     /// Attach a host to a switch port.
-    ///
-    /// # Panics
-    /// Panics if the port is taken or out of range, or the host is unknown.
-    pub fn attach_host(&mut self, mac: MacAddr, sw: SwitchId, port: u8) {
-        assert!((port as usize) < SWITCH_PORTS, "port out of range");
-        let slot = &mut self.switches[sw.0].ports[port as usize];
-        assert!(slot.is_none(), "port {port} on {sw:?} already in use");
-        *slot = Some(Attachment::Host(mac));
-        self.hosts
-            .get_mut(&mac)
-            .expect("attach of unknown host")
-            .attached = Some((sw, port));
+    pub fn attach_host(&mut self, mac: MacAddr, sw: SwitchId, port: u8) -> Result<(), NetError> {
+        self.check_port(sw, port)?;
+        let host = self.hosts.get_mut(&mac).ok_or(NetError::UnknownHost(mac))?;
+        host.attached = Some((sw, port));
+        self.switches[sw.0].ports[port as usize] = Some(Attachment::Host(mac));
+        Ok(())
     }
 
     /// Connect two switches with an inter-switch link.
-    pub fn link_switches(&mut self, a: SwitchId, port_a: u8, b: SwitchId, port_b: u8) {
-        assert!((port_a as usize) < SWITCH_PORTS && (port_b as usize) < SWITCH_PORTS);
-        assert!(self.switches[a.0].ports[port_a as usize].is_none());
-        assert!(self.switches[b.0].ports[port_b as usize].is_none());
+    pub fn link_switches(
+        &mut self,
+        a: SwitchId,
+        port_a: u8,
+        b: SwitchId,
+        port_b: u8,
+    ) -> Result<(), NetError> {
+        self.check_port(a, port_a)?;
+        self.check_port(b, port_b)?;
         self.switches[a.0].ports[port_a as usize] = Some(Attachment::Switch(b, port_b));
         self.switches[b.0].ports[port_b as usize] = Some(Attachment::Switch(a, port_a));
+        Ok(())
     }
 
-    /// Bring a switch up or down. A downed switch loses its MAC table (it
-    /// reboots cold if it ever returns).
-    pub fn set_switch_up(&mut self, sw: SwitchId, up: bool) {
-        let s = &mut self.switches[sw.0];
-        s.up = up;
-        if !up {
-            s.mac_table.clear();
+    /// Detach whatever occupies a switch port (spare-switch swaps re-cable
+    /// hosts; see `frostlab-core`'s failover policy). Unknown switch or
+    /// empty port is a no-op.
+    pub fn detach_port(&mut self, sw: SwitchId, port: u8) {
+        if let Some(s) = self.switches.get_mut(sw.0) {
+            if let Some(Some(Attachment::Host(mac))) = s.ports.get_mut(port as usize).map(std::mem::take) {
+                if let Some(h) = self.hosts.get_mut(&mac) {
+                    h.attached = None;
+                }
+            }
         }
     }
 
-    /// Is the switch forwarding?
+    /// Bring a switch up or down. A downed switch loses its MAC table (it
+    /// reboots cold if it ever returns). Unknown switches are a no-op.
+    pub fn set_switch_up(&mut self, sw: SwitchId, up: bool) {
+        if let Some(s) = self.switches.get_mut(sw.0) {
+            s.up = up;
+            if !up {
+                s.mac_table.clear();
+            }
+        }
+    }
+
+    /// Is the switch forwarding? Unknown switches are not.
     pub fn switch_up(&self, sw: SwitchId) -> bool {
-        self.switches[sw.0].up
+        self.switches.get(sw.0).is_some_and(|s| s.up)
     }
 
     /// Transmit a frame from `frame.src`'s NIC at time `at`.
+    ///
+    /// Frames from NICs the network has never registered are dropped and
+    /// counted in [`NetStats::dropped_unknown_src`]; an attached-but-known
+    /// host with no cable loses the frame silently (cable unplugged).
     pub fn send(&mut self, frame: Frame, at: SimTime) {
-        let host = self
-            .hosts
-            .get(&frame.src)
-            .unwrap_or_else(|| panic!("send from unknown host {}", frame.src));
+        let Some(host) = self.hosts.get(&frame.src) else {
+            self.stats.dropped_unknown_src += 1;
+            return;
+        };
         if let Some((sw, port)) = host.attached {
             let ev = NetEvent::AtSwitch {
                 sw,
@@ -190,7 +235,6 @@ impl Network {
             };
             self.queue.schedule(at + self.latency, ev);
         }
-        // Unattached host: frame vanishes (cable unplugged).
     }
 
     /// Process all deliveries up to and including `t`.
@@ -245,6 +289,18 @@ impl Network {
         }
     }
 
+    /// Per-hop delay: fixed latency plus an optional jitter draw. The RNG
+    /// is consulted only when jitter is enabled, so default configurations
+    /// keep their historical random streams bit-for-bit.
+    fn hop_delay(&mut self) -> SimDuration {
+        let jitter = self.jitter_max.as_secs();
+        if jitter > 0 {
+            self.latency + SimDuration::secs(self.rng.below(jitter as u64 + 1) as i64)
+        } else {
+            self.latency
+        }
+    }
+
     fn emit(&mut self, sw: SwitchId, port: u8, frame: Frame, now: SimTime) {
         if self.lossy() {
             self.stats.dropped_loss += 1;
@@ -263,23 +319,39 @@ impl Network {
             }
             slot.1 += len;
         }
+        let copies = if self.dup_prob > 0.0 && self.rng.chance(self.dup_prob) {
+            self.stats.duplicated += 1;
+            2
+        } else {
+            1
+        };
         let attachment = self.switches[sw.0].ports[port as usize];
-        match attachment {
-            Some(Attachment::Host(mac)) => {
-                self.queue
-                    .schedule(now + self.latency, NetEvent::AtHost { mac, frame });
+        for copy in 0..copies {
+            // A duplicated frame trails its original by one tick so the
+            // receiver observes it as a distinct arrival.
+            let delay = self.hop_delay() + SimDuration::secs(copy);
+            match attachment {
+                Some(Attachment::Host(mac)) => {
+                    self.queue.schedule(
+                        now + delay,
+                        NetEvent::AtHost {
+                            mac,
+                            frame: frame.clone(),
+                        },
+                    );
+                }
+                Some(Attachment::Switch(other, other_port)) => {
+                    self.queue.schedule(
+                        now + delay,
+                        NetEvent::AtSwitch {
+                            sw: other,
+                            in_port: other_port,
+                            frame: frame.clone(),
+                        },
+                    );
+                }
+                None => {}
             }
-            Some(Attachment::Switch(other, other_port)) => {
-                self.queue.schedule(
-                    now + self.latency,
-                    NetEvent::AtSwitch {
-                        sw: other,
-                        in_port: other_port,
-                        frame,
-                    },
-                );
-            }
-            None => {}
         }
     }
 
@@ -312,8 +384,8 @@ mod tests {
         let sw = net.add_switch();
         net.add_host(MacAddr::from_id(1));
         net.add_host(MacAddr::from_id(2));
-        net.attach_host(MacAddr::from_id(1), sw, 0);
-        net.attach_host(MacAddr::from_id(2), sw, 1);
+        net.attach_host(MacAddr::from_id(1), sw, 0).expect("free port");
+        net.attach_host(MacAddr::from_id(2), sw, 1).expect("free port");
         net
     }
 
@@ -351,7 +423,8 @@ mod tests {
         let sw = net.add_switch();
         for id in 1..=4 {
             net.add_host(MacAddr::from_id(id));
-            net.attach_host(MacAddr::from_id(id), sw, (id - 1) as u8);
+            net.attach_host(MacAddr::from_id(id), sw, (id - 1) as u8)
+                .expect("free port");
         }
         net.send(
             Frame::new(MacAddr::from_id(1), MacAddr::BROADCAST, Bytes::from_static(b"hello")),
@@ -370,11 +443,11 @@ mod tests {
         let mut net = Network::new(&Rng::new(3));
         let sw1 = net.add_switch();
         let sw2 = net.add_switch();
-        net.link_switches(sw1, 7, sw2, 7);
+        net.link_switches(sw1, 7, sw2, 7).expect("free ports");
         net.add_host(MacAddr::from_id(1));
         net.add_host(MacAddr::from_id(9));
-        net.attach_host(MacAddr::from_id(1), sw1, 0);
-        net.attach_host(MacAddr::from_id(9), sw2, 0);
+        net.attach_host(MacAddr::from_id(1), sw1, 0).expect("free port");
+        net.attach_host(MacAddr::from_id(9), sw2, 0).expect("free port");
         net.send(frame(1, 9, b"cross"), SimTime::from_secs(0));
         net.advance_to(SimTime::from_secs(10));
         let rx = net.take_inbox(MacAddr::from_id(9));
@@ -468,5 +541,99 @@ mod tests {
         net.send(frame(1, 2, b"void"), SimTime::from_secs(0));
         net.advance_to(SimTime::from_secs(10));
         assert_eq!(net.stats().delivered, 0);
+    }
+
+    #[test]
+    fn topology_errors_are_typed() {
+        let mut net = Network::new(&Rng::new(5));
+        let sw = net.add_switch();
+        net.add_host(MacAddr::from_id(1));
+        assert_eq!(
+            net.attach_host(MacAddr::from_id(1), sw, 99),
+            Err(NetError::PortOutOfRange { switch: sw, port: 99 })
+        );
+        assert_eq!(
+            net.attach_host(MacAddr::from_id(7), sw, 0),
+            Err(NetError::UnknownHost(MacAddr::from_id(7)))
+        );
+        net.attach_host(MacAddr::from_id(1), sw, 0).expect("free port");
+        net.add_host(MacAddr::from_id(2));
+        assert_eq!(
+            net.attach_host(MacAddr::from_id(2), sw, 0),
+            Err(NetError::PortInUse { switch: sw, port: 0 })
+        );
+        assert_eq!(
+            net.link_switches(sw, 1, SwitchId(9), 1),
+            Err(NetError::UnknownSwitch(SwitchId(9)))
+        );
+        // A failed attach must not half-commit: host 2 stays unattached.
+        net.send(frame(2, 1, b"x"), SimTime::from_secs(0));
+        net.advance_to(SimTime::from_secs(5));
+        assert_eq!(net.stats().delivered, 0);
+    }
+
+    #[test]
+    fn unknown_sender_is_counted_not_fatal() {
+        let mut net = small_net();
+        net.send(frame(77, 1, b"ghost"), SimTime::from_secs(0));
+        net.advance_to(SimTime::from_secs(5));
+        assert_eq!(net.stats().dropped_unknown_src, 1);
+        assert_eq!(net.stats().delivered, 0);
+    }
+
+    #[test]
+    fn detach_port_unplugs_the_host() {
+        let mut net = small_net();
+        net.detach_port(SwitchId(0), 1);
+        net.send(frame(1, 2, b"to-nowhere"), SimTime::from_secs(0));
+        net.advance_to(SimTime::from_secs(5));
+        assert!(net.take_inbox(MacAddr::from_id(2)).is_empty());
+        // Host 2's own sends vanish too (its cable is out).
+        net.send(frame(2, 1, b"from-nowhere"), SimTime::from_secs(5));
+        net.advance_to(SimTime::from_secs(10));
+        assert!(net.take_inbox(MacAddr::from_id(1)).is_empty());
+        // And the port is free again.
+        net.add_host(MacAddr::from_id(3));
+        net.attach_host(MacAddr::from_id(3), SwitchId(0), 1).expect("port freed");
+    }
+
+    #[test]
+    fn jitter_delays_but_delivers() {
+        let mut net = small_net();
+        net.jitter_max = SimDuration::secs(5);
+        for i in 0..20 {
+            net.send(frame(1, 2, b"j"), SimTime::from_secs(i));
+        }
+        net.advance_to(SimTime::from_secs(100));
+        assert_eq!(net.take_inbox(MacAddr::from_id(2)).len(), 20, "jitter never loses frames");
+    }
+
+    #[test]
+    fn duplication_injects_extra_copies() {
+        let mut net = small_net();
+        net.dup_prob = 1.0;
+        net.send(frame(1, 2, b"twin"), SimTime::from_secs(0));
+        net.advance_to(SimTime::from_secs(10));
+        let got = net.take_inbox(MacAddr::from_id(2)).len();
+        assert_eq!(got, 2, "dup_prob=1 doubles every hop");
+        assert!(net.stats().duplicated >= 1);
+    }
+
+    #[test]
+    fn default_knobs_draw_no_randomness() {
+        // With jitter and duplication off, the RNG stream must match the
+        // historical behaviour exactly (same count as the loss-only path).
+        let run = |jitter: i64| {
+            let mut net = small_net();
+            net.loss_prob = 0.3;
+            net.jitter_max = SimDuration::secs(jitter);
+            for i in 0..100 {
+                net.send(frame(1, 2, b"d"), SimTime::from_secs(i));
+            }
+            net.advance_to(SimTime::from_secs(300));
+            net.take_inbox(MacAddr::from_id(2)).len()
+        };
+        // Deterministic across repeat runs with identical knobs.
+        assert_eq!(run(0), run(0));
     }
 }

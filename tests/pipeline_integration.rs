@@ -53,8 +53,8 @@ fn collection_over_real_frames() {
     let coll_mac = MacAddr::from_id(100);
     net.add_host(host_mac);
     net.add_host(coll_mac);
-    net.attach_host(host_mac, sw, 0);
-    net.attach_host(coll_mac, sw, 1);
+    net.attach_host(host_mac, sw, 0).expect("free port");
+    net.attach_host(coll_mac, sw, 1).expect("free port");
 
     // The host-side log content.
     let log: Vec<u8> = (0..200)
@@ -158,13 +158,13 @@ fn broadcast_storm_does_not_duplicate_transport_messages() {
     let mut net = Network::new(&rng);
     let sw0 = net.add_switch();
     let sw1 = net.add_switch();
-    net.link_switches(sw0, 7, sw1, 7);
+    net.link_switches(sw0, 7, sw1, 7).expect("free ports");
     let a_mac = MacAddr::from_id(1);
     let b_mac = MacAddr::from_id(2);
     net.add_host(a_mac);
     net.add_host(b_mac);
-    net.attach_host(a_mac, sw0, 0);
-    net.attach_host(b_mac, sw1, 0);
+    net.attach_host(a_mac, sw0, 0).expect("free port");
+    net.attach_host(b_mac, sw1, 0).expect("free port");
     // A few broadcast frames stir the fabric.
     for i in 0..5 {
         net.send(

@@ -159,9 +159,91 @@ fn full_scripted_campaign_reproduces_the_paper() {
                 && r.at <= outage_end
                 && matches!(
                     r.outcome,
-                    frostlab::netsim::collector::CollectOutcome::Unreachable
+                    frostlab::netsim::collector::CollectOutcome::Unreachable { .. }
                 )
         })
         .count();
     assert!(failed_rounds > 0, "tent hosts unreachable during the outage");
+
+    // --- unreachable rounds carry the gap duration, growing monotonically
+    // per host while the outage lasts ---
+    let mut host_gaps: std::collections::BTreeMap<u32, Vec<SimDuration>> =
+        std::collections::BTreeMap::new();
+    for r in &results.collection {
+        if let frostlab::netsim::collector::CollectOutcome::Unreachable { gap } = r.outcome {
+            host_gaps.entry(r.host).or_default().push(gap);
+        }
+    }
+    assert!(!host_gaps.is_empty());
+    let long_gaps = host_gaps
+        .values()
+        .flatten()
+        .filter(|g| **g > SimDuration::days(2))
+        .count();
+    assert!(long_gaps > 0, "the weekend outage produced multi-day staleness");
+
+    // --- the retrying collector healed the outage right after the repair ---
+    let restored = SimTime::from_ymd_hms(2010, 3, 1, 11, 30, 0);
+    assert!(!results.collection_gaps.is_empty());
+    let outage_heals = results
+        .collection_gaps
+        .iter()
+        .filter(|g| g.end > restored && g.end - restored < SimDuration::minutes(30))
+        .count();
+    // Five tent hosts (1, 2, 3, 6, 10) were installed before the outage;
+    // each should recover within one capped retry (≤ 20 min + jitter)
+    // instead of waiting for the next scheduled round.
+    assert!(
+        outage_heals >= 5,
+        "every installed tent host should recover within one capped retry: {:?}",
+        results.collection_gaps
+    );
+
+    // --- the watchdog's incident log covers the whole §4.2.1 story ---
+    use frostlab::core::watchdog::IncidentKind;
+    let switch_incidents: Vec<_> = results
+        .incidents
+        .iter()
+        .filter(|i| i.kind == IncidentKind::SwitchFailure)
+        .collect();
+    assert_eq!(switch_incidents.len(), 2, "{:?}", results.incidents);
+    for i in &switch_incidents {
+        assert_eq!(i.resolved, Some(restored), "{i:?}");
+        assert_eq!(i.resolution.as_deref(), Some("spare switch swapped in"));
+    }
+    let h15_incidents: Vec<_> = results
+        .incidents
+        .iter()
+        .filter(|i| i.kind == IncidentKind::HostHang && i.subject == "host-15")
+        .collect();
+    assert_eq!(h15_incidents.len(), 2, "both hangs logged: {:?}", results.incidents);
+    assert_eq!(
+        h15_incidents[0].resolution.as_deref(),
+        Some("reset in place"),
+        "first hang ends with the Monday reset"
+    );
+    assert_eq!(
+        h15_incidents[1].resolution.as_deref(),
+        Some("taken indoors (memtest)"),
+        "second hang ends the host's campaign"
+    );
+    let sensor_incidents = results
+        .incidents
+        .iter()
+        .filter(|i| i.kind == IncidentKind::SensorFault && i.subject == "host-1/sensor")
+        .count();
+    assert!(sensor_incidents >= 1, "the sensor saga is on the books");
+    // No unexplained staleness alarms in the faithful replay: every stale
+    // mirror traces back to a switch death or a hung host.
+    assert!(
+        !results
+            .incidents
+            .iter()
+            .any(|i| i.kind == IncidentKind::CollectionStale),
+        "{:?}",
+        results.incidents
+    );
+    // And the whole ledger serializes for dashboards.
+    let json = results.incident_log_json().expect("plain data");
+    assert!(json.contains("\"switch-0\"") && json.contains("\"host-15\""));
 }

@@ -1,0 +1,282 @@
+//! Offline mini-criterion.
+//!
+//! The real `criterion` crate is unavailable in this container, so this stub
+//! implements the macro/type surface the workspace's benches use with a
+//! simple wall-clock harness: each benchmark warms up briefly, then runs
+//! until the configured measurement time (default 3 s) and reports the mean
+//! iteration time to stdout. Statistical machinery (outlier analysis, HTML
+//! reports) is intentionally absent.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation (printed alongside the timing).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter tag.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to the closure under test; `iter` runs and times the payload.
+pub struct Bencher {
+    /// Accumulated (iterations, elapsed) once measured.
+    result: Option<(u64, Duration)>,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Measure `f` repeatedly until the measurement window is filled.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one call, also seeds the per-iteration time estimate.
+        let warm = Instant::now();
+        black_box(f());
+        let once = warm.elapsed().max(Duration::from_nanos(1));
+        let target = self.measurement_time;
+        // Aim for the measurement window, 1..=1_000_000 iterations.
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.result = Some((iters, start.elapsed()));
+    }
+
+    /// Like [`Bencher::iter`], but `setup` runs outside the timed region and
+    /// produces the input consumed by each timed `routine` call.
+    pub fn iter_with_setup<I, O, S, F>(&mut self, mut setup: S, mut routine: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Warm-up: one call, also seeds the per-iteration time estimate.
+        let input = setup();
+        let warm = Instant::now();
+        black_box(routine(black_box(input)));
+        let once = warm.elapsed().max(Duration::from_nanos(1));
+        let target = self.measurement_time;
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(black_box(input)));
+            total += start.elapsed();
+        }
+        self.result = Some((iters, total));
+    }
+}
+
+fn report(name: &str, throughput: Option<Throughput>, bencher: &Bencher) {
+    match bencher.result {
+        Some((iters, total)) => {
+            let per = total.as_nanos() as f64 / iters as f64;
+            let rate = match throughput {
+                Some(Throughput::Bytes(b)) if per > 0.0 => {
+                    format!("  {:>10.1} MiB/s", b as f64 / per * 1e9 / (1 << 20) as f64)
+                }
+                Some(Throughput::Elements(e)) if per > 0.0 => {
+                    format!("  {:>10.1} Kelem/s", e as f64 / per * 1e9 / 1e3)
+                }
+                _ => String::new(),
+            };
+            println!("bench {name:<40} {:>12.1} ns/iter ({iters} iters){rate}", per);
+        }
+        None => println!("bench {name:<40} (no measurement)"),
+    }
+}
+
+/// A named group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    measurement_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Criterion-API shim; sample counting is folded into the time window.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// How long each benchmark should measure for.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        // Cap so `cargo bench` stays responsive under the stub harness.
+        self.measurement_time = d.min(Duration::from_secs(5));
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            result: None,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.id), self.throughput, &b);
+        self
+    }
+
+    /// Run one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            result: None,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), self.throughput, &b);
+        self
+    }
+
+    /// End the group (no-op in the stub).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            result: None,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut b);
+        report(name, None, &b);
+        self
+    }
+
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let measurement_time = self.measurement_time;
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            measurement_time,
+            _parent: self,
+        }
+    }
+}
+
+/// Collect benchmark functions into a runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.measurement_time = Duration::from_millis(5);
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.measurement_time(Duration::from_millis(5));
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function(BenchmarkId::new("f", 1), |b| b.iter(|| black_box(2 * 2)));
+        g.bench_with_input(BenchmarkId::new("g", 2), &7u64, |b, &x| {
+            b.iter(|| black_box(x * x))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        quick(&mut Criterion::default());
+    }
+}

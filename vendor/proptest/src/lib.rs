@@ -1,0 +1,599 @@
+//! Offline mini-proptest.
+//!
+//! A deterministic property-testing engine exposing the subset of the
+//! `proptest` crate surface this workspace uses: the `proptest!` macro,
+//! `prop_assert*` / `prop_assume!`, `any::<T>()`, integer/float range
+//! strategies, tuple strategies, `collection::vec`, and a small
+//! `string::string_regex` generator. No shrinking — a failing case panics
+//! with the generated inputs' debug representation so it can be replayed.
+//!
+//! Cases are generated from a SplitMix64 stream seeded by the test name, so
+//! runs are fully reproducible across machines and invocations.
+
+/// Runner configuration and error plumbing.
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Run `cases` successful cases per property.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single generated case did not succeed.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` filtered the inputs; try another case.
+        Reject(String),
+        /// A `prop_assert*` failed; the property is false.
+        Fail(String),
+    }
+
+    /// Deterministic generator state (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Stream for one case of one named property.
+        pub fn for_case(name: &str, case: u32) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng {
+                state: h ^ ((case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            }
+        }
+
+        /// Next raw 64 bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            // Modulo bias is irrelevant at test-generation quality.
+            self.next_u64() % n
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// Something that can produce values of one type from the test RNG.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy for [`Arbitrary`] types; build with [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The full range of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            // Printable ASCII keeps failures readable.
+            (0x20 + rng.below(0x5f) as u8) as char
+        }
+    }
+
+    macro_rules! range_strategy_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+    range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            self.start + rng.f64() as f32 * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+
+    /// Constant strategy (`Just(x)` always yields a clone of `x`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `size.start ..size.end-1` elements, each from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// String strategies.
+pub mod string {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding strings matching a (subset) regex.
+    pub struct RegexGeneratorStrategy {
+        alternatives: Vec<Vec<Node>>,
+    }
+
+    #[derive(Debug, Clone)]
+    enum Node {
+        Char(char),
+        /// Inclusive character ranges, e.g. `[a-z0-9_]`.
+        Class(Vec<(char, char)>),
+        Group(Vec<Vec<Node>>),
+        Repeat(Box<Node>, u32, u32),
+    }
+
+    /// Build a generator for the regex subset: literals, `[...]` classes
+    /// (ranges and singles), `(...)` groups, `|` alternation, and the
+    /// quantifiers `{n}`, `{m,n}`, `?`, `*`, `+` (unbounded capped at 8).
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let alternatives = parse_alternatives(&chars, &mut pos)?;
+        if pos != chars.len() {
+            return Err(format!("unexpected {:?} at {pos}", chars[pos]));
+        }
+        Ok(RegexGeneratorStrategy { alternatives })
+    }
+
+    fn parse_alternatives(chars: &[char], pos: &mut usize) -> Result<Vec<Vec<Node>>, String> {
+        let mut alts = vec![parse_seq(chars, pos)?];
+        while *pos < chars.len() && chars[*pos] == '|' {
+            *pos += 1;
+            alts.push(parse_seq(chars, pos)?);
+        }
+        Ok(alts)
+    }
+
+    fn parse_seq(chars: &[char], pos: &mut usize) -> Result<Vec<Node>, String> {
+        let mut seq = Vec::new();
+        while *pos < chars.len() {
+            let node = match chars[*pos] {
+                ')' | '|' => break,
+                '(' => {
+                    *pos += 1;
+                    let alts = parse_alternatives(chars, pos)?;
+                    if *pos >= chars.len() || chars[*pos] != ')' {
+                        return Err("unclosed group".into());
+                    }
+                    *pos += 1;
+                    Node::Group(alts)
+                }
+                '[' => {
+                    *pos += 1;
+                    let mut ranges = Vec::new();
+                    while *pos < chars.len() && chars[*pos] != ']' {
+                        let lo = chars[*pos];
+                        *pos += 1;
+                        if *pos + 1 < chars.len() && chars[*pos] == '-' && chars[*pos + 1] != ']'
+                        {
+                            let hi = chars[*pos + 1];
+                            *pos += 2;
+                            ranges.push((lo, hi));
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                    if *pos >= chars.len() {
+                        return Err("unclosed class".into());
+                    }
+                    *pos += 1;
+                    Node::Class(ranges)
+                }
+                '\\' => {
+                    *pos += 1;
+                    if *pos >= chars.len() {
+                        return Err("dangling escape".into());
+                    }
+                    let c = chars[*pos];
+                    *pos += 1;
+                    Node::Char(c)
+                }
+                c => {
+                    *pos += 1;
+                    Node::Char(c)
+                }
+            };
+            // Optional quantifier.
+            let node = if *pos < chars.len() {
+                match chars[*pos] {
+                    '{' => {
+                        *pos += 1;
+                        let lo = parse_number(chars, pos)?;
+                        let hi = if chars.get(*pos) == Some(&',') {
+                            *pos += 1;
+                            parse_number(chars, pos)?
+                        } else {
+                            lo
+                        };
+                        if chars.get(*pos) != Some(&'}') {
+                            return Err("unclosed quantifier".into());
+                        }
+                        *pos += 1;
+                        Node::Repeat(Box::new(node), lo, hi)
+                    }
+                    '?' => {
+                        *pos += 1;
+                        Node::Repeat(Box::new(node), 0, 1)
+                    }
+                    '*' => {
+                        *pos += 1;
+                        Node::Repeat(Box::new(node), 0, 8)
+                    }
+                    '+' => {
+                        *pos += 1;
+                        Node::Repeat(Box::new(node), 1, 8)
+                    }
+                    _ => node,
+                }
+            } else {
+                node
+            };
+            seq.push(node);
+        }
+        Ok(seq)
+    }
+
+    fn parse_number(chars: &[char], pos: &mut usize) -> Result<u32, String> {
+        let start = *pos;
+        while *pos < chars.len() && chars[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+        chars[start..*pos]
+            .iter()
+            .collect::<String>()
+            .parse()
+            .map_err(|_| "bad quantifier number".to_string())
+    }
+
+    fn gen_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Char(c) => out.push(*c),
+            Node::Class(ranges) => {
+                let total: u32 = ranges.iter().map(|(a, b)| *b as u32 - *a as u32 + 1).sum();
+                let mut pick = rng.below(total.max(1) as u64) as u32;
+                for (a, b) in ranges {
+                    let n = *b as u32 - *a as u32 + 1;
+                    if pick < n {
+                        out.push(char::from_u32(*a as u32 + pick).unwrap_or(*a));
+                        return;
+                    }
+                    pick -= n;
+                }
+            }
+            Node::Group(alts) => {
+                let alt = &alts[rng.below(alts.len() as u64) as usize];
+                for n in alt {
+                    gen_node(n, rng, out);
+                }
+            }
+            Node::Repeat(inner, lo, hi) => {
+                let count = lo + rng.below((*hi - *lo + 1) as u64) as u32;
+                for _ in 0..count {
+                    gen_node(inner, rng, out);
+                }
+            }
+        }
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            let alt = &self.alternatives[rng.below(self.alternatives.len() as u64) as usize];
+            for n in alt {
+                gen_node(n, rng, &mut out);
+            }
+            out
+        }
+    }
+}
+
+/// The glob-import surface test files expect.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Define property tests. Mirrors `proptest::proptest!` for the supported
+/// shape: an optional `#![proptest_config(...)]` followed by `#[test]`
+/// functions whose arguments are `name in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __ok: u32 = 0;
+                let mut __tries: u32 = 0;
+                while __ok < __cfg.cases {
+                    __tries += 1;
+                    assert!(
+                        __tries <= __cfg.cases.saturating_mul(16).saturating_add(256),
+                        "prop_assume! rejected too many cases"
+                    );
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __tries,
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || { $body ::std::result::Result::Ok(()) })();
+                    match __result {
+                        ::std::result::Result::Ok(()) => __ok += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "property {} failed on case {} (try {}): {}",
+                                stringify!($name), __ok, __tries, msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), __l, __r
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Fail the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left), stringify!($right), __l
+                ),
+            ));
+        }
+    }};
+}
+
+/// Skip the current case (generate a fresh one) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u64..20, y in -5i32..5, f in 0.25f64..0.75) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f), "f out of range: {f}");
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in crate::collection::vec(any::<u8>(), 3usize..7)) {
+            prop_assert!(v.len() >= 3 && v.len() < 7);
+        }
+
+        #[test]
+        fn assume_filters(n in 0u32..10) {
+            prop_assume!(n != 3);
+            prop_assert_ne!(n, 3);
+        }
+    }
+
+    #[test]
+    fn regex_generates_matching_shape() {
+        let strat = crate::string::string_regex("[a-z]{1,12}(/[a-z]{1,12}){0,3}").unwrap();
+        let mut rng = TestRng::for_case("regex", 1);
+        for case in 0..200 {
+            let s = strat.generate(&mut rng);
+            assert!(!s.is_empty(), "case {case}");
+            for part in s.split('/') {
+                assert!(
+                    (1..=12).contains(&part.len()) && part.bytes().all(|b| b.is_ascii_lowercase()),
+                    "bad part {part:?} of {s:?}"
+                );
+            }
+            assert!(s.split('/').count() <= 4);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::for_case("x", 7);
+        let mut b = TestRng::for_case("x", 7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Offline mini-serde.
+//!
+//! The container cannot reach crates.io, so the workspace vendors a small
+//! JSON-oriented stand-in for the serde surface it uses: a [`Value`] tree,
+//! [`Serialize`]/[`Deserialize`] traits converting to/from it, and derive
+//! macros (re-exported from the companion `serde_derive` stub) for plain
+//! structs with named fields and unit-variant enums. `serde_json` in
+//! `vendor/serde_json` supplies the text layer.
+//!
+//! Object keys preserve insertion order, so serialization is deterministic —
+//! a property the campaign's byte-identical-output tests rely on.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// JSON value tree (insertion-ordered objects).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer that does not fit `i64`'s positive range semantics.
+    UInt(u64),
+    /// Floating point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object, insertion-ordered.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a field of an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Like [`Value::get`] but with a typed error (used by derived code).
+    pub fn get_field(&self, key: &str) -> Result<&Value, Error> {
+        self.get(key)
+            .ok_or_else(|| Error::custom(format!("missing field {key:?}")))
+    }
+
+    /// The string payload, or a type error.
+    pub fn as_str(&self) -> Result<&str, Error> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+
+    /// Numeric payload widened to f64, when the value is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Build an error from any message.
+    pub fn custom(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convert a value into the JSON [`Value`] tree.
+pub trait Serialize {
+    /// The JSON representation of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild a value from the JSON [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parse `self` out of a JSON value.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match *v {
+                    Value::Int(i) => <$t>::try_from(i)
+                        .map_err(|_| Error::custom(format!("{i} out of range"))),
+                    Value::UInt(u) => <$t>::try_from(u)
+                        .map_err(|_| Error::custom(format!("{u} out of range"))),
+                    ref other => Err(Error::custom(format!("expected integer, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                match i64::try_from(*self) {
+                    Ok(i) => Value::Int(i),
+                    Err(_) => Value::UInt(*self as u64),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match *v {
+                    Value::Int(i) => <$t>::try_from(i)
+                        .map_err(|_| Error::custom(format!("{i} out of range"))),
+                    Value::UInt(u) => <$t>::try_from(u)
+                        .map_err(|_| Error::custom(format!("{u} out of range"))),
+                    ref other => Err(Error::custom(format!("expected integer, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_uint!(u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error::custom(format!("expected number, got {v:?}")))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            ref other => Err(Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str().map(str::to_string)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert_eq!(
+            Vec::<u32>::from_value(&vec![1u32, 2, 3].to_value()).unwrap(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(Option::<u8>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn object_lookup() {
+        let v = Value::Object(vec![("a".into(), Value::Int(1))]);
+        assert_eq!(v.get("a"), Some(&Value::Int(1)));
+        assert!(v.get_field("b").is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! Derive macros for the vendored mini-serde.
+//!
+//! Supports the shapes frostlab actually serializes: structs with named
+//! fields, and enums whose variants carry no data (serialized as their
+//! variant name). Anything fancier fails with a compile error pointing here.
+//!
+//! Written against `proc_macro` directly (no `syn`/`quote`: the container
+//! has no crates.io access), so parsing is a small hand-rolled token walk.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// Enum with unit variants only.
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Walk the item's tokens: skip attributes and visibility, find
+/// `struct`/`enum`, the type name, then the brace group with the members.
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let mut iter = input.into_iter().peekable();
+    let mut kind: Option<String> = None;
+    let mut name: Option<String> = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Attribute: consume the following bracket group.
+                iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                match (s.as_str(), &kind, &name) {
+                    ("pub" | "crate", _, _) => {}
+                    ("struct" | "enum", None, _) => kind = Some(s),
+                    (_, Some(_), None) => name = Some(s),
+                    _ => {}
+                }
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                let name = name.ok_or("no type name before body")?;
+                let members = parse_members(g.stream())?;
+                return match kind.as_deref() {
+                    Some("struct") => Ok(Shape::Struct {
+                        name,
+                        fields: members,
+                    }),
+                    Some("enum") => Ok(Shape::Enum {
+                        name,
+                        variants: members,
+                    }),
+                    _ => Err("not a struct or enum".into()),
+                };
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                return Err("generic types are not supported by mini-serde derive".into());
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => {
+                return Err("tuple/unit structs are not supported by mini-serde derive".into());
+            }
+            _ => {}
+        }
+    }
+    Err("could not parse item".into())
+}
+
+/// Within the brace group, member names are the first ident of each
+/// comma-separated chunk (after attributes/visibility). For enums, a chunk
+/// containing a group or extra tokens after the name means a data-carrying
+/// variant, which we reject.
+fn parse_members(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut members = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility at chunk start.
+        let mut first: Option<String> = None;
+        let mut saw_colon = false;
+        let mut ended = true;
+        for tt in iter.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '#' => {}
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket && first.is_none() => {
+                    // attribute body
+                    let _ = g;
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    ended = false;
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == ':' => saw_colon = true,
+                TokenTree::Ident(id) => {
+                    let s = id.to_string();
+                    if s == "pub" || saw_colon {
+                        continue;
+                    }
+                    if first.is_none() {
+                        first = Some(s);
+                    }
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis && !saw_colon => {
+                    return Err(format!(
+                        "variant {:?} carries data; mini-serde derive handles unit variants only",
+                        first
+                    ));
+                }
+                _ => {}
+            }
+        }
+        if let Some(f) = first {
+            members.push(f);
+        }
+        if ended {
+            break;
+        }
+    }
+    Ok(members)
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derive `serde::Serialize` (mini-serde: `to_value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_shape(input) {
+        Ok(Shape::Struct { name, fields }) => {
+            let pairs: String = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{pairs}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Ok(Shape::Enum { name, variants }) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\","))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Str(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Err(e) => return compile_error(&e),
+    };
+    out.parse().unwrap()
+}
+
+/// Derive `serde::Deserialize` (mini-serde: `from_value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_shape(input) {
+        Ok(Shape::Struct { name, fields }) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(v.get_field(\"{f}\")?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         Ok(Self {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Ok(Shape::Enum { name, variants }) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match v.as_str()? {{\n\
+                             {arms}\n\
+                             other => Err(::serde::Error::custom(format!(\n\
+                                 \"unknown {name} variant {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Err(e) => return compile_error(&e),
+    };
+    out.parse().unwrap()
+}

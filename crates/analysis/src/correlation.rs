@@ -88,7 +88,13 @@ mod tests {
         // ys is xs delayed by 7 samples (a sine so the overlap correlates).
         let xs: Vec<f64> = (0..500).map(|i| (i as f64 / 20.0).sin()).collect();
         let ys: Vec<f64> = (0..500)
-            .map(|i| if i >= 7 { ((i - 7) as f64 / 20.0).sin() } else { 0.0 })
+            .map(|i| {
+                if i >= 7 {
+                    ((i - 7) as f64 / 20.0).sin()
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let (lag, r) = best_lag(&xs, &ys, 30).unwrap();
         assert_eq!(lag, 7);

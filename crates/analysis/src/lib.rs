@@ -28,4 +28,4 @@ pub mod stats;
 pub mod survival;
 
 pub use report::Table;
-pub use stats::{mean, percentile, std_dev, wilson_interval};
+pub use stats::{mean, percentile, std_dev, wilson_interval, Histogram, MinMax, Welford};

@@ -80,10 +80,7 @@ mod tests {
         let inputs = ExposureInputs::paper_ballpark();
         let ops = inputs.page_ops();
         // "ballpark of 3.2 billion"
-        assert!(
-            (2.8e9..3.6e9).contains(&(ops as f64)),
-            "page ops {ops}"
-        );
+        assert!((2.8e9..3.6e9).contains(&(ops as f64)), "page ops {ops}");
         // The paper divides by *six* faulty archives (5 observed + 1 from
         // the prototype's bookkeeping; its §4.2.2 says "six faulty
         // archives" while reporting 5 wrong hashes — we follow the text).

@@ -62,7 +62,12 @@ impl fmt::Display for Table {
         let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
             write!(f, "|")?;
             for (i, w) in widths.iter().enumerate() {
-                write!(f, " {:<w$} |", cells.get(i).map(String::as_str).unwrap_or(""), w = w)?;
+                write!(
+                    f,
+                    " {:<w$} |",
+                    cells.get(i).map(String::as_str).unwrap_or(""),
+                    w = w
+                )?;
             }
             writeln!(f)
         };

@@ -15,9 +15,7 @@ pub fn std_dev(xs: &[f64]) -> Option<f64> {
         return None;
     }
     let m = mean(xs).expect("non-empty");
-    Some(
-        (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt(),
-    )
+    Some((xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt())
 }
 
 /// Percentile by linear interpolation, `p ∈ [0, 100]`.
@@ -57,6 +55,131 @@ pub fn wilson_interval(successes: u64, trials: u64) -> (f64, f64) {
     ((center - half).max(0.0), (center + half).min(1.0))
 }
 
+/// Streaming (Welford) mean/variance accumulator.
+///
+/// Numerically stable one-pass statistics with an exact-count `merge`
+/// (Chan et al.'s parallel formula), so ensemble workers can each fold
+/// their share and combine. **Merging is associative only up to floating
+/// point** — different merge trees differ in the last ulps — which is why
+/// the ensemble engine always folds summaries in seed order: a fixed fold
+/// order makes the result bit-reproducible across thread counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Empty accumulator.
+    pub fn new() -> Welford {
+        Welford::default()
+    }
+
+    /// Absorb one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Absorb another accumulator (parallel merge).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = (self.n + other.n) as f64;
+        let d = other.mean - self.mean;
+        self.mean += d * other.n as f64 / n;
+        self.m2 += other.m2 + d * d * (self.n as f64 * other.n as f64) / n;
+        self.n += other.n;
+    }
+
+    /// Samples absorbed.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean. `None` on an empty accumulator.
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Sample variance (n − 1). `None` with fewer than two samples.
+    pub fn variance(&self) -> Option<f64> {
+        (self.n > 1).then(|| self.m2 / (self.n - 1) as f64)
+    }
+
+    /// Sample standard deviation. `None` with fewer than two samples.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+}
+
+/// Streaming min/max tracker.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MinMax {
+    n: u64,
+    min: f64,
+    max: f64,
+}
+
+impl MinMax {
+    /// Empty tracker.
+    pub fn new() -> MinMax {
+        MinMax::default()
+    }
+
+    /// Absorb one sample (NaNs are ignored).
+    pub fn push(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        if self.n == 0 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        self.n += 1;
+    }
+
+    /// Absorb another tracker.
+    pub fn merge(&mut self, other: &MinMax) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.n += other.n;
+    }
+
+    /// Samples absorbed.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Smallest sample seen. `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest sample seen. `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+}
+
 /// A fixed-width histogram.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
@@ -73,32 +196,111 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    /// Build a histogram over `[min, min + width·bins)`.
+    /// Empty histogram over `[min, min + width·bins)` for streaming use.
     ///
     /// # Panics
     /// Panics if `width <= 0` or `bins == 0`.
-    pub fn build(xs: &[f64], min: f64, width: f64, bins: usize) -> Histogram {
+    pub fn new(min: f64, width: f64, bins: usize) -> Histogram {
         assert!(width > 0.0 && bins > 0, "bad histogram geometry");
-        let mut h = Histogram {
+        Histogram {
             min,
             width,
             counts: vec![0; bins],
             underflow: 0,
             overflow: 0,
-        };
+        }
+    }
+
+    /// Build a histogram over `[min, min + width·bins)`.
+    ///
+    /// # Panics
+    /// Panics if `width <= 0` or `bins == 0`.
+    pub fn build(xs: &[f64], min: f64, width: f64, bins: usize) -> Histogram {
+        let mut h = Histogram::new(min, width, bins);
         for &x in xs {
-            if x < min {
-                h.underflow += 1;
-            } else {
-                let b = ((x - min) / width) as usize;
-                if b >= bins {
-                    h.overflow += 1;
-                } else {
-                    h.counts[b] += 1;
-                }
-            }
+            h.push(x);
         }
         h
+    }
+
+    /// Absorb one sample.
+    pub fn push(&mut self, x: f64) {
+        if x < self.min {
+            self.underflow += 1;
+        } else {
+            let b = ((x - self.min) / self.width) as usize;
+            if b >= self.counts.len() {
+                self.overflow += 1;
+            } else {
+                self.counts[b] += 1;
+            }
+        }
+    }
+
+    /// Absorb another histogram of identical geometry.
+    ///
+    /// # Panics
+    /// Panics if the geometries (min, width, bin count) differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.min == other.min
+                && self.width == other.width
+                && self.counts.len() == other.counts.len(),
+            "histogram geometry mismatch"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+    }
+
+    /// Percentile estimate from the binned counts, `p ∈ [0, 100]`,
+    /// mirroring [`percentile`]'s scheme: linear interpolation between
+    /// the samples at the floor and ceiling of the target rank, with
+    /// each sample located at the centroid of its share of its bin.
+    ///
+    /// Both anchor estimates land inside the bin their sample fell in,
+    /// so the result is within **one bin width** of what [`percentile`]
+    /// would compute on the raw samples. Underflow samples clamp to
+    /// `min`, overflow to the top edge. Returns `None` on an empty
+    /// histogram.
+    ///
+    /// # Panics
+    /// Panics if `p` is out of range.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let rank = p / 100.0 * (total - 1) as f64;
+        let lo = rank.floor() as u64;
+        let hi = rank.ceil() as u64;
+        let vlo = self.value_at_rank(lo);
+        if lo == hi {
+            return Some(vlo);
+        }
+        let w = rank - lo as f64;
+        Some(vlo * (1.0 - w) + self.value_at_rank(hi) * w)
+    }
+
+    /// Binned estimate of the `k`-th (0-based) sorted sample: the point
+    /// `(k + ½ − samples before its bin) / bin count` of the way through
+    /// the bin that holds it.
+    fn value_at_rank(&self, k: u64) -> f64 {
+        let mut seen = self.underflow;
+        if k < seen {
+            return self.min;
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > 0 && k < seen + c {
+                let frac = ((k - seen) as f64 + 0.5) / c as f64;
+                return self.min + self.width * (i as f64 + frac);
+            }
+            seen += c;
+        }
+        self.min + self.width * self.counts.len() as f64
     }
 
     /// Total samples, including under/overflow.
@@ -167,6 +369,101 @@ mod tests {
         let (lo1, hi1) = wilson_interval(5, 100);
         let (lo2, hi2) = wilson_interval(50, 1000);
         assert!(hi2 - lo2 < hi1 - lo1);
+    }
+
+    #[test]
+    fn welford_matches_offline() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean().unwrap() - mean(&xs).unwrap()).abs() < 1e-12);
+        assert!((w.std_dev().unwrap() - std_dev(&xs).unwrap()).abs() < 1e-12);
+        assert_eq!(Welford::new().mean(), None);
+        let mut one = Welford::new();
+        one.push(3.0);
+        assert_eq!(one.variance(), None);
+    }
+
+    #[test]
+    fn welford_merge_matches_single_pass() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 10.0).collect();
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let (mut a, mut b) = (Welford::new(), Welford::new());
+        for &x in &xs[..33] {
+            a.push(x);
+        }
+        for &x in &xs[33..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-9);
+        assert!((a.variance().unwrap() - whole.variance().unwrap()).abs() < 1e-9);
+        // Merging an empty accumulator is the identity in both directions.
+        let mut e = Welford::new();
+        e.merge(&whole);
+        assert_eq!(e, whole);
+        let before = whole;
+        whole.merge(&Welford::new());
+        assert_eq!(whole, before);
+    }
+
+    #[test]
+    fn minmax_tracks_and_merges() {
+        let mut m = MinMax::new();
+        assert_eq!(m.min(), None);
+        m.push(3.0);
+        m.push(-1.5);
+        m.push(f64::NAN); // ignored
+        m.push(7.0);
+        assert_eq!(m.min(), Some(-1.5));
+        assert_eq!(m.max(), Some(7.0));
+        assert_eq!(m.count(), 3);
+        let mut other = MinMax::new();
+        other.push(-9.0);
+        m.merge(&other);
+        assert_eq!(m.min(), Some(-9.0));
+        assert_eq!(m.max(), Some(7.0));
+    }
+
+    #[test]
+    fn histogram_streaming_merge_equals_build() {
+        let xs: Vec<f64> = (0..500)
+            .map(|i| (i as f64 * 0.13).fract() * 10.0 - 1.0)
+            .collect();
+        let whole = Histogram::build(&xs, 0.0, 0.5, 16);
+        let mut a = Histogram::new(0.0, 0.5, 16);
+        let mut b = Histogram::new(0.0, 0.5, 16);
+        for &x in &xs[..200] {
+            a.push(x);
+        }
+        for &x in &xs[200..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn histogram_percentile_within_bin_width() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        let h = Histogram::build(&xs, 0.0, 1.0, 110);
+        assert!(h.percentile(50.0).is_some());
+        for p in [0.0, 10.0, 50.0, 90.0, 100.0] {
+            let exact = percentile(&xs, p);
+            let est = h.percentile(p).unwrap();
+            assert!(
+                (est - exact).abs() <= h.width,
+                "p{p}: est {est} vs exact {exact}"
+            );
+        }
+        assert_eq!(Histogram::new(0.0, 1.0, 4).percentile(50.0), None);
     }
 
     #[test]

@@ -97,7 +97,12 @@ mod tests {
     #[test]
     fn textbook_example() {
         // Classic: failures at 1, 3; censored at 2, 4.
-        let data = [obs(1.0, true), obs(2.0, false), obs(3.0, true), obs(4.0, false)];
+        let data = [
+            obs(1.0, true),
+            obs(2.0, false),
+            obs(3.0, true),
+            obs(4.0, false),
+        ];
         let curve = kaplan_meier(&data);
         assert_eq!(curve.len(), 2);
         // At t=1: 4 at risk, S = 3/4.
@@ -141,7 +146,12 @@ mod tests {
 
     #[test]
     fn simultaneous_failures() {
-        let data = [obs(10.0, true), obs(10.0, true), obs(10.0, false), obs(50.0, false)];
+        let data = [
+            obs(10.0, true),
+            obs(10.0, true),
+            obs(10.0, false),
+            obs(50.0, false),
+        ];
         let curve = kaplan_meier(&data);
         assert_eq!(curve.len(), 1);
         assert!((curve[0].survival - 0.5).abs() < 1e-12);

@@ -25,16 +25,20 @@ fn kernel_tar(total: usize) -> Vec<u8> {
 fn bench_hashes(c: &mut Criterion) {
     let data = kernel_tar(256 * 1024);
     let mut g = c.benchmark_group("hashes");
-    g.sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    g.sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3));
     g.throughput(Throughput::Bytes(data.len() as u64));
     g.bench_function("md5_256k", |b| b.iter(|| md5(std::hint::black_box(&data))));
-    g.bench_function("crc32_256k", |b| b.iter(|| crc32(std::hint::black_box(&data))));
+    g.bench_function("crc32_256k", |b| {
+        b.iter(|| crc32(std::hint::black_box(&data)))
+    });
     g.finish();
 }
 
 fn bench_pipeline(c: &mut Criterion) {
     let mut g = c.benchmark_group("block_pipeline");
-    g.sample_size(10).measurement_time(std::time::Duration::from_secs(5));
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(5));
     for size in [16 * 1024usize, 64 * 1024, 192 * 1024] {
         let data = kernel_tar(size);
         g.throughput(Throughput::Bytes(data.len() as u64));
@@ -42,9 +46,11 @@ fn bench_pipeline(c: &mut Criterion) {
             b.iter(|| compress(std::hint::black_box(d), 512))
         });
         let packed = compress(&data, 512);
-        g.bench_with_input(BenchmarkId::new("decompress_bs512", size), &packed, |b, p| {
-            b.iter(|| decompress(std::hint::black_box(p)).expect("clean stream"))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("decompress_bs512", size),
+            &packed,
+            |b, p| b.iter(|| decompress(std::hint::black_box(p)).expect("clean stream")),
+        );
     }
     g.finish();
 }
@@ -52,7 +58,8 @@ fn bench_pipeline(c: &mut Criterion) {
 fn bench_bwt(c: &mut Criterion) {
     let data = kernel_tar(64 * 1024);
     let mut g = c.benchmark_group("bwt");
-    g.sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3));
     g.throughput(Throughput::Bytes(data.len() as u64));
     g.bench_function("forward_64k", |b| {
         b.iter(|| bwt_forward(std::hint::black_box(&data)))
@@ -67,7 +74,8 @@ fn bench_recover(c: &mut Criterion) {
     let mid = packed.len() / 2;
     packed[mid] ^= 0x10;
     let mut g = c.benchmark_group("recover");
-    g.sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3));
     g.throughput(Throughput::Bytes(packed.len() as u64));
     g.bench_function("scan_damaged_archive", |b| {
         b.iter(|| recover(std::hint::black_box(&packed)))
@@ -75,5 +83,11 @@ fn bench_recover(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_hashes, bench_pipeline, bench_bwt, bench_recover);
+criterion_group!(
+    benches,
+    bench_hashes,
+    bench_pipeline,
+    bench_bwt,
+    bench_recover
+);
 criterion_main!(benches);

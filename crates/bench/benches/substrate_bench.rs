@@ -15,7 +15,8 @@ use frostlab_thermal::tent::{Tent, TentConfig, TentParams};
 
 fn bench_event_queue(c: &mut Criterion) {
     let mut g = c.benchmark_group("simkern");
-    g.sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    g.sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3));
     g.throughput(Throughput::Elements(10_000));
     g.bench_function("queue_schedule_pop_10k", |b| {
         b.iter(|| {
@@ -47,7 +48,8 @@ fn bench_event_queue(c: &mut Criterion) {
 
 fn bench_weather(c: &mut Criterion) {
     let mut g = c.benchmark_group("climate");
-    g.sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3));
     // One simulated day at the model's native 60 s step.
     g.bench_function("weather_one_day_minutely", |b| {
         b.iter_with_setup(
@@ -66,7 +68,8 @@ fn bench_weather(c: &mut Criterion) {
 
 fn bench_thermal(c: &mut Criterion) {
     let mut g = c.benchmark_group("thermal");
-    g.sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3));
     g.bench_function("tent_one_day_minutely", |b| {
         let wx = frostlab_climate::weather::WeatherSample {
             t: SimTime::ZERO,
@@ -102,7 +105,8 @@ fn bench_rsync(c: &mut Criterion) {
     let mut new = old.clone();
     new.extend_from_slice(b"one appended collection line\n");
     let mut g = c.benchmark_group("netsim");
-    g.sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    g.sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3));
     g.throughput(Throughput::Bytes(new.len() as u64));
     g.bench_function("rsync_append_64k", |b| {
         b.iter(|| rsyncp::sync(std::hint::black_box(&old), std::hint::black_box(&new), 512))

@@ -1,0 +1,189 @@
+//! Machine-readable performance report — the repo's perf trajectory.
+//!
+//! Times three things and writes `BENCH_ensemble.json`:
+//!
+//! 1. `campaign_week_ms` — one week of the full scripted campaign (the
+//!    same workload as the `campaign_week` criterion bench);
+//! 2. `ensemble_serial_ms` — N one-week stochastic campaigns on 1 thread;
+//! 3. `ensemble_parallel_ms` — the same seed range on all cores (or
+//!    `--threads`), plus the resulting `speedup`.
+//!
+//! While it's at it, it asserts the serial and parallel sweeps produced
+//! byte-identical invariant summaries — a free determinism check on every
+//! benchmark run.
+//!
+//! `--check BASELINE.json` compares wall-clock against a committed
+//! baseline with a ±`--tolerance` band (default 0.25) and exits 1 on
+//! regression — the CI `bench-regression` gate.
+//!
+//! ```sh
+//! bench_report [--jobs N] [--days D] [--threads T] [--out PATH]
+//!              [--check BASELINE.json] [--tolerance 0.25]
+//! ```
+
+use std::time::Instant;
+
+use frostlab_core::config::{ExperimentConfig, FaultMode};
+use frostlab_core::Experiment;
+use frostlab_ensemble::run_summary_sweep;
+
+/// Schema tag for the benchmark JSON.
+const SCHEMA: &str = "frostlab-bench-ensemble/v1";
+
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+struct BenchReport {
+    schema: String,
+    /// Campaigns in the ensemble.
+    jobs: u64,
+    /// Simulated days per campaign.
+    days: i64,
+    /// Worker threads the parallel sweep used.
+    threads: usize,
+    /// One week of the full scripted campaign, ms.
+    campaign_week_ms: f64,
+    /// Serial (1-thread) ensemble wall-clock, ms.
+    ensemble_serial_ms: f64,
+    /// Parallel ensemble wall-clock, ms.
+    ensemble_parallel_ms: f64,
+    /// Serial ms per campaign.
+    per_campaign_ms: f64,
+    /// ensemble_serial_ms / ensemble_parallel_ms.
+    speedup: f64,
+}
+
+fn ms(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1000.0
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_report [--jobs N] [--days D] [--threads T] [--out PATH] \
+         [--check BASELINE.json] [--tolerance F]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut jobs: u64 = 32;
+    let mut days: i64 = 7;
+    let mut threads: usize = 0;
+    let mut out = String::from("BENCH_ensemble.json");
+    let mut check: Option<String> = None;
+    let mut tolerance: f64 = 0.25;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut val = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--jobs" => jobs = val("--jobs").parse().unwrap_or_else(|_| usage()),
+            "--days" => days = val("--days").parse().unwrap_or_else(|_| usage()),
+            "--threads" => threads = val("--threads").parse().unwrap_or_else(|_| usage()),
+            "--out" => out = val("--out"),
+            "--check" => check = Some(val("--check")),
+            "--tolerance" => tolerance = val("--tolerance").parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+
+    let stochastic_week = |seed: u64| ExperimentConfig {
+        fault_mode: FaultMode::Stochastic,
+        ..ExperimentConfig::short(seed, days)
+    };
+
+    eprintln!("bench_report: campaign_week (1 warmup + 1 timed) …");
+    let warmup = Experiment::new(ExperimentConfig::short(1, 7)).run();
+    std::hint::black_box(warmup.workload.total_runs());
+    let t = Instant::now();
+    let results = Experiment::new(ExperimentConfig::short(1, 7)).run();
+    std::hint::black_box(results.workload.total_runs());
+    let campaign_week_ms = ms(t);
+
+    eprintln!("bench_report: serial ensemble ({jobs} × {days}-day campaigns) …");
+    let t = Instant::now();
+    let serial = run_summary_sweep(0, jobs, 1, stochastic_week);
+    let ensemble_serial_ms = ms(t);
+
+    let used = frostlab_ensemble::Ensemble::new(jobs)
+        .threads(threads)
+        .effective_threads();
+    eprintln!("bench_report: parallel ensemble ({used} threads) …");
+    let t = Instant::now();
+    let parallel = run_summary_sweep(0, jobs, threads, stochastic_week);
+    let ensemble_parallel_ms = ms(t);
+
+    assert_eq!(
+        serial.invariant_json().expect("serial summary serializes"),
+        parallel
+            .invariant_json()
+            .expect("parallel summary serializes"),
+        "thread-count invariance violated: serial and parallel sweeps disagree"
+    );
+
+    let report = BenchReport {
+        schema: SCHEMA.to_string(),
+        jobs,
+        days,
+        threads: used,
+        campaign_week_ms,
+        ensemble_serial_ms,
+        ensemble_parallel_ms,
+        per_campaign_ms: ensemble_serial_ms / jobs.max(1) as f64,
+        speedup: ensemble_serial_ms / ensemble_parallel_ms.max(1e-9),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, format!("{json}\n")).expect("write benchmark JSON");
+    println!("{json}");
+    eprintln!("bench_report: wrote {out}");
+
+    if let Some(baseline_path) = check {
+        let baseline_json = std::fs::read_to_string(&baseline_path).expect("read baseline JSON");
+        let baseline: BenchReport =
+            serde_json::from_str(&baseline_json).expect("parse baseline JSON");
+        let mut regressed = false;
+        for (metric, fresh, base) in [
+            (
+                "campaign_week_ms",
+                report.campaign_week_ms,
+                baseline.campaign_week_ms,
+            ),
+            (
+                "ensemble_serial_ms",
+                report.ensemble_serial_ms,
+                baseline.ensemble_serial_ms,
+            ),
+            (
+                "ensemble_parallel_ms",
+                report.ensemble_parallel_ms,
+                baseline.ensemble_parallel_ms,
+            ),
+        ] {
+            let ratio = fresh / base.max(1e-9);
+            let verdict = if ratio > 1.0 + tolerance {
+                regressed = true;
+                "REGRESSION"
+            } else if ratio < 1.0 - tolerance {
+                "improved (consider refreshing the baseline)"
+            } else {
+                "ok"
+            };
+            eprintln!(
+                "bench_report: {metric}: {fresh:.1} ms vs baseline {base:.1} ms \
+                 ({ratio:.2}×) — {verdict}"
+            );
+        }
+        if regressed {
+            eprintln!(
+                "bench_report: wall-clock regressed beyond ±{:.0}% of {baseline_path}",
+                tolerance * 100.0
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "bench_report: within ±{:.0}% of {baseline_path}",
+            tolerance * 100.0
+        );
+    }
+}

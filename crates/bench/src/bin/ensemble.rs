@@ -1,0 +1,65 @@
+//! Ensemble sweep CLI — the determinism gate's workhorse.
+//!
+//! Runs a contiguous seed range of stochastic campaigns on the parallel
+//! ensemble engine and prints the streaming [`EnsembleSummary`] as JSON.
+//! Because the engine merges in seed order regardless of completion
+//! order, the `--invariant` output is byte-identical for any `--threads`
+//! value — CI runs it at 1 and 4 threads and `diff`s the files.
+//!
+//! ```sh
+//! ensemble [--seeds N] [--start-seed S] [--threads T] [--days D] [--invariant]
+//! ```
+//!
+//! `--days 0` (default 7) runs the full Feb 12 – May 13 campaign.
+
+use frostlab_core::config::{ExperimentConfig, FaultMode};
+use frostlab_ensemble::run_summary_sweep;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ensemble [--seeds N] [--start-seed S] [--threads T] [--days D] [--invariant]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut seeds: u64 = 32;
+    let mut start_seed: u64 = 0;
+    let mut threads: usize = 0;
+    let mut days: i64 = 7;
+    let mut invariant = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut val = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--seeds" => seeds = val("--seeds").parse().unwrap_or_else(|_| usage()),
+            "--start-seed" => start_seed = val("--start-seed").parse().unwrap_or_else(|_| usage()),
+            "--threads" => threads = val("--threads").parse().unwrap_or_else(|_| usage()),
+            "--days" => days = val("--days").parse().unwrap_or_else(|_| usage()),
+            "--invariant" => invariant = true,
+            _ => usage(),
+        }
+    }
+
+    let summary = run_summary_sweep(start_seed, seeds, threads, |seed| {
+        if days > 0 {
+            ExperimentConfig {
+                fault_mode: FaultMode::Stochastic,
+                ..ExperimentConfig::short(seed, days)
+            }
+        } else {
+            ExperimentConfig::paper_stochastic(seed)
+        }
+    });
+
+    let json = if invariant {
+        summary.invariant_json()
+    } else {
+        summary.to_json()
+    };
+    println!("{}", json.expect("summary serializes"));
+}

@@ -12,7 +12,9 @@ fn main() {
     );
     println!(
         "{}",
-        frostlab_core::figures::fig2_render(frostlab_simkern::time::SimTime::from_date(2010, 5, 13))
+        frostlab_core::figures::fig2_render(frostlab_simkern::time::SimTime::from_date(
+            2010, 5, 13
+        ))
     );
 
     let proto = frostlab_core::prototype::run_prototype(&ExperimentConfig::paper_scripted(seed));

@@ -45,6 +45,8 @@ pub mod solar;
 pub mod station;
 pub mod weather;
 
-pub use psychro::{absolute_humidity_g_m3, dew_point_c, rel_humidity_from_dew_point, saturation_vapor_pressure_hpa};
+pub use psychro::{
+    absolute_humidity_g_m3, dew_point_c, rel_humidity_from_dew_point, saturation_vapor_pressure_hpa,
+};
 pub use station::{StationConfig, WeatherObservation, WeatherStation};
 pub use weather::{ClimateParams, WeatherModel, WeatherSample};

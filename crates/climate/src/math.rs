@@ -57,7 +57,11 @@ mod tests {
             (-1.0, -0.842_700_79),
         ];
         for (x, want) in cases {
-            assert!((erf(x) - want).abs() < 2e-7, "erf({x}) = {} want {want}", erf(x));
+            assert!(
+                (erf(x) - want).abs() < 2e-7,
+                "erf({x}) = {} want {want}",
+                erf(x)
+            );
         }
     }
 

@@ -202,8 +202,14 @@ mod tests {
     #[test]
     fn winter_produces_snow_not_rain() {
         let (_, samples) = winter_run(1, 21);
-        let snow = samples.iter().filter(|s| s.phase == PrecipPhase::Snow).count();
-        let rain = samples.iter().filter(|s| s.phase == PrecipPhase::Rain).count();
+        let snow = samples
+            .iter()
+            .filter(|s| s.phase == PrecipPhase::Snow)
+            .count();
+        let rain = samples
+            .iter()
+            .filter(|s| s.phase == PrecipPhase::Rain)
+            .count();
         assert!(snow > 0, "three February weeks must snow at least once");
         assert!(
             rain < snow / 4 + 5,
@@ -259,7 +265,10 @@ mod tests {
         let (_, samples) = winter_run(5, 28);
         // Count wet→dry transitions; with ~3 h mean events at 10-min
         // sampling, transitions should be far rarer than wet samples.
-        let wet: Vec<bool> = samples.iter().map(|s| s.phase != PrecipPhase::None).collect();
+        let wet: Vec<bool> = samples
+            .iter()
+            .map(|s| s.phase != PrecipPhase::None)
+            .collect();
         let wet_count = wet.iter().filter(|&&w| w).count();
         let transitions = wet.windows(2).filter(|w| w[0] != w[1]).count();
         if wet_count > 20 {

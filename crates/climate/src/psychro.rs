@@ -81,7 +81,11 @@ pub fn mixing_ratio_g_kg(t_c: f64, rh_pct: f64, p_hpa: f64) -> f64 {
 /// is drawn in and warmed by the equipment, which *lowers* its RH).
 pub fn rh_after_heating(t_out_c: f64, rh_out_pct: f64, t_in_c: f64) -> f64 {
     let e = vapor_pressure_hpa(t_out_c, rh_out_pct);
-    clamp(100.0 * e / saturation_vapor_pressure_hpa(t_in_c), 0.0, 100.0)
+    clamp(
+        100.0 * e / saturation_vapor_pressure_hpa(t_in_c),
+        0.0,
+        100.0,
+    )
 }
 
 /// Outcome of a condensation-risk assessment.

@@ -21,7 +21,10 @@ pub const SOLAR_CONSTANT: f64 = 1361.0;
 
 /// Solar declination in degrees for a given day of year (Cooper 1969).
 pub fn declination_deg(day_of_year: u32) -> f64 {
-    23.45 * ((360.0 / 365.0) * (284.0 + day_of_year as f64)).to_radians().sin()
+    23.45
+        * ((360.0 / 365.0) * (284.0 + day_of_year as f64))
+            .to_radians()
+            .sin()
 }
 
 /// Hour angle in degrees at local solar hour `h` (0–24, 12 = solar noon).
@@ -151,8 +154,16 @@ mod tests {
 
     #[test]
     fn spring_noon_brighter_than_winter_noon() {
-        let feb = irradiance_at(HELSINKI_LAT_DEG, SimTime::from_ymd_hms(2010, 2, 15, 12, 0, 0), 0.0);
-        let may = irradiance_at(HELSINKI_LAT_DEG, SimTime::from_ymd_hms(2010, 5, 10, 12, 0, 0), 0.0);
+        let feb = irradiance_at(
+            HELSINKI_LAT_DEG,
+            SimTime::from_ymd_hms(2010, 2, 15, 12, 0, 0),
+            0.0,
+        );
+        let may = irradiance_at(
+            HELSINKI_LAT_DEG,
+            SimTime::from_ymd_hms(2010, 5, 10, 12, 0, 0),
+            0.0,
+        );
         assert!(may > 1.5 * feb, "feb {feb} may {may}");
     }
 }

@@ -117,15 +117,27 @@ impl ClimateParams {
     }
 
     fn diurnal_amp(&self, doy: f64) -> f64 {
-        lerp(self.diurnal_amp_winter_k, self.diurnal_amp_summer_k, self.summerness(doy))
+        lerp(
+            self.diurnal_amp_winter_k,
+            self.diurnal_amp_summer_k,
+            self.summerness(doy),
+        )
     }
 
     fn rh_mean(&self, doy: f64) -> f64 {
-        lerp(self.rh_mean_winter, self.rh_mean_summer, self.summerness(doy))
+        lerp(
+            self.rh_mean_winter,
+            self.rh_mean_summer,
+            self.summerness(doy),
+        )
     }
 
     fn cloud_mean(&self, doy: f64) -> f64 {
-        lerp(self.cloud_mean_winter, self.cloud_mean_summer, self.summerness(doy))
+        lerp(
+            self.cloud_mean_winter,
+            self.cloud_mean_summer,
+            self.summerness(doy),
+        )
     }
 
     /// Anchor adjustment at `t`: `(target_offset, weight)` where weight
@@ -135,7 +147,11 @@ impl ClimateParams {
         for a in &self.anchors {
             if t >= a.start - SimDuration::hours(6) && t <= a.end + SimDuration::hours(6) {
                 let ts = t.as_secs() as f64;
-                let up = smoothstep(a.start.as_secs() as f64 - ramp, a.start.as_secs() as f64, ts);
+                let up = smoothstep(
+                    a.start.as_secs() as f64 - ramp,
+                    a.start.as_secs() as f64,
+                    ts,
+                );
                 let down =
                     1.0 - smoothstep(a.end.as_secs() as f64, a.end.as_secs() as f64 + ramp, ts);
                 let w = a.weight * up.min(down);
@@ -191,7 +207,10 @@ struct Ou {
 
 impl Ou {
     fn new(tau_hours: f64) -> Self {
-        Ou { z: 0.0, tau_secs: tau_hours * 3600.0 }
+        Ou {
+            z: 0.0,
+            tau_secs: tau_hours * 3600.0,
+        }
     }
 
     fn step(&mut self, dt_secs: f64, rng: &mut Rng) {
@@ -324,17 +343,28 @@ impl WeatherModel {
 
         // --- wind ---
         let u = crate::math::norm_cdf(self.wind.z).clamp(1e-9, 1.0 - 1e-9);
-        let wind_ms =
-            p.wind_weibull_scale * (-(1.0 - u).ln()).powf(1.0 / p.wind_weibull_shape);
+        let wind_ms = p.wind_weibull_scale * (-(1.0 - u).ln()).powf(1.0 / p.wind_weibull_shape);
 
         // --- solar ---
         let solar_w_m2 = solar::irradiance_at(p.latitude_deg, t, cloud);
 
-        WeatherSample { t, temp_c, rh_pct, wind_ms, solar_w_m2, cloud }
+        WeatherSample {
+            t,
+            temp_c,
+            rh_pct,
+            wind_ms,
+            solar_w_m2,
+            cloud,
+        }
     }
 
     /// Generate a regularly sampled series over `[start, end]` inclusive.
-    pub fn series(&mut self, start: SimTime, end: SimTime, step: SimDuration) -> Vec<WeatherSample> {
+    pub fn series(
+        &mut self,
+        start: SimTime,
+        end: SimTime,
+        step: SimDuration,
+    ) -> Vec<WeatherSample> {
         assert!(step.as_secs() > 0, "step must be positive");
         let mut out = Vec::new();
         let mut t = start;
@@ -376,7 +406,11 @@ mod tests {
     fn seeds_differ() {
         let a = february_series(1);
         let b = february_series(2);
-        let identical = a.iter().zip(&b).filter(|(x, y)| x.temp_c == y.temp_c).count();
+        let identical = a
+            .iter()
+            .zip(&b)
+            .filter(|(x, y)| x.temp_c == y.temp_c)
+            .count();
         assert!(identical < a.len() / 10);
     }
 
@@ -386,7 +420,10 @@ mod tests {
         for seed in [1, 2, 3, 4, 5] {
             let s = february_series(seed);
             let mean = s.iter().map(|x| x.temp_c).sum::<f64>() / s.len() as f64;
-            assert!((-13.0..=-4.0).contains(&mean), "seed {seed}: Feb mean {mean}");
+            assert!(
+                (-13.0..=-4.0).contains(&mean),
+                "seed {seed}: Feb mean {mean}"
+            );
         }
     }
 
@@ -401,7 +438,10 @@ mod tests {
                 SimDuration::minutes(30),
             );
             let min = s.iter().map(|x| x.temp_c).fold(f64::INFINITY, f64::min);
-            assert!((-30.0..=-15.0).contains(&min), "seed {seed}: winter min {min}");
+            assert!(
+                (-30.0..=-15.0).contains(&min),
+                "seed {seed}: winter min {min}"
+            );
         }
     }
 
@@ -459,7 +499,10 @@ mod tests {
                 SimDuration::minutes(10),
             );
             let mean = s.iter().map(|x| x.temp_c).sum::<f64>() / s.len() as f64;
-            assert!((-12.0..=-6.5).contains(&mean), "seed {seed}: weekend mean {mean}");
+            assert!(
+                (-12.0..=-6.5).contains(&mean),
+                "seed {seed}: weekend mean {mean}"
+            );
         }
     }
 

@@ -141,8 +141,8 @@ pub fn unarchive(data: &[u8]) -> Result<Vec<FileEntry>, TarError> {
         let stored = read_octal(&header[148..156])?;
         let mut sum: u64 = header.iter().map(|&b| u64::from(b)).sum();
         // Replace checksum field with spaces.
-        sum = sum - header[148..156].iter().map(|&b| u64::from(b)).sum::<u64>()
-            + 8 * u64::from(b' ');
+        sum =
+            sum - header[148..156].iter().map(|&b| u64::from(b)).sum::<u64>() + 8 * u64::from(b' ');
         if sum != stored {
             return Err(TarError::BadChecksum { offset: pos });
         }
@@ -222,7 +222,10 @@ mod tests {
     fn checksum_detects_header_damage() {
         let mut tar = archive(&tree());
         tar[30] ^= 0x01; // inside the first header's name field
-        assert!(matches!(unarchive(&tar), Err(TarError::BadChecksum { offset: 0 })));
+        assert!(matches!(
+            unarchive(&tar),
+            Err(TarError::BadChecksum { offset: 0 })
+        ));
     }
 
     #[test]

@@ -94,7 +94,14 @@ mod tests {
     #[test]
     fn roundtrip_various_widths() {
         let mut w = BitWriter::new();
-        let values = [(0b1u32, 1u8), (0b1010, 4), (0xABCD, 16), (0x1FFFFF, 21), (0, 3), (1, 1)];
+        let values = [
+            (0b1u32, 1u8),
+            (0b1010, 4),
+            (0xABCD, 16),
+            (0x1FFFFF, 21),
+            (0, 3),
+            (1, 1),
+        ];
         for (v, n) in values {
             w.write_bits(v, n);
         }

@@ -62,7 +62,9 @@ impl std::fmt::Display for CompressError {
         match self {
             CompressError::BadHeader => write!(f, "bad stream header"),
             CompressError::Truncated => write!(f, "stream truncated"),
-            CompressError::BadBlockMagic { offset } => write!(f, "bad block magic at offset {offset}"),
+            CompressError::BadBlockMagic { offset } => {
+                write!(f, "bad block magic at offset {offset}")
+            }
             CompressError::BlockCrc { index } => write!(f, "block {index} failed CRC"),
             CompressError::BlockCorrupt { index } => write!(f, "block {index} failed to decode"),
             CompressError::StreamCrc => write!(f, "stream checksum mismatch"),
@@ -77,9 +79,7 @@ fn put_u32(out: &mut Vec<u8>, v: u32) {
 }
 
 fn get_u32(data: &[u8], pos: &mut usize) -> Result<u32, CompressError> {
-    let b = data
-        .get(*pos..*pos + 4)
-        .ok_or(CompressError::Truncated)?;
+    let b = data.get(*pos..*pos + 4).ok_or(CompressError::Truncated)?;
     *pos += 4;
     Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
 }
@@ -201,7 +201,9 @@ pub fn compress(data: &[u8], block_size: usize) -> Vec<u8> {
 
 /// Number of compression blocks in a stream produced by [`compress`].
 pub fn block_count(data: &[u8], block_size: usize) -> usize {
-    data.len().div_ceil(block_size.max(1)).max(if data.is_empty() { 0 } else { 1 })
+    data.len()
+        .div_ceil(block_size.max(1))
+        .max(if data.is_empty() { 0 } else { 1 })
 }
 
 /// Decompress a stream produced by [`compress`].
@@ -216,9 +218,7 @@ pub fn decompress(stream: &[u8]) -> Result<Vec<u8>, CompressError> {
     let mut combined = 0u32;
     let mut index = 0usize;
     loop {
-        let magic = stream
-            .get(pos..pos + 6)
-            .ok_or(CompressError::Truncated)?;
+        let magic = stream.get(pos..pos + 6).ok_or(CompressError::Truncated)?;
         if magic == EOS_MAGIC {
             pos += 6;
             let stored = get_u32(stream, &mut pos)?;
@@ -260,7 +260,11 @@ mod tests {
             let data = sample_text(len);
             for bs in [512usize, 4096, 65_536] {
                 let packed = compress(&data, bs);
-                assert_eq!(decompress(&packed).expect("roundtrip"), data, "len {len} bs {bs}");
+                assert_eq!(
+                    decompress(&packed).expect("roundtrip"),
+                    data,
+                    "len {len} bs {bs}"
+                );
             }
         }
     }
@@ -319,7 +323,7 @@ mod tests {
         // The paper's forensic scenario: one flipped bit in the archive.
         let data = sample_text(50_000);
         let mut packed = compress(&data, 5_000); // 10 blocks
-        // Flip a bit well inside block 4's payload.
+                                                 // Flip a bit well inside block 4's payload.
         let target = payload_mid_offset(&packed, 4);
         packed[target] ^= 0x04;
         match decompress(&packed) {

@@ -33,9 +33,7 @@ pub fn bwt_forward(input: &[u8]) -> (Vec<u8>, u32) {
     loop {
         // Sort by (rank[i], rank[i+k]) using two stable counting-sort passes,
         // least significant key first.
-        counting_sort_by_key(&mut sa, n.max(256) + 1, |&i| {
-            rank[(i as usize + k) % n] + 1
-        });
+        counting_sort_by_key(&mut sa, n.max(256) + 1, |&i| rank[(i as usize + k) % n] + 1);
         counting_sort_by_key(&mut sa, n.max(256) + 1, |&i| rank[i as usize]);
         // Re-rank.
         tmp_rank[sa[0] as usize] = 0;

@@ -73,7 +73,10 @@ mod tests {
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"a"), 0xE8B7_BE43);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]
@@ -94,7 +97,11 @@ mod tests {
             for bit in 0..8 {
                 let mut corrupted = data.clone();
                 corrupted[byte_idx] ^= 1 << bit;
-                assert_ne!(crc32(&corrupted), base, "flip at {byte_idx}:{bit} undetected");
+                assert_ne!(
+                    crc32(&corrupted),
+                    base,
+                    "flip at {byte_idx}:{bit} undetected"
+                );
             }
         }
     }

@@ -96,7 +96,11 @@ fn tree_depths(freqs: &[u64]) -> Vec<u8> {
     let mut parent: Vec<usize> = vec![usize::MAX; n];
     let mut heap = BinaryHeap::new();
     for (i, &f) in freqs.iter().enumerate() {
-        heap.push(Reverse(Item { weight: f, order: i as u32, node: i }));
+        heap.push(Reverse(Item {
+            weight: f,
+            order: i as u32,
+            node: i,
+        }));
     }
     let mut order = n as u32;
     while heap.len() > 1 {
@@ -296,7 +300,11 @@ mod tests {
             data[i * 20] = (i % 255) as u8 + 1;
         }
         let (lengths, bits, _) = encode(&data);
-        assert!(bits.len() < data.len() / 4, "compressed to {} bytes", bits.len());
+        assert!(
+            bits.len() < data.len() / 4,
+            "compressed to {} bytes",
+            bits.len()
+        );
         assert_eq!(decode(&lengths, &bits, data.len()).unwrap(), data);
     }
 

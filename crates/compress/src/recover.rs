@@ -36,7 +36,10 @@ pub struct RecoveryReport {
 impl RecoveryReport {
     /// Number of blocks that failed (CRC or structure).
     pub fn corrupted_count(&self) -> usize {
-        self.blocks.iter().filter(|s| **s != BlockStatus::Good).count()
+        self.blocks
+            .iter()
+            .filter(|s| **s != BlockStatus::Good)
+            .count()
     }
 
     /// Total number of blocks seen.
@@ -120,8 +123,7 @@ fn declared_extent(body: &[u8]) -> Option<usize> {
     if body.len() < 276 {
         return None;
     }
-    let payload_len =
-        u32::from_be_bytes(body[272..276].try_into().expect("len checked")) as usize;
+    let payload_len = u32::from_be_bytes(body[272..276].try_into().expect("len checked")) as usize;
     let total = 276usize.checked_add(payload_len)?;
     if total <= body.len() + 4096 {
         Some(total.min(body.len()))

@@ -153,7 +153,11 @@ mod tests {
         let mut data = Vec::new();
         for _ in 0..50_000 {
             state = state.wrapping_mul(1664525).wrapping_add(1013904223);
-            data.push(if state & 0x300 == 0 { 0xAA } else { (state >> 24) as u8 });
+            data.push(if state & 0x300 == 0 {
+                0xAA
+            } else {
+                (state >> 24) as u8
+            });
         }
         roundtrip(&data);
     }

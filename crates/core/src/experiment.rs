@@ -318,8 +318,11 @@ impl Experiment {
                 if let Some(h) = self.hosts.iter_mut().find(|h| h.plan.id == host) {
                     h.server.sensors.inject_cold_fault();
                 }
-                self.watchdog
-                    .open(IncidentKind::SensorFault, &format!("host-{host}/sensor"), at);
+                self.watchdog.open(
+                    IncidentKind::SensorFault,
+                    &format!("host-{host}/sensor"),
+                    at,
+                );
                 self.record_fault(at, host, FaultKind::SensorChipErratic);
             }
             ScriptedEvent::SensorRedetect { host } => {
@@ -345,11 +348,8 @@ impl Experiment {
             }
             ScriptedEvent::SwitchRestored { switch } => {
                 self.switch_up[switch] = true;
-                self.watchdog.resolve(
-                    &format!("switch-{switch}"),
-                    at,
-                    "spare switch swapped in",
-                );
+                self.watchdog
+                    .resolve(&format!("switch-{switch}"), at, "spare switch swapped in");
             }
             ScriptedEvent::FlipNextRun { host } => {
                 if let Some(h) = self.hosts.iter_mut().find(|h| h.plan.id == host) {
@@ -536,11 +536,8 @@ impl Experiment {
             {
                 let (at, switch) = self.pending_switch_restores.remove(pos);
                 self.switch_up[switch] = true;
-                self.watchdog.resolve(
-                    &format!("switch-{switch}"),
-                    at,
-                    "spare switch swapped in",
-                );
+                self.watchdog
+                    .resolve(&format!("switch-{switch}"), at, "spare switch swapped in");
             }
 
             // 5. Hosts.
@@ -574,7 +571,9 @@ impl Experiment {
                 // Sensor log.
                 if t >= host.next_sensor_log {
                     let line = match sensor_reading {
-                        Some(v) => format!("{} cpu={:.1} rh={:.0}\n", t.datetime(), v, encl.air_rh_pct),
+                        Some(v) => {
+                            format!("{} cpu={:.1} rh={:.0}\n", t.datetime(), v, encl.air_rh_pct)
+                        }
                         None => format!("{} cpu=n/a rh={:.0}\n", t.datetime(), encl.air_rh_pct),
                     };
                     host.store.append(&daily_log("sensors", t), line.as_bytes());
@@ -831,7 +830,11 @@ mod tests {
         // 3 days, first three tent hosts + twins installed at start+... —
         // nobody is installed before Feb 19 in the paper fleet, so the
         // short window Feb 12–15 has zero runs but full weather capture.
-        assert!(results.outside.len() > 400, "outside obs {}", results.outside.len());
+        assert!(
+            results.outside.len() > 400,
+            "outside obs {}",
+            results.outside.len()
+        );
         assert!(results.tent_temp_truth.len() > 400);
         assert_eq!(results.workload.total_runs(), 0);
     }
@@ -843,7 +846,11 @@ mod tests {
         let runs = results.workload.total_runs();
         // 6 machines × ~3 days × 144 runs/day ≈ 2400.
         assert!((1500..3500).contains(&runs), "runs {runs}");
-        assert!(results.tent_energy_true_kwh > 1.0, "energy {}", results.tent_energy_true_kwh);
+        assert!(
+            results.tent_energy_true_kwh > 1.0,
+            "energy {}",
+            results.tent_energy_true_kwh
+        );
         let mean_w = results.tent_mean_power_w();
         assert!(mean_w > 0.0 && mean_w < 2000.0, "mean tent power {mean_w}");
     }
@@ -979,8 +986,8 @@ mod tests {
     #[test]
     fn tent_is_warmer_than_outside_and_cooler_than_basement() {
         let results = Experiment::new(ExperimentConfig::short(3, 12)).run();
-        let out_mean: f64 = results.outside.iter().map(|o| o.temp_c).sum::<f64>()
-            / results.outside.len() as f64;
+        let out_mean: f64 =
+            results.outside.iter().map(|o| o.temp_c).sum::<f64>() / results.outside.len() as f64;
         // Compare over the loaded window (after first installs).
         let loaded_from = SimTime::from_date(2010, 2, 20);
         let tent_mean = results
@@ -989,8 +996,14 @@ mod tests {
             .mean()
             .unwrap();
         let basement_mean = results.basement_temp.mean().unwrap();
-        assert!(tent_mean > out_mean, "tent {tent_mean} vs outside {out_mean}");
-        assert!(basement_mean > tent_mean, "basement {basement_mean} vs tent {tent_mean}");
+        assert!(
+            tent_mean > out_mean,
+            "tent {tent_mean} vs outside {out_mean}"
+        );
+        assert!(
+            basement_mean > tent_mean,
+            "basement {basement_mean} vs tent {tent_mean}"
+        );
         assert!((18.0..24.0).contains(&basement_mean));
     }
 }

@@ -112,7 +112,10 @@ pub struct SeriesFigure {
     pub summary: String,
 }
 
-fn outside_series(results: &ExperimentResults, f: impl Fn(&frostlab_climate::station::WeatherObservation) -> f64) -> TimeSeries {
+fn outside_series(
+    results: &ExperimentResults,
+    f: impl Fn(&frostlab_climate::station::WeatherObservation) -> f64,
+) -> TimeSeries {
     TimeSeries::from_points(results.outside.iter().map(|o| (o.t, f(o))))
 }
 
@@ -127,8 +130,7 @@ pub fn fig3_temperature(results: &ExperimentResults) -> SeriesFigure {
     // cadence) over the common window and find the best lag within 3 h.
     let tracking = {
         use std::collections::BTreeMap;
-        let inside_map: BTreeMap<_, _> =
-            results.tent_temp_truth.points().iter().copied().collect();
+        let inside_map: BTreeMap<_, _> = results.tent_temp_truth.points().iter().copied().collect();
         let mut xs = Vec::new();
         let mut ys = Vec::new();
         for &(t, v) in outside.points() {
@@ -250,7 +252,11 @@ mod tests {
     fn fig3_and_fig4_from_short_campaign() {
         let results = Experiment::new(ExperimentConfig::short(4, 8)).run();
         let f3 = fig3_temperature(&results);
-        assert!(f3.csv.lines().count() > 500, "csv rows {}", f3.csv.lines().count());
+        assert!(
+            f3.csv.lines().count() > 500,
+            "csv rows {}",
+            f3.csv.lines().count()
+        );
         assert_eq!(f3.marks.len(), 4);
         assert!(f3.csv.starts_with("datetime,days,outside_c,inside_c"));
         let f4 = fig4_humidity(&results);

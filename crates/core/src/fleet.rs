@@ -42,7 +42,9 @@ pub struct HostPlan {
 /// numbers; #19 is the replacement spare (installed only in scripted runs
 /// after #15 is withdrawn).
 pub fn paper_fleet() -> Vec<HostPlan> {
-    let d = |y: i32, m: u32, day: u32| SimTime::from_date(y, m, day) + frostlab_simkern::time::SimDuration::hours(11);
+    let d = |y: i32, m: u32, day: u32| {
+        SimTime::from_date(y, m, day) + frostlab_simkern::time::SimDuration::hours(11)
+    };
     let mut fleet = Vec::new();
     // (tent_id, twin_id, vendor, defective, install_date)
     let rows: [(u32, u32, Vendor, bool, SimTime); 9] = [
@@ -154,7 +156,12 @@ mod tests {
     fn fleet_composition_matches_paper() {
         let fleet = paper_fleet();
         assert_eq!(fleet.len(), 19);
-        let count = |v: Vendor| fleet.iter().filter(|h| h.vendor == v && !h.is_replacement).count();
+        let count = |v: Vendor| {
+            fleet
+                .iter()
+                .filter(|h| h.vendor == v && !h.is_replacement)
+                .count()
+        };
         assert_eq!(count(Vendor::A), 10, "ten hosts from vendor A");
         assert_eq!(count(Vendor::B), 4, "four from B");
         assert_eq!(count(Vendor::C), 4, "four from C");
@@ -162,7 +169,10 @@ mod tests {
             .iter()
             .filter(|h| h.placement == Placement::Tent && !h.is_replacement)
             .count();
-        let basement = fleet.iter().filter(|h| h.placement == Placement::Basement).count();
+        let basement = fleet
+            .iter()
+            .filter(|h| h.placement == Placement::Basement)
+            .count();
         assert_eq!(tent, 9, "nine in the tent");
         assert_eq!(basement, 9, "nine in the basement");
     }

@@ -199,9 +199,13 @@ impl ExperimentResults {
     }
 
     /// Condensed, machine-readable summary for dashboards / EXPERIMENTS.md
-    /// evidence.
+    /// evidence — and the per-run projection the ensemble engine streams,
+    /// so an N-campaign sweep retains O(1) memory instead of N full
+    /// [`ExperimentResults`]. Every field is a cheap fold over data the
+    /// campaign already collected; nothing here re-simulates.
     pub fn summary(&self) -> CampaignSummary {
         let cmp = self.failure_comparison();
+        let finite = |x: Option<f64>| x.unwrap_or(f64::NAN);
         CampaignSummary {
             seed: self.seed,
             start: self.window.0.to_string(),
@@ -209,8 +213,11 @@ impl ExperimentResults {
             total_runs: self.workload.total_runs(),
             wrong_hashes: self.workload.hash_errors().len(),
             wrong_hashes_tent: self.workload.hash_errors_by_placement().0,
+            silent_corruptions: self.hosts.values().map(|h| h.silent_corruptions).sum(),
+            stored_archives: self.stored_archives.len(),
             failed_hosts_tent: cmp.outside.failed_hosts,
             failed_hosts_control: cmp.control.failed_hosts,
+            host_resets: self.hosts.values().map(|h| u64::from(h.resets)).sum(),
             fleet_failure_rate: cmp.fleet().rate,
             comparable_with_intel: cmp.comparable_with_intel(),
             outside_min_c: self
@@ -218,6 +225,9 @@ impl ExperimentResults {
                 .iter()
                 .map(|o| o.temp_c)
                 .fold(f64::INFINITY, f64::min),
+            tent_temp_min_c: finite(self.tent_temp_truth.min()),
+            tent_temp_max_c: finite(self.tent_temp_truth.max()),
+            tent_rh_max_pct: finite(self.tent_rh_truth.max()),
             fleet_min_cpu_c: self.fleet_min_cpu_c(),
             collection_availability: self.collection_availability(),
             tent_energy_kwh: self.tent_energy_true_kwh,
@@ -242,16 +252,28 @@ pub struct CampaignSummary {
     pub wrong_hashes: usize,
     /// Wrong md5sums from tent hosts.
     pub wrong_hashes_tent: usize,
+    /// Silent (non-ECC) memory corruptions across the fleet.
+    pub silent_corruptions: u64,
+    /// Wrong-hash archives kept for forensics.
+    pub stored_archives: usize,
     /// Tent hosts with ≥1 transient failure.
     pub failed_hosts_tent: u64,
     /// Control hosts with ≥1 transient failure.
     pub failed_hosts_control: u64,
+    /// In-place resets performed across the fleet.
+    pub host_resets: u64,
     /// Whole-fleet host failure rate.
     pub fleet_failure_rate: f64,
     /// Does the Wilson interval cover Intel's 4.46 %?
     pub comparable_with_intel: bool,
     /// Campaign minimum outside temperature, °C.
     pub outside_min_c: f64,
+    /// Tent air temperature minimum (model truth), °C.
+    pub tent_temp_min_c: f64,
+    /// Tent air temperature maximum (model truth), °C.
+    pub tent_temp_max_c: f64,
+    /// Tent relative-humidity maximum (model truth), %.
+    pub tent_rh_max_pct: f64,
     /// Lowest truthful CPU reading in the fleet, °C.
     pub fleet_min_cpu_c: f64,
     /// Fraction of collection rounds that succeeded.

@@ -165,7 +165,11 @@ mod tests {
     #[test]
     fn marks_in_paper_order() {
         let marks: Vec<char> = tent_mod_marks().iter().map(|&(m, _)| m).collect();
-        assert_eq!(marks, vec!['R', 'I', 'B', 'F'], "order of appearance per §4.1");
+        assert_eq!(
+            marks,
+            vec!['R', 'I', 'B', 'F'],
+            "order of appearance per §4.1"
+        );
     }
 
     #[test]

@@ -55,7 +55,10 @@ pub fn t2_hashes(results: &ExperimentResults) -> Table {
         "T2 — wrong md5sums (paper: 5 of 27 627 runs; 2 tent hosts x1, 1 basement host x3; 1 bad block of 396)",
         &["metric", "value"],
     );
-    t.row(&["total runs".to_string(), results.workload.total_runs().to_string()]);
+    t.row(&[
+        "total runs".to_string(),
+        results.workload.total_runs().to_string(),
+    ]);
     t.row(&[
         "wrong hashes".to_string(),
         results.workload.hash_errors().len().to_string(),
@@ -99,7 +102,10 @@ pub fn t3_memory(results: &ExperimentResults) -> Table {
     );
     let measured_ops = results.workload.total_page_ops();
     let errors = results.workload.hash_errors().len() as u64;
-    t.row(&["page ops (measured)".to_string(), format!("{measured_ops:.3e}", measured_ops = measured_ops as f64)]);
+    t.row(&[
+        "page ops (measured)".to_string(),
+        format!("{measured_ops:.3e}", measured_ops = measured_ops as f64),
+    ]);
     t.row(&["faulty archives (measured)".to_string(), errors.to_string()]);
     let ratio = if errors > 0 {
         measured_ops as f64 / errors as f64
@@ -143,8 +149,14 @@ pub fn t4_pue() -> Table {
     let crac: f64 = plant.cracs.iter().map(|c| c.power_draw_kw).sum();
     t.row(&["IT load (peak)".to_string(), "75.0".to_string()]);
     t.row(&["3 new CRAC units".to_string(), format!("{crac:.1}")]);
-    t.row(&["chilled-water HVAC unit".to_string(), format!("{:.1}", plant.hvac_unit_kw)]);
-    t.row(&["roof liquid cooler".to_string(), format!("{:.1}", plant.roof_cooler_kw)]);
+    t.row(&[
+        "chilled-water HVAC unit".to_string(),
+        format!("{:.1}", plant.hvac_unit_kw),
+    ]);
+    t.row(&[
+        "roof liquid cooler".to_string(),
+        format!("{:.1}", plant.roof_cooler_kw),
+    ]);
     t.row(&[
         "naive PUE (sum of figures)".to_string(),
         format!("{:.2}", naive_plant_pue(75.0, &plant)),
@@ -194,7 +206,13 @@ pub fn t5_prototype(report: &PrototypeReport) -> Table {
 pub fn t6_savings(seed: u64) -> Table {
     let mut t = Table::new(
         "T6 — air-economizer cooling-energy savings (paper context: 40 % HP … 67 % Intel)",
-        &["climate", "free-cooling hours", "free %", "savings vs mechanical", "effective PUE"],
+        &[
+            "climate",
+            "free-cooling hours",
+            "free %",
+            "savings vs mechanical",
+            "effective PUE",
+        ],
     );
     for climate in [
         frostlab_climate::presets::helsinki_winter_2010(),
@@ -259,6 +277,9 @@ mod tests {
         let t2 = t2_hashes(&results).to_string();
         assert!(t2.contains("total runs"));
         let t3 = t3_memory(&results).to_string();
-        assert!(t3.contains("570 million") || t3.contains("paper ballpark"), "{t3}");
+        assert!(
+            t3.contains("570 million") || t3.contains("paper ballpark"),
+            "{t3}"
+        );
     }
 }

@@ -207,7 +207,10 @@ mod tests {
     fn open_resolve_round_trip() {
         let mut w = Watchdog::new();
         assert!(w.open(IncidentKind::SwitchFailure, "switch-0", t(100)));
-        assert!(!w.open(IncidentKind::SwitchFailure, "switch-0", t(200)), "no duplicates");
+        assert!(
+            !w.open(IncidentKind::SwitchFailure, "switch-0", t(200)),
+            "no duplicates"
+        );
         assert!(w.is_open("switch-0"));
         assert_eq!(w.open_count(), 1);
         assert!(w.resolve("switch-0", t(500), "spare switch swapped in"));

@@ -136,7 +136,11 @@ mod tests {
     #[test]
     fn helsinki_is_mostly_free_cooling() {
         let r = report(presets::helsinki_winter_2010());
-        assert!(r.free_fraction() > 0.8, "free fraction {}", r.free_fraction());
+        assert!(
+            r.free_fraction() > 0.8,
+            "free fraction {}",
+            r.free_fraction()
+        );
         assert!(r.savings() > 0.6, "savings {}", r.savings());
     }
 

@@ -156,7 +156,11 @@ mod tests {
 
     #[test]
     fn helsinki_wetside_mostly_free() {
-        let r = simulate_year_wetside(presets::helsinki_winter_2010(), &WetSideConfig::default(), 5);
+        let r = simulate_year_wetside(
+            presets::helsinki_winter_2010(),
+            &WetSideConfig::default(),
+            5,
+        );
         assert!(r.free_fraction() > 0.6, "free {}", r.free_fraction());
         assert!(r.savings() > 0.4, "savings {}", r.savings());
     }

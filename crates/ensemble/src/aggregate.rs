@@ -1,0 +1,350 @@
+//! Streaming aggregation of [`CampaignSummary`] projections.
+//!
+//! [`CampaignAggregate`] absorbs one compact summary per campaign and
+//! keeps only O(1) state — Welford moments, min/max trackers, and a
+//! fixed-bin histogram for percentiles — so a 10 000-run sweep costs the
+//! same memory as a 10-run one. [`CampaignAggregate::finish`] freezes it
+//! into the serializable [`EnsembleSummary`], the artifact the CI
+//! determinism gate diffs across thread counts.
+
+use frostlab_analysis::stats::{Histogram, MinMax, Welford};
+use frostlab_core::results::CampaignSummary;
+
+/// Fleet-failure-rate histogram geometry: rates live in [0, 1]; 80 bins
+/// of 0.0125 give percentile estimates exact to within 1.25 percentage
+/// points (one bin width — see `Histogram::percentile`).
+const RATE_BINS: usize = 80;
+const RATE_BIN_WIDTH: f64 = 0.0125;
+
+/// O(1)-memory accumulator over campaign summaries.
+///
+/// `absorb` is order-sensitive only in the last floating-point ulps (its
+/// Welford folds are associative up to rounding); the ensemble engine
+/// feeds it in seed order so the frozen summary is bit-reproducible for
+/// any thread count.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignAggregate {
+    n: u64,
+    failed_tent: Welford,
+    failed_control: Welford,
+    fleet_rate: Welford,
+    rate_hist: Option<Histogram>,
+    wrong_hashes: Welford,
+    wrong_hashes_range: MinMax,
+    silent_corruptions: u64,
+    stored_archives: u64,
+    host_resets: u64,
+    availability: Welford,
+    availability_range: MinMax,
+    energy_kwh: Welford,
+    outside_min_c: MinMax,
+    tent_temp: MinMax,
+    tent_rh_max: MinMax,
+    fleet_min_cpu_c: MinMax,
+    total_runs: u64,
+    total_page_ops: u64,
+    like_paper: u64,
+    any_tent_failure: u64,
+    comparable_with_intel: u64,
+}
+
+impl CampaignAggregate {
+    /// Empty aggregate.
+    pub fn new() -> CampaignAggregate {
+        CampaignAggregate::default()
+    }
+
+    /// Campaigns absorbed so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Fold one campaign's summary into the running state.
+    pub fn absorb(&mut self, s: &CampaignSummary) {
+        self.n += 1;
+        self.failed_tent.push(s.failed_hosts_tent as f64);
+        self.failed_control.push(s.failed_hosts_control as f64);
+        self.fleet_rate.push(s.fleet_failure_rate);
+        self.rate_hist
+            .get_or_insert_with(|| Histogram::new(0.0, RATE_BIN_WIDTH, RATE_BINS))
+            .push(s.fleet_failure_rate);
+        self.wrong_hashes.push(s.wrong_hashes as f64);
+        self.wrong_hashes_range.push(s.wrong_hashes as f64);
+        self.silent_corruptions += s.silent_corruptions;
+        self.stored_archives += s.stored_archives as u64;
+        self.host_resets += s.host_resets;
+        self.availability.push(s.collection_availability);
+        self.availability_range.push(s.collection_availability);
+        self.energy_kwh.push(s.tent_energy_kwh);
+        self.outside_min_c.push(s.outside_min_c);
+        self.tent_temp.push(s.tent_temp_min_c);
+        self.tent_temp.push(s.tent_temp_max_c);
+        self.tent_rh_max.push(s.tent_rh_max_pct);
+        self.fleet_min_cpu_c.push(s.fleet_min_cpu_c);
+        self.total_runs += s.total_runs;
+        self.total_page_ops += s.total_page_ops;
+        if s.failed_hosts_tent <= 1 && s.failed_hosts_control == 0 {
+            self.like_paper += 1;
+        }
+        if s.failed_hosts_tent > 0 {
+            self.any_tent_failure += 1;
+        }
+        if s.comparable_with_intel {
+            self.comparable_with_intel += 1;
+        }
+    }
+
+    /// Merge another aggregate (for tree-shaped folds). Exact for the
+    /// counters and min/max; associative up to floating-point rounding
+    /// for the Welford moments and exactly order-independent for the
+    /// histogram.
+    pub fn merge(&mut self, other: &CampaignAggregate) {
+        self.n += other.n;
+        self.failed_tent.merge(&other.failed_tent);
+        self.failed_control.merge(&other.failed_control);
+        self.fleet_rate.merge(&other.fleet_rate);
+        match (&mut self.rate_hist, &other.rate_hist) {
+            (Some(a), Some(b)) => a.merge(b),
+            (None, Some(b)) => self.rate_hist = Some(b.clone()),
+            _ => {}
+        }
+        self.wrong_hashes.merge(&other.wrong_hashes);
+        self.wrong_hashes_range.merge(&other.wrong_hashes_range);
+        self.silent_corruptions += other.silent_corruptions;
+        self.stored_archives += other.stored_archives;
+        self.host_resets += other.host_resets;
+        self.availability.merge(&other.availability);
+        self.availability_range.merge(&other.availability_range);
+        self.energy_kwh.merge(&other.energy_kwh);
+        self.outside_min_c.merge(&other.outside_min_c);
+        self.tent_temp.merge(&other.tent_temp);
+        self.tent_rh_max.merge(&other.tent_rh_max);
+        self.fleet_min_cpu_c.merge(&other.fleet_min_cpu_c);
+        self.total_runs += other.total_runs;
+        self.total_page_ops += other.total_page_ops;
+        self.like_paper += other.like_paper;
+        self.any_tent_failure += other.any_tent_failure;
+        self.comparable_with_intel += other.comparable_with_intel;
+    }
+
+    /// Freeze into the serializable summary. All floats are finite (0.0
+    /// stands in for undefined moments of an empty/singleton aggregate)
+    /// so the JSON is always valid and diffable.
+    pub fn finish(&self, seed_start: u64, threads: usize) -> EnsembleSummary {
+        let f = |x: Option<f64>| x.unwrap_or(0.0);
+        let hist = self.rate_hist.as_ref();
+        EnsembleSummary {
+            schema: SCHEMA.to_string(),
+            campaigns: self.n,
+            seed_start,
+            threads_used: threads,
+            failed_hosts_tent_mean: f(self.failed_tent.mean()),
+            failed_hosts_tent_std: f(self.failed_tent.std_dev()),
+            failed_hosts_control_mean: f(self.failed_control.mean()),
+            fleet_failure_rate_mean: f(self.fleet_rate.mean()),
+            fleet_failure_rate_std: f(self.fleet_rate.std_dev()),
+            fleet_failure_rate_p50: f(hist.and_then(|h| h.percentile(50.0))),
+            fleet_failure_rate_p90: f(hist.and_then(|h| h.percentile(90.0))),
+            wrong_hashes_mean: f(self.wrong_hashes.mean()),
+            wrong_hashes_min: f(self.wrong_hashes_range.min()),
+            wrong_hashes_max: f(self.wrong_hashes_range.max()),
+            silent_corruptions_total: self.silent_corruptions,
+            stored_archives_total: self.stored_archives,
+            host_resets_total: self.host_resets,
+            collection_availability_mean: f(self.availability.mean()),
+            collection_availability_min: f(self.availability_range.min()),
+            tent_energy_kwh_mean: f(self.energy_kwh.mean()),
+            outside_min_c: f(self.outside_min_c.min()),
+            tent_temp_min_c: f(self.tent_temp.min()),
+            tent_temp_max_c: f(self.tent_temp.max()),
+            tent_rh_max_pct: f(self.tent_rh_max.max()),
+            fleet_min_cpu_c: f(self.fleet_min_cpu_c.min()),
+            total_runs: self.total_runs,
+            total_page_ops: self.total_page_ops,
+            campaigns_like_paper: self.like_paper,
+            campaigns_with_tent_failure: self.any_tent_failure,
+            campaigns_comparable_with_intel: self.comparable_with_intel,
+        }
+    }
+}
+
+/// Schema tag embedded in every serialized ensemble summary.
+pub const SCHEMA: &str = "frostlab-ensemble-summary/v1";
+
+/// Frozen, serializable view of a whole ensemble.
+///
+/// `threads_used` records how the ensemble was executed but is excluded
+/// from [`EnsembleSummary::invariant_json`], the form the determinism
+/// gate diffs — everything else must be byte-identical across thread
+/// counts.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EnsembleSummary {
+    /// Schema tag ([`SCHEMA`]).
+    pub schema: String,
+    /// Campaigns aggregated.
+    pub campaigns: u64,
+    /// First seed of the contiguous seed range.
+    pub seed_start: u64,
+    /// Worker threads the run actually used (informational).
+    pub threads_used: usize,
+    /// Mean tent hosts with ≥1 transient failure.
+    pub failed_hosts_tent_mean: f64,
+    /// Sample std-dev of the tent failure count.
+    pub failed_hosts_tent_std: f64,
+    /// Mean control hosts with ≥1 transient failure.
+    pub failed_hosts_control_mean: f64,
+    /// Mean whole-fleet failure rate.
+    pub fleet_failure_rate_mean: f64,
+    /// Sample std-dev of the fleet failure rate.
+    pub fleet_failure_rate_std: f64,
+    /// Median fleet failure rate (histogram estimate, ±1 bin = ±1.25 pp).
+    pub fleet_failure_rate_p50: f64,
+    /// 90th-percentile fleet failure rate (same tolerance).
+    pub fleet_failure_rate_p90: f64,
+    /// Mean wrong md5sums per campaign.
+    pub wrong_hashes_mean: f64,
+    /// Fewest wrong hashes any campaign produced.
+    pub wrong_hashes_min: f64,
+    /// Most wrong hashes any campaign produced.
+    pub wrong_hashes_max: f64,
+    /// Silent memory corruptions summed over all campaigns.
+    pub silent_corruptions_total: u64,
+    /// Forensic archives stored, summed.
+    pub stored_archives_total: u64,
+    /// In-place host resets, summed.
+    pub host_resets_total: u64,
+    /// Mean collection availability.
+    pub collection_availability_mean: f64,
+    /// Worst campaign's collection availability.
+    pub collection_availability_min: f64,
+    /// Mean tent-group energy, kWh.
+    pub tent_energy_kwh_mean: f64,
+    /// Coldest outside observation across the ensemble, °C.
+    pub outside_min_c: f64,
+    /// Coldest tent air across the ensemble, °C.
+    pub tent_temp_min_c: f64,
+    /// Warmest tent air across the ensemble, °C.
+    pub tent_temp_max_c: f64,
+    /// Highest tent RH across the ensemble, %.
+    pub tent_rh_max_pct: f64,
+    /// Lowest truthful CPU reading across the ensemble, °C.
+    pub fleet_min_cpu_c: f64,
+    /// Synthetic-load runs, summed.
+    pub total_runs: u64,
+    /// Memory page operations, summed (exposure).
+    pub total_page_ops: u64,
+    /// Campaigns that look like the paper's (≤1 tent failure, clean control).
+    pub campaigns_like_paper: u64,
+    /// Campaigns with ≥1 tent failure.
+    pub campaigns_with_tent_failure: u64,
+    /// Campaigns whose Wilson interval covers Intel's 4.46 %.
+    pub campaigns_comparable_with_intel: u64,
+}
+
+impl EnsembleSummary {
+    /// Pretty JSON of the whole summary (includes `threads_used`).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Pretty JSON with execution metadata (`threads_used`) masked to 0 —
+    /// the byte-comparable form for thread-count-invariance checks.
+    pub fn invariant_json(&self) -> Result<String, serde_json::Error> {
+        let mut masked = self.clone();
+        masked.threads_used = 0;
+        serde_json::to_string_pretty(&masked)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(seed: u64) -> CampaignSummary {
+        CampaignSummary {
+            seed,
+            start: "2010-02-12 00:00".into(),
+            end: "2010-02-14 00:00".into(),
+            total_runs: 100 + seed,
+            wrong_hashes: (seed % 3) as usize,
+            wrong_hashes_tent: (seed % 2) as usize,
+            silent_corruptions: seed % 4,
+            stored_archives: (seed % 2) as usize,
+            failed_hosts_tent: seed % 3,
+            failed_hosts_control: u64::from(seed.is_multiple_of(5)),
+            host_resets: seed % 2,
+            fleet_failure_rate: (seed % 7) as f64 / 18.0,
+            comparable_with_intel: seed.is_multiple_of(2),
+            outside_min_c: -20.0 - seed as f64,
+            tent_temp_min_c: -5.0 + (seed as f64) * 0.1,
+            tent_temp_max_c: 25.0 + (seed as f64) * 0.1,
+            tent_rh_max_pct: 60.0 + (seed as f64),
+            fleet_min_cpu_c: -2.0 - seed as f64 * 0.5,
+            collection_availability: 1.0 - (seed as f64) * 0.001,
+            tent_energy_kwh: 500.0 + seed as f64,
+            lascar_outliers_removed: 0,
+            total_page_ops: 1_000 * seed,
+        }
+    }
+
+    #[test]
+    fn absorb_then_finish_is_deterministic() {
+        let mut a = CampaignAggregate::new();
+        let mut b = CampaignAggregate::new();
+        for s in 0..16 {
+            a.absorb(&summary(s));
+            b.absorb(&summary(s));
+        }
+        assert_eq!(
+            a.finish(0, 1).invariant_json().unwrap(),
+            b.finish(0, 8).invariant_json().unwrap()
+        );
+        assert_eq!(a.count(), 16);
+    }
+
+    #[test]
+    fn merge_matches_sequential_absorb_closely() {
+        let mut whole = CampaignAggregate::new();
+        let (mut left, mut right) = (CampaignAggregate::new(), CampaignAggregate::new());
+        for s in 0..24 {
+            whole.absorb(&summary(s));
+            if s < 11 {
+                left.absorb(&summary(s));
+            } else {
+                right.absorb(&summary(s));
+            }
+        }
+        left.merge(&right);
+        let (a, b) = (left.finish(0, 1), whole.finish(0, 1));
+        assert_eq!(a.campaigns, b.campaigns);
+        assert_eq!(a.total_page_ops, b.total_page_ops);
+        assert_eq!(a.campaigns_like_paper, b.campaigns_like_paper);
+        assert_eq!(a.outside_min_c, b.outside_min_c);
+        assert_eq!(a.fleet_failure_rate_p50, b.fleet_failure_rate_p50);
+        assert!((a.fleet_failure_rate_mean - b.fleet_failure_rate_mean).abs() < 1e-12);
+        assert!((a.fleet_failure_rate_std - b.fleet_failure_rate_std).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_aggregate_freezes_to_zeros() {
+        let s = CampaignAggregate::new().finish(0, 1);
+        assert_eq!(s.campaigns, 0);
+        assert_eq!(s.fleet_failure_rate_mean, 0.0);
+        assert_eq!(s.tent_temp_min_c, 0.0);
+        // Still valid JSON.
+        assert!(s.to_json().unwrap().contains("\"campaigns\": 0"));
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        let mut agg = CampaignAggregate::new();
+        for s in 0..5 {
+            agg.absorb(&summary(s));
+        }
+        let frozen = agg.finish(0, 4);
+        let json = frozen.to_json().unwrap();
+        let back: EnsembleSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, frozen);
+        assert_eq!(back.schema, SCHEMA);
+    }
+}

@@ -1,0 +1,65 @@
+//! # frostlab-ensemble
+//!
+//! Deterministic parallel ensemble engine with streaming aggregation.
+//!
+//! The paper ran its winter exactly once; this crate is how the digital
+//! twin re-runs it hundreds of times. Three pieces:
+//!
+//! * [`engine::Ensemble`] — a work-stealing scoped-thread runner whose
+//!   merge step is **thread-count invariant**: results are folded in job
+//!   (seed) order regardless of completion order, so a 1-thread and a
+//!   16-thread sweep of the same seed range produce byte-identical
+//!   output. That property is enforced in CI by diffing the summary JSON
+//!   across `--threads` values.
+//! * [`aggregate::CampaignAggregate`] — streaming Welford / min-max /
+//!   histogram aggregation of compact [`CampaignSummary`] projections, so
+//!   memory stays O(1) in the number of campaigns instead of
+//!   O(N)·sizeof([`ExperimentResults`](frostlab_core::results::ExperimentResults)).
+//! * [`report`] — canned ensemble studies (the Monte-Carlo failure sweep)
+//!   rendered to strings, shared by `examples/` and the determinism tests.
+//!
+//! ```no_run
+//! use frostlab_ensemble::run_summary_sweep;
+//! use frostlab_core::config::ExperimentConfig;
+//!
+//! // 32 stochastic winters, all cores, O(1) memory:
+//! let summary = run_summary_sweep(0, 32, 0, ExperimentConfig::paper_stochastic);
+//! println!("{}", summary.to_json().unwrap());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod engine;
+pub mod report;
+
+pub use aggregate::{CampaignAggregate, EnsembleSummary};
+pub use engine::Ensemble;
+
+use frostlab_core::config::ExperimentConfig;
+use frostlab_core::results::CampaignSummary;
+
+/// Run `campaigns` experiments for the contiguous seed range starting at
+/// `seed_start` and stream their [`CampaignSummary`] projections into one
+/// [`EnsembleSummary`]. `threads = 0` means all available cores; the
+/// thread count never changes the result, only the wall-clock.
+pub fn run_summary_sweep<C>(
+    seed_start: u64,
+    campaigns: u64,
+    threads: usize,
+    make_config: C,
+) -> EnsembleSummary
+where
+    C: Fn(u64) -> ExperimentConfig + Sync,
+{
+    let ensemble = Ensemble::new(campaigns).threads(threads);
+    let used = ensemble.effective_threads();
+    let mut agg = CampaignAggregate::new();
+    ensemble.run_experiments(
+        |i| make_config(seed_start + i),
+        |r| r.summary(),
+        |_, s: CampaignSummary| agg.absorb(&s),
+    );
+    agg.finish(seed_start, used)
+}

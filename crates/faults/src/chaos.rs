@@ -177,14 +177,19 @@ impl ChaosEngine {
                 duration: cfg.jitter_burst,
             })
         });
-        sweep("switch-death", cfg.switch_death_every, &mut schedule, &mut |s| {
-            if switches == 0 {
-                return None;
-            }
-            Some(ChaosEvent::SwitchDeath {
-                switch: s.below(switches as u64) as usize,
-            })
-        });
+        sweep(
+            "switch-death",
+            cfg.switch_death_every,
+            &mut schedule,
+            &mut |s| {
+                if switches == 0 {
+                    return None;
+                }
+                Some(ChaosEvent::SwitchDeath {
+                    switch: s.below(switches as u64) as usize,
+                })
+            },
+        );
         sweep("host-hang", cfg.host_hang_every, &mut schedule, &mut |s| {
             if hosts.is_empty() {
                 return None;
@@ -193,22 +198,32 @@ impl ChaosEngine {
                 host: *s.choose(hosts),
             })
         });
-        sweep("host-reboot", cfg.host_reboot_every, &mut schedule, &mut |s| {
-            if hosts.is_empty() {
-                return None;
-            }
-            Some(ChaosEvent::HostReboot {
-                host: *s.choose(hosts),
-            })
-        });
-        sweep("sensor-freeze", cfg.sensor_freeze_every, &mut schedule, &mut |s| {
-            if hosts.is_empty() {
-                return None;
-            }
-            Some(ChaosEvent::SensorFreeze {
-                host: *s.choose(hosts),
-            })
-        });
+        sweep(
+            "host-reboot",
+            cfg.host_reboot_every,
+            &mut schedule,
+            &mut |s| {
+                if hosts.is_empty() {
+                    return None;
+                }
+                Some(ChaosEvent::HostReboot {
+                    host: *s.choose(hosts),
+                })
+            },
+        );
+        sweep(
+            "sensor-freeze",
+            cfg.sensor_freeze_every,
+            &mut schedule,
+            &mut |s| {
+                if hosts.is_empty() {
+                    return None;
+                }
+                Some(ChaosEvent::SensorFreeze {
+                    host: *s.choose(hosts),
+                })
+            },
+        );
 
         schedule.sort_by_key(|(at, _)| *at);
         ChaosEngine { schedule, next: 0 }
@@ -259,8 +274,13 @@ mod tests {
     #[test]
     fn paper_like_config_populates_every_class() {
         let rng = Rng::new(7);
-        let engine =
-            ChaosEngine::generate(&ChaosConfig::paper_like(), window(), &[1, 2, 3, 15], 2, &rng);
+        let engine = ChaosEngine::generate(
+            &ChaosConfig::paper_like(),
+            window(),
+            &[1, 2, 3, 15],
+            2,
+            &rng,
+        );
         assert!(engine.len() > 10, "90 hostile days should be eventful");
         let has = |f: &dyn Fn(&ChaosEvent) -> bool| engine.schedule().iter().any(|(_, e)| f(e));
         assert!(has(&|e| matches!(e, ChaosEvent::LinkLossBurst { .. })));

@@ -205,7 +205,10 @@ mod tests {
         let cold = h.rate_per_hour(-10.0, 40.0);
         let refr = h.rate_per_hour(21.0, 40.0);
         let hot = h.rate_per_hour(60.0, 40.0);
-        assert!(cold < refr, "cold should slow Arrhenius aging: {cold} vs {refr}");
+        assert!(
+            cold < refr,
+            "cold should slow Arrhenius aging: {cold} vs {refr}"
+        );
         assert!(hot > refr, "heat should accelerate: {hot} vs {refr}");
     }
 
@@ -214,7 +217,10 @@ mod tests {
         let h = EnvHazard::transient_system_failure(false);
         let dry = h.rate_per_hour(21.0, 20.0);
         let humid = h.rate_per_hour(21.0, 90.0);
-        assert!(humid > 2.0 * dry, "90 % RH should well exceed 20 %: {humid} vs {dry}");
+        assert!(
+            humid > 2.0 * dry,
+            "90 % RH should well exceed 20 %: {humid} vs {dry}"
+        );
     }
 
     #[test]
@@ -228,8 +234,7 @@ mod tests {
     fn defective_series_multiplier() {
         let good = EnvHazard::transient_system_failure(false);
         let bad = EnvHazard::transient_system_failure(true);
-        let ratio =
-            bad.rate_per_hour(0.0, 80.0) / good.rate_per_hour(0.0, 80.0);
+        let ratio = bad.rate_per_hour(0.0, 80.0) / good.rate_per_hour(0.0, 80.0);
         assert!((ratio - 8.0).abs() < 1e-9);
     }
 
@@ -259,7 +264,10 @@ mod tests {
             let h = EnvHazard::transient_system_failure(defective);
             expected += h.rate_per_hour(40.0, 40.0) * hours;
         }
-        assert!((0.5..5.0).contains(&expected), "expected fleet failures {expected}");
+        assert!(
+            (0.5..5.0).contains(&expected),
+            "expected fleet failures {expected}"
+        );
     }
 
     #[test]

@@ -107,18 +107,18 @@ impl HostFaults {
         }
 
         // Disk media fault.
-        if self
-            .rng
-            .chance(self.disk.failure_probability(cpu_temp_c, ambient_rh_pct, dt_hours))
-        {
+        if self.rng.chance(
+            self.disk
+                .failure_probability(cpu_temp_c, ambient_rh_pct, dt_hours),
+        ) {
             out.faults.push(FaultKind::DiskPendingSector);
         }
 
         // PSU failure.
-        if self
-            .rng
-            .chance(self.psu.failure_probability(cpu_temp_c, ambient_rh_pct, dt_hours))
-        {
+        if self.rng.chance(
+            self.psu
+                .failure_probability(cpu_temp_c, ambient_rh_pct, dt_hours),
+        ) {
             out.faults.push(FaultKind::PsuFailure);
         }
 
@@ -207,7 +207,10 @@ mod tests {
                 diff = true;
             }
         }
-        assert!(diff, "independent hosts should not produce identical fault trains");
+        assert!(
+            diff,
+            "independent hosts should not produce identical fault trains"
+        );
     }
 
     #[test]

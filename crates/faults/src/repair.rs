@@ -158,7 +158,10 @@ mod tests {
 
         // Inspection lands on Monday Mar 8.
         let visit = HostRecord::next_inspection(f1);
-        assert_eq!(visit.date(), frostlab_simkern::time::Date::new(2010, 3, 8).unwrap());
+        assert_eq!(
+            visit.date(),
+            frostlab_simkern::time::Date::new(2010, 3, 8).unwrap()
+        );
         assert_eq!(visit.date().weekday(), "Mon");
 
         // First visit: reset in place, marked transient.

@@ -191,7 +191,10 @@ mod tests {
     fn out_of_range() {
         let mut d = Disk::new(4);
         assert_eq!(d.read_block(4).unwrap_err(), DiskError::OutOfRange);
-        assert_eq!(d.write_block(9, &block_of(1)).unwrap_err(), DiskError::OutOfRange);
+        assert_eq!(
+            d.write_block(9, &block_of(1)).unwrap_err(),
+            DiskError::OutOfRange
+        );
     }
 
     #[test]
@@ -215,7 +218,10 @@ mod tests {
         let mut d = Disk::new(4);
         d.fail();
         assert_eq!(d.read_block(0).unwrap_err(), DiskError::DiskFailed);
-        assert_eq!(d.write_block(0, &block_of(1)).unwrap_err(), DiskError::DiskFailed);
+        assert_eq!(
+            d.write_block(0, &block_of(1)).unwrap_err(),
+            DiskError::DiskFailed
+        );
         assert_eq!(d.long_self_test(), SelfTestResult::Failed);
     }
 

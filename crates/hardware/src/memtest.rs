@@ -191,13 +191,25 @@ pub fn run_memtest(mem: &mut DramArray, rounds: u32, seed: u64) -> MemtestReport
     // Checkerboard, both phases.
     fill_verify(
         mem,
-        |i| if i % 2 == 0 { 0x5555_5555_5555_5555 } else { 0xAAAA_AAAA_AAAA_AAAA },
+        |i| {
+            if i % 2 == 0 {
+                0x5555_5555_5555_5555
+            } else {
+                0xAAAA_AAAA_AAAA_AAAA
+            }
+        },
         TestPass::Checkerboard,
         &mut errors,
     );
     fill_verify(
         mem,
-        |i| if i % 2 == 0 { 0xAAAA_AAAA_AAAA_AAAA } else { 0x5555_5555_5555_5555 },
+        |i| {
+            if i % 2 == 0 {
+                0xAAAA_AAAA_AAAA_AAAA
+            } else {
+                0x5555_5555_5555_5555
+            }
+        },
         TestPass::Checkerboard,
         &mut errors,
     );
@@ -218,21 +230,36 @@ pub fn run_memtest(mem: &mut DramArray, rounds: u32, seed: u64) -> MemtestReport
     for i in 0..mem.len() {
         let v = mem.read(i);
         if v != 0 && errors.len() < 256 {
-            errors.push(MemError { word: i, expected: 0, actual: v, pass: TestPass::MarchC });
+            errors.push(MemError {
+                word: i,
+                expected: 0,
+                actual: v,
+                pass: TestPass::MarchC,
+            });
         }
         mem.write(i, !0);
     }
     for i in (0..mem.len()).rev() {
         let v = mem.read(i);
         if v != !0 && errors.len() < 256 {
-            errors.push(MemError { word: i, expected: !0, actual: v, pass: TestPass::MarchC });
+            errors.push(MemError {
+                word: i,
+                expected: !0,
+                actual: v,
+                pass: TestPass::MarchC,
+            });
         }
         mem.write(i, 0);
     }
     for i in (0..mem.len()).rev() {
         let v = mem.read(i);
         if v != 0 && errors.len() < 256 {
-            errors.push(MemError { word: i, expected: 0, actual: v, pass: TestPass::MarchC });
+            errors.push(MemError {
+                word: i,
+                expected: 0,
+                actual: v,
+                pass: TestPass::MarchC,
+            });
         }
     }
     passes += 1;
@@ -272,7 +299,11 @@ mod tests {
     fn healthy_memory_passes() {
         let mut mem = DramArray::new(512);
         let report = run_memtest(&mut mem, 2, 1);
-        assert!(report.passed(), "errors: {:?}", &report.errors[..report.errors.len().min(3)]);
+        assert!(
+            report.passed(),
+            "errors: {:?}",
+            &report.errors[..report.errors.len().min(3)]
+        );
         assert_eq!(report.passes_run, 5);
     }
 
@@ -296,7 +327,10 @@ mod tests {
         mem.inject_stuck_at(3, 1 << 60, 1 << 60);
         let report = run_memtest(&mut mem, 1, 3);
         assert!(!report.passed());
-        assert!(report.errors.iter().any(|e| e.word == 3 && e.actual & (1 << 60) != 0));
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| e.word == 3 && e.actual & (1 << 60) != 0));
     }
 
     #[test]
@@ -327,7 +361,10 @@ mod tests {
         if !long.passed() {
             caught_with_many = true;
         }
-        assert!(caught_with_many, "12 random rounds must trip a 1-in-23 fault");
+        assert!(
+            caught_with_many,
+            "12 random rounds must trip a 1-in-23 fault"
+        );
     }
 
     #[test]

@@ -352,7 +352,10 @@ mod tests {
         arr.member_mut(0).fail();
         arr.member_mut(1).fail();
         assert_eq!(arr.read_block(0).unwrap_err(), RaidError::ArrayFailed);
-        assert_eq!(arr.write_block(0, &pattern_block(1)).unwrap_err(), RaidError::ArrayFailed);
+        assert_eq!(
+            arr.write_block(0, &pattern_block(1)).unwrap_err(),
+            RaidError::ArrayFailed
+        );
     }
 
     #[test]

@@ -288,7 +288,8 @@ impl Server {
         if self.state == PowerState::Running {
             self.uptime_hours += dt_hours;
         }
-        self.storage.for_each_disk_mut(|d| d.tick(dt_hours, hdd_temp_c));
+        self.storage
+            .for_each_disk_mut(|d| d.tick(dt_hours, hdd_temp_c));
     }
 
     /// Wall power currently drawn at utilization `u` (0 when off; a hung
@@ -331,7 +332,12 @@ mod tests {
     #[test]
     fn vendor_storage_layouts() {
         assert_eq!(Server::new(ServerSpec::vendor_a()).storage.drive_count(), 2);
-        assert_eq!(Server::new(ServerSpec::vendor_b(true)).storage.drive_count(), 1);
+        assert_eq!(
+            Server::new(ServerSpec::vendor_b(true))
+                .storage
+                .drive_count(),
+            1
+        );
         assert_eq!(Server::new(ServerSpec::vendor_c()).storage.drive_count(), 5);
     }
 

@@ -110,7 +110,12 @@ impl Acceptor {
     }
 
     /// Verify a client's handshake.
-    pub fn verify(&self, client_public: u64, nonce: u64, client_proof: [u8; 16]) -> HandshakeResult {
+    pub fn verify(
+        &self,
+        client_public: u64,
+        nonce: u64,
+        client_proof: [u8; 16],
+    ) -> HandshakeResult {
         if !self.authorized.contains(&client_public) {
             return HandshakeResult::UnknownKey;
         }
@@ -162,7 +167,10 @@ mod tests {
         let client = KeyPair::generate(&mut rng);
         let stranger = KeyPair::generate(&mut rng);
         let mut server = Acceptor::new(&mut rng, vec![client.public]);
-        assert_eq!(handshake(&stranger, &mut server), HandshakeResult::UnknownKey);
+        assert_eq!(
+            handshake(&stranger, &mut server),
+            HandshakeResult::UnknownKey
+        );
     }
 
     #[test]
@@ -182,7 +190,7 @@ mod tests {
         assert_eq!(pow_mod(G, 0), 1);
         assert_eq!(pow_mod(G, 1), G);
         assert_eq!(pow_mod(2, 61) % P, pow_mod(2, 61)); // stays reduced
-        // Fermat: g^(p-1) ≡ 1.
+                                                        // Fermat: g^(p-1) ≡ 1.
         assert_eq!(pow_mod(G, P - 1), 1);
     }
 

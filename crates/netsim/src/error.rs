@@ -71,6 +71,8 @@ mod tests {
         };
         assert!(e.to_string().contains("port 3"));
         assert!(NetError::PeerDead.to_string().contains("dead"));
-        assert!(NetError::MalformedSegment { len: 2 }.to_string().contains("2 bytes"));
+        assert!(NetError::MalformedSegment { len: 2 }
+            .to_string()
+            .contains("2 bytes"));
     }
 }

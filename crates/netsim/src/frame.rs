@@ -90,7 +90,11 @@ mod tests {
 
     #[test]
     fn wire_len() {
-        let f = Frame::new(MacAddr::from_id(1), MacAddr::from_id(2), Bytes::from_static(b"hello"));
+        let f = Frame::new(
+            MacAddr::from_id(1),
+            MacAddr::from_id(2),
+            Bytes::from_static(b"hello"),
+        );
         assert_eq!(f.wire_len(), 14 + 5 + 4);
     }
 }

@@ -193,7 +193,9 @@ impl Network {
     /// empty port is a no-op.
     pub fn detach_port(&mut self, sw: SwitchId, port: u8) {
         if let Some(s) = self.switches.get_mut(sw.0) {
-            if let Some(Some(Attachment::Host(mac))) = s.ports.get_mut(port as usize).map(std::mem::take) {
+            if let Some(Some(Attachment::Host(mac))) =
+                s.ports.get_mut(port as usize).map(std::mem::take)
+            {
                 if let Some(h) = self.hosts.get_mut(&mac) {
                     h.attached = None;
                 }
@@ -308,7 +310,10 @@ impl Network {
         }
         // Tail-drop when the egress port's per-second byte budget runs out.
         if let Some(cap) = self.port_capacity_bps {
-            let slot = self.egress.entry((sw.0, port)).or_insert((now.as_secs(), 0));
+            let slot = self
+                .egress
+                .entry((sw.0, port))
+                .or_insert((now.as_secs(), 0));
             if slot.0 != now.as_secs() {
                 *slot = (now.as_secs(), 0);
             }
@@ -375,7 +380,11 @@ mod tests {
     use bytes::Bytes;
 
     fn frame(src: u32, dst: u32, tag: &'static [u8]) -> Frame {
-        Frame::new(MacAddr::from_id(src), MacAddr::from_id(dst), Bytes::from_static(tag))
+        Frame::new(
+            MacAddr::from_id(src),
+            MacAddr::from_id(dst),
+            Bytes::from_static(tag),
+        )
     }
 
     /// Two hosts on one switch.
@@ -384,8 +393,10 @@ mod tests {
         let sw = net.add_switch();
         net.add_host(MacAddr::from_id(1));
         net.add_host(MacAddr::from_id(2));
-        net.attach_host(MacAddr::from_id(1), sw, 0).expect("free port");
-        net.attach_host(MacAddr::from_id(2), sw, 1).expect("free port");
+        net.attach_host(MacAddr::from_id(1), sw, 0)
+            .expect("free port");
+        net.attach_host(MacAddr::from_id(2), sw, 1)
+            .expect("free port");
         net
     }
 
@@ -427,14 +438,21 @@ mod tests {
                 .expect("free port");
         }
         net.send(
-            Frame::new(MacAddr::from_id(1), MacAddr::BROADCAST, Bytes::from_static(b"hello")),
+            Frame::new(
+                MacAddr::from_id(1),
+                MacAddr::BROADCAST,
+                Bytes::from_static(b"hello"),
+            ),
             SimTime::from_secs(0),
         );
         net.advance_to(SimTime::from_secs(5));
         for id in 2..=4 {
             assert_eq!(net.take_inbox(MacAddr::from_id(id)).len(), 1, "host {id}");
         }
-        assert!(net.take_inbox(MacAddr::from_id(1)).is_empty(), "no self-delivery");
+        assert!(
+            net.take_inbox(MacAddr::from_id(1)).is_empty(),
+            "no self-delivery"
+        );
     }
 
     #[test]
@@ -446,8 +464,10 @@ mod tests {
         net.link_switches(sw1, 7, sw2, 7).expect("free ports");
         net.add_host(MacAddr::from_id(1));
         net.add_host(MacAddr::from_id(9));
-        net.attach_host(MacAddr::from_id(1), sw1, 0).expect("free port");
-        net.attach_host(MacAddr::from_id(9), sw2, 0).expect("free port");
+        net.attach_host(MacAddr::from_id(1), sw1, 0)
+            .expect("free port");
+        net.attach_host(MacAddr::from_id(9), sw2, 0)
+            .expect("free port");
         net.send(frame(1, 9, b"cross"), SimTime::from_secs(0));
         net.advance_to(SimTime::from_secs(10));
         let rx = net.take_inbox(MacAddr::from_id(9));
@@ -550,17 +570,24 @@ mod tests {
         net.add_host(MacAddr::from_id(1));
         assert_eq!(
             net.attach_host(MacAddr::from_id(1), sw, 99),
-            Err(NetError::PortOutOfRange { switch: sw, port: 99 })
+            Err(NetError::PortOutOfRange {
+                switch: sw,
+                port: 99
+            })
         );
         assert_eq!(
             net.attach_host(MacAddr::from_id(7), sw, 0),
             Err(NetError::UnknownHost(MacAddr::from_id(7)))
         );
-        net.attach_host(MacAddr::from_id(1), sw, 0).expect("free port");
+        net.attach_host(MacAddr::from_id(1), sw, 0)
+            .expect("free port");
         net.add_host(MacAddr::from_id(2));
         assert_eq!(
             net.attach_host(MacAddr::from_id(2), sw, 0),
-            Err(NetError::PortInUse { switch: sw, port: 0 })
+            Err(NetError::PortInUse {
+                switch: sw,
+                port: 0
+            })
         );
         assert_eq!(
             net.link_switches(sw, 1, SwitchId(9), 1),
@@ -594,7 +621,8 @@ mod tests {
         assert!(net.take_inbox(MacAddr::from_id(1)).is_empty());
         // And the port is free again.
         net.add_host(MacAddr::from_id(3));
-        net.attach_host(MacAddr::from_id(3), SwitchId(0), 1).expect("port freed");
+        net.attach_host(MacAddr::from_id(3), SwitchId(0), 1)
+            .expect("port freed");
     }
 
     #[test]
@@ -605,7 +633,11 @@ mod tests {
             net.send(frame(1, 2, b"j"), SimTime::from_secs(i));
         }
         net.advance_to(SimTime::from_secs(100));
-        assert_eq!(net.take_inbox(MacAddr::from_id(2)).len(), 20, "jitter never loses frames");
+        assert_eq!(
+            net.take_inbox(MacAddr::from_id(2)).len(),
+            20,
+            "jitter never loses frames"
+        );
     }
 
     #[test]

@@ -41,12 +41,12 @@ impl Rolling {
     /// Slide the window one byte: drop `out`, take in `inn`.
     pub fn roll(&mut self, out: u8, inn: u8) {
         let n = self.len as u32;
-        self.a = (self.a.wrapping_sub(u32::from(out)).wrapping_add(u32::from(inn))) & 0xFFFF;
-        self.b = (self
-            .b
-            .wrapping_sub(n * u32::from(out))
-            .wrapping_add(self.a))
+        self.a = (self
+            .a
+            .wrapping_sub(u32::from(out))
+            .wrapping_add(u32::from(inn)))
             & 0xFFFF;
+        self.b = (self.b.wrapping_sub(n * u32::from(out)).wrapping_add(self.a)) & 0xFFFF;
     }
 
     /// The 32-bit digest.
@@ -263,7 +263,11 @@ mod tests {
         let data = b"the monitoring host recovers all calculated md5sums".repeat(20);
         let (rebuilt, d) = sync(&data, &data, 64);
         assert_eq!(rebuilt, data);
-        assert_eq!(d.literal_bytes(), 0, "identical file must ship zero literals");
+        assert_eq!(
+            d.literal_bytes(),
+            0,
+            "identical file must ship zero literals"
+        );
         assert_eq!(d.copy_count(), data.len().div_ceil(64));
     }
 
@@ -357,7 +361,7 @@ mod tests {
         // the rolling sum collides but content differs.
         let a_block = [1u8, 3, 2, 0];
         let b_block = [3u8, 1, 0, 2]; // same multiset sums differently in b-term
-        // Even if weak sums collide or not, correctness must hold:
+                                      // Even if weak sums collide or not, correctness must hold:
         let old: Vec<u8> = a_block.repeat(8);
         let new: Vec<u8> = b_block.repeat(8);
         let (rebuilt, _) = sync(&old, &new, 4);

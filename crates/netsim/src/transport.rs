@@ -502,8 +502,15 @@ mod tests {
             SimDuration::secs(2),
             SimTime::from_secs(24 * 3600),
         );
-        assert_eq!(b.take_delivered(), sent, "all messages, in order, despite loss");
-        assert!(a.retransmissions > 0, "loss must have forced retransmissions");
+        assert_eq!(
+            b.take_delivered(),
+            sent,
+            "all messages, in order, despite loss"
+        );
+        assert!(
+            a.retransmissions > 0,
+            "loss must have forced retransmissions"
+        );
         assert!(!a.peer_dead());
     }
 
@@ -663,7 +670,7 @@ mod tests {
             b.on_frame(&f, SimTime::from_secs(5));
         }
         let _ = b.poll(SimTime::from_secs(5)); // ACK frames discarded
-        // RTO expires; a retransmits; b sees a duplicate.
+                                               // RTO expires; a retransmits; b sees a duplicate.
         let retx_at = SimTime::from_secs(15);
         for f in a.poll(retx_at) {
             net.send(f, retx_at);
@@ -695,11 +702,18 @@ mod tests {
         let junk = Frame::new(a.remote, a.local, Bytes::from_static(b"tiny"));
         // (src=b's remote? construct directly: from a's perspective) —
         // simpler: craft a frame from the correct peer but too short.
-        let short = Frame::new(MacAddr::from_id(1), MacAddr::from_id(2), Bytes::from_static(b"xy"));
+        let short = Frame::new(
+            MacAddr::from_id(1),
+            MacAddr::from_id(2),
+            Bytes::from_static(b"xy"),
+        );
         b.on_frame(&short, SimTime::ZERO);
         b.on_frame(&junk, SimTime::ZERO);
         assert!(b.take_delivered().is_empty());
-        assert_eq!(b.malformed, 1, "short peer frame counted, stranger frame filtered");
+        assert_eq!(
+            b.malformed, 1,
+            "short peer frame counted, stranger frame filtered"
+        );
     }
 
     #[test]
@@ -721,7 +735,10 @@ mod tests {
         );
         let got = b.take_delivered();
         assert_eq!(got.len(), 16);
-        assert!(got.iter().enumerate().all(|(i, m)| m.len() == 8192 && m[0] == i as u8));
+        assert!(got
+            .iter()
+            .enumerate()
+            .all(|(i, m)| m.len() == 8192 && m[0] == i as u8));
     }
 
     #[test]

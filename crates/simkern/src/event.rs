@@ -209,11 +209,17 @@ mod tests {
         let mut q = EventQueue::new();
         q.schedule(SimTime::from_secs(10), "early");
         q.schedule(SimTime::from_secs(100), "late");
-        assert_eq!(q.pop_until(SimTime::from_secs(50)).map(|(_, e)| e), Some("early"));
+        assert_eq!(
+            q.pop_until(SimTime::from_secs(50)).map(|(_, e)| e),
+            Some("early")
+        );
         assert_eq!(q.pop_until(SimTime::from_secs(50)), None);
         // now unchanged by the failed pop
         assert_eq!(q.now(), SimTime::from_secs(10));
-        assert_eq!(q.pop_until(SimTime::from_secs(100)).map(|(_, e)| e), Some("late"));
+        assert_eq!(
+            q.pop_until(SimTime::from_secs(100)).map(|(_, e)| e),
+            Some("late")
+        );
     }
 
     #[test]

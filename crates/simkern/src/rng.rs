@@ -203,7 +203,10 @@ impl Rng {
 
     /// Weibull variate with scale `lambda` and shape `k` (inverse-CDF).
     pub fn weibull(&mut self, scale: f64, shape: f64) -> f64 {
-        assert!(scale > 0.0 && shape > 0.0, "weibull parameters must be positive");
+        assert!(
+            scale > 0.0 && shape > 0.0,
+            "weibull parameters must be positive"
+        );
         scale * (-self.f64_open().ln()).powf(1.0 / shape)
     }
 
@@ -344,7 +347,10 @@ mod tests {
         }
         for c in counts {
             let expect = n as f64 / 7.0;
-            assert!((f64::from(c) - expect).abs() < 5.0 * expect.sqrt(), "count {c}");
+            assert!(
+                (f64::from(c) - expect).abs() < 5.0 * expect.sqrt(),
+                "count {c}"
+            );
         }
     }
 
@@ -434,7 +440,11 @@ mod tests {
         let mut sorted = xs.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(xs, (0..100).collect::<Vec<_>>(), "astronomically unlikely identity");
+        assert_ne!(
+            xs,
+            (0..100).collect::<Vec<_>>(),
+            "astronomically unlikely identity"
+        );
     }
 
     #[test]
@@ -454,6 +464,9 @@ mod tests {
         let mut xs: Vec<f64> = (0..50_001).map(|_| rng.lognormal(1.0, 0.5)).collect();
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = xs[25_000];
-        assert!((median - std::f64::consts::E).abs() < 0.1, "median {median}");
+        assert!(
+            (median - std::f64::consts::E).abs() < 0.1,
+            "median {median}"
+        );
     }
 }

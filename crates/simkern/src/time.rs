@@ -355,7 +355,11 @@ impl Date {
 
     /// Short label used in figures, e.g. "Mar 07".
     pub fn short_label(self) -> String {
-        format!("{} {:02}", MONTH_ABBREV[(self.month - 1) as usize], self.day)
+        format!(
+            "{} {:02}",
+            MONTH_ABBREV[(self.month - 1) as usize],
+            self.day
+        )
     }
 
     /// The following calendar day.
@@ -381,7 +385,9 @@ impl DateTime {
     /// Convert to simulation time.
     pub fn to_sim_time(self) -> SimTime {
         self.date.to_sim_time()
-            + SimDuration::secs(i64::from(self.hour) * 3_600 + i64::from(self.min) * 60 + i64::from(self.sec))
+            + SimDuration::secs(
+                i64::from(self.hour) * 3_600 + i64::from(self.min) * 60 + i64::from(self.sec),
+            )
     }
 }
 
@@ -393,7 +399,11 @@ impl fmt::Display for Date {
 
 impl fmt::Display for DateTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {:02}:{:02}:{:02}", self.date, self.hour, self.min, self.sec)
+        write!(
+            f,
+            "{} {:02}:{:02}:{:02}",
+            self.date, self.hour, self.min, self.sec
+        )
     }
 }
 
@@ -412,13 +422,13 @@ mod tests {
     fn roundtrip_key_paper_dates() {
         // Every date mentioned in the paper.
         let cases = [
-            (2010, 2, 12, "Fri"),  // prototype start
-            (2010, 2, 15, "Mon"),  // prototype end
-            (2010, 2, 19, "Fri"),  // normal phase start
-            (2010, 3, 7, "Sun"),   // host #15 first failure (Saturday per paper; see note)
-            (2010, 3, 13, "Sat"),  // last host installed
-            (2010, 3, 17, "Wed"),  // host #15 second failure
-            (2010, 3, 26, "Fri"),  // last Fig. 2 tick
+            (2010, 2, 12, "Fri"), // prototype start
+            (2010, 2, 15, "Mon"), // prototype end
+            (2010, 2, 19, "Fri"), // normal phase start
+            (2010, 3, 7, "Sun"),  // host #15 first failure (Saturday per paper; see note)
+            (2010, 3, 13, "Sat"), // last host installed
+            (2010, 3, 17, "Wed"), // host #15 second failure
+            (2010, 3, 26, "Fri"), // last Fig. 2 tick
         ];
         for (y, m, d, _wd) in cases {
             let date = Date::new(y, m, d).unwrap();

@@ -46,16 +46,18 @@ mod tests {
 
     #[test]
     fn csv_shape_and_alignment() {
-        let a = TimeSeries::from_points([
-            (SimTime::from_secs(0), 1.0),
-            (SimTime::from_secs(600), 2.0),
-        ]);
+        let a =
+            TimeSeries::from_points([(SimTime::from_secs(0), 1.0), (SimTime::from_secs(600), 2.0)]);
         let b = TimeSeries::from_points([(SimTime::from_secs(600), 3.5)]);
         let csv = to_csv(&[("outside", &a), ("inside", &b)]);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 3);
         assert_eq!(lines[0], "datetime,days,outside,inside");
-        assert!(lines[1].ends_with(",1.00,"), "missing inside cell: {}", lines[1]);
+        assert!(
+            lines[1].ends_with(",1.00,"),
+            "missing inside cell: {}",
+            lines[1]
+        );
         assert!(lines[2].ends_with(",2.00,3.50"), "{}", lines[2]);
     }
 

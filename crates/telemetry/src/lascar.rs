@@ -240,12 +240,18 @@ mod tests {
             l.poll(SimTime::from_secs(i * 300), -10.0, 85.0);
         }
         for (_, v) in l.temperature().points() {
-            assert!((v + 10.0).abs() <= 2.0 + 0.25, "temp error beyond max spec: {v}");
+            assert!(
+                (v + 10.0).abs() <= 2.0 + 0.25,
+                "temp error beyond max spec: {v}"
+            );
             let q = v / 0.5;
             assert!((q - q.round()).abs() < 1e-9, "not quantized: {v}");
         }
         for (_, v) in l.humidity().points() {
-            assert!((v - 85.0).abs() <= 6.0 + 0.25, "rh error beyond max spec: {v}");
+            assert!(
+                (v - 85.0).abs() <= 6.0 + 0.25,
+                "rh error beyond max spec: {v}"
+            );
         }
         // Typical error: std of temp channel ≈ 0.5.
         let sd = l.temperature().std_dev().unwrap();
@@ -267,7 +273,10 @@ mod tests {
         let temps: Vec<f64> = l.temperature().values().collect();
         // Samples at 60, 65, ..., 90 min should be ≈ 21.5 °C.
         let indoor: Vec<f64> = temps[12..=18].to_vec();
-        assert!(indoor.iter().all(|&t| t > 15.0), "indoor samples {indoor:?}");
+        assert!(
+            indoor.iter().all(|&t| t > 15.0),
+            "indoor samples {indoor:?}"
+        );
         // Before and after: tent air.
         assert!(temps[..12].iter().all(|&t| t < 0.0));
         assert!(temps[20..].iter().all(|&t| t < 0.0));

@@ -62,12 +62,14 @@ impl TimeSeries {
 
     /// Minimum value (None when empty).
     pub fn min(&self) -> Option<f64> {
-        self.values().fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
+        self.values()
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
     }
 
     /// Maximum value.
     pub fn max(&self) -> Option<f64> {
-        self.values().fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+        self.values()
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
     }
 
     /// Arithmetic mean.

@@ -122,6 +122,10 @@ mod tests {
         for _ in 0..15 {
             b.step(60.0, &cold, 120.0);
         }
-        assert!((b.state().air_temp_c - (-13.0)).abs() < 0.3, "{}", b.state().air_temp_c);
+        assert!(
+            (b.state().air_temp_c - (-13.0)).abs() < 0.3,
+            "{}",
+            b.state().air_temp_c
+        );
     }
 }

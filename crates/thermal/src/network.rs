@@ -149,7 +149,11 @@ impl RcNetwork {
         // coupling (handled with frozen neighbour temperatures per sub-step)
         // stays accurate.
         let tau = self.min_time_constant();
-        let max_sub = if tau.is_finite() { (tau / 4.0).max(1e-3) } else { dt_secs };
+        let max_sub = if tau.is_finite() {
+            (tau / 4.0).max(1e-3)
+        } else {
+            dt_secs
+        };
         let n_sub = (dt_secs / max_sub).ceil().max(1.0) as usize;
         let h = dt_secs / n_sub as f64;
         for _ in 0..n_sub {
@@ -231,7 +235,11 @@ mod tests {
         let amb = net.add_boundary(0.0);
         net.connect_boundary(n, amb, 10.0); // tau = 100 s
         net.step(100.0); // one time constant: T should be e^-1
-        assert!((net.temp(n) - (-1.0f64).exp()).abs() < 1e-3, "{}", net.temp(n));
+        assert!(
+            (net.temp(n) - (-1.0f64).exp()).abs() < 1e-3,
+            "{}",
+            net.temp(n)
+        );
     }
 
     #[test]

@@ -217,6 +217,10 @@ mod tests {
             s.step(30.0, 0.0, 15.0, 80.0);
         }
         let after_15min = s.cpu_temp_c();
-        assert!(before - after_15min > 12.0, "only moved {} K", before - after_15min);
+        assert!(
+            before - after_15min > 12.0,
+            "only moved {} K",
+            before - after_15min
+        );
     }
 }

@@ -181,7 +181,11 @@ impl Tent {
         let area = self.vent_area();
         let wind_flow = area * p.wind_coupling * wind_ms.max(0.0);
         let stack_flow = area * p.stack_coupling * delta_t_k.max(0.0).sqrt();
-        let fan_flow = if self.config.fan { p.fan_flow_m3_s } else { 0.0 };
+        let fan_flow = if self.config.fan {
+            p.fan_flow_m3_s
+        } else {
+            0.0
+        };
         fabric + RHO_AIR * CP_AIR * (wind_flow + stack_flow + fan_flow)
     }
 
@@ -215,8 +219,7 @@ impl Enclosure for Tent {
 
         // Humidity: ventilation brings in outside moisture; referred to the
         // inside temperature, then low-pass filtered by air exchange.
-        let rh_target =
-            psychro::rh_after_heating(outside.temp_c, outside.rh_pct, self.air_temp_c);
+        let rh_target = psychro::rh_after_heating(outside.temp_c, outside.rh_pct, self.air_temp_c);
         let kr = (-dt_secs / self.rh_tau(ua)).exp();
         self.rh_pct = rh_target + (self.rh_pct - rh_target) * kr;
     }
@@ -282,8 +285,15 @@ mod tests {
         let out = wx(-8.0, 85.0, 3.5, 150.0);
         let configs = [
             TentConfig::initial(),
-            TentConfig { foil: true, ..TentConfig::initial() },
-            TentConfig { foil: true, inner_removed: true, ..TentConfig::initial() },
+            TentConfig {
+                foil: true,
+                ..TentConfig::initial()
+            },
+            TentConfig {
+                foil: true,
+                inner_removed: true,
+                ..TentConfig::initial()
+            },
             TentConfig {
                 foil: true,
                 inner_removed: true,
@@ -303,7 +313,10 @@ mod tests {
         for (i, cfg) in configs.iter().enumerate() {
             let mut tent = Tent::new(TentParams::default(), *cfg, &out);
             let t = settle(&mut tent, &out, 1000.0);
-            assert!(t < prev, "config {i} did not lower temperature: {t} vs {prev}");
+            assert!(
+                t < prev,
+                "config {i} did not lower temperature: {t} vs {prev}"
+            );
             prev = t;
         }
     }
@@ -314,7 +327,10 @@ mod tests {
         let mut bare = Tent::new(TentParams::default(), TentConfig::initial(), &out);
         let mut foiled = Tent::new(
             TentParams::default(),
-            TentConfig { foil: true, ..TentConfig::initial() },
+            TentConfig {
+                foil: true,
+                ..TentConfig::initial()
+            },
             &out,
         );
         let t_bare = settle(&mut bare, &out, 1000.0);
@@ -332,7 +348,11 @@ mod tests {
         let mk = || {
             Tent::new(
                 TentParams::default(),
-                TentConfig { tarpaulin_removed: true, door_half_open: true, ..Default::default() },
+                TentConfig {
+                    tarpaulin_removed: true,
+                    door_half_open: true,
+                    ..Default::default()
+                },
                 &calm,
             )
         };

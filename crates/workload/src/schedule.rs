@@ -91,10 +91,11 @@ mod tests {
     #[test]
     fn hosts_desynchronized() {
         let mut a = schedule(1);
-        let mut b = LoadSchedule::new(SimTime::from_date(2010, 2, 19), &Rng::new(1).derive("host2"));
-        let same = (0..100)
-            .filter(|_| a.next_run() == b.next_run())
-            .count();
+        let mut b = LoadSchedule::new(
+            SimTime::from_date(2010, 2, 19),
+            &Rng::new(1).derive("host2"),
+        );
+        let same = (0..100).filter(|_| a.next_run() == b.next_run()).count();
         assert!(same < 10, "{same} collisions in 100 cycles");
     }
 

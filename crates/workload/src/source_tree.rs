@@ -134,7 +134,9 @@ fn synth_c_file(rng: &mut Rng, size: usize) -> Vec<u8> {
             _ => {
                 let w = rng.choose(&WORDS);
                 let n = rng.below(256);
-                out.extend_from_slice(format!("#define {}_MAX_{n} {n}\n", w.to_uppercase()).as_bytes());
+                out.extend_from_slice(
+                    format!("#define {}_MAX_{n} {n}\n", w.to_uppercase()).as_bytes(),
+                );
             }
         }
     }

@@ -60,7 +60,11 @@ impl WorkloadStats {
 
     /// Record a wrong-hash incident.
     pub fn record_hash_error(&mut self, host: u32, placement: Placement, at: SimTime) {
-        self.hash_errors.push(HashError { host, placement, at });
+        self.hash_errors.push(HashError {
+            host,
+            placement,
+            at,
+        });
     }
 
     /// Total runs across the fleet.

@@ -16,7 +16,7 @@ use frostlab::analysis::stats::wilson_interval;
 use frostlab::climate::presets;
 use frostlab::climate::weather::WeatherModel;
 use frostlab::core::config::ExperimentConfig;
-use frostlab::core::Experiment;
+use frostlab::ensemble::Ensemble;
 use frostlab::faults::types::HostId;
 use frostlab::faults::FaultInjector;
 use frostlab::simkern::rng::Rng;
@@ -43,48 +43,78 @@ fn tent_week_mean(config: TentConfig) -> f64 {
 }
 
 fn ablation_tent() {
+    // The six single-intervention weeks are independent simulations, so
+    // they fan out over the ensemble engine; rows come back in case order
+    // regardless of which week finishes first.
+    let cases: [(&str, TentConfig); 6] = [
+        ("unmodified", TentConfig::initial()),
+        (
+            "R only (foil)",
+            TentConfig {
+                foil: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "I only (inner tent out)",
+            TentConfig {
+                inner_removed: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "B only (tarpaulin + door)",
+            TentConfig {
+                tarpaulin_removed: true,
+                door_half_open: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "F only (fan)",
+            TentConfig {
+                fan: true,
+                ..Default::default()
+            },
+        ),
+        ("all four (paper final)", TentConfig::fully_modified()),
+    ];
     let base = tent_week_mean(TentConfig::initial());
     let mut t = Table::new(
         "ablation 1 — tent interventions, applied alone (same cold week, 1 kW inside)",
         &["configuration", "mean tent °C", "Δ vs unmodified"],
     );
-    let cases: [(&str, TentConfig); 6] = [
-        ("unmodified", TentConfig::initial()),
-        ("R only (foil)", TentConfig { foil: true, ..Default::default() }),
-        ("I only (inner tent out)", TentConfig { inner_removed: true, ..Default::default() }),
-        (
-            "B only (tarpaulin + door)",
-            TentConfig { tarpaulin_removed: true, door_half_open: true, ..Default::default() },
-        ),
-        ("F only (fan)", TentConfig { fan: true, ..Default::default() }),
-        ("all four (paper final)", TentConfig::fully_modified()),
-    ];
-    for (name, cfg) in cases {
-        let mean = tent_week_mean(cfg);
-        t.row(&[
-            name.to_string(),
-            format!("{mean:.1}"),
-            format!("{:+.1} K", mean - base),
-        ]);
-    }
+    Ensemble::new(cases.len() as u64).run_map(
+        |i| tent_week_mean(cases[i as usize].1),
+        |i, mean| {
+            t.row(&[
+                cases[i as usize].0.to_string(),
+                format!("{mean:.1}"),
+                format!("{:+.1} K", mean - base),
+            ]);
+        },
+    );
     println!("{t}");
 }
 
 fn ablation_ecc() {
     println!("ablation 2 — ECC everywhere vs the paper's mixed fleet (scripted campaign)");
-    for force_ecc in [false, true] {
-        let cfg = ExperimentConfig {
-            force_ecc,
+    Ensemble::new(2).run_experiments(
+        |i| ExperimentConfig {
+            force_ecc: i == 1,
             ..ExperimentConfig::paper_scripted(42)
-        };
-        let r = Experiment::new(cfg).run();
-        let corrected: u64 = r.hosts.values().map(|h| h.silent_corruptions).sum();
-        println!(
-            "  force_ecc={force_ecc:<5} wrong hashes: {} | silent corruptions: {corrected} | stored archives: {}",
-            r.workload.hash_errors().len(),
-            r.stored_archives.len(),
-        );
-    }
+        },
+        |r| {
+            let corrected: u64 = r.hosts.values().map(|h| h.silent_corruptions).sum();
+            (r.workload.hash_errors().len(), corrected, r.stored_archives.len())
+        },
+        |i, (wrong, corrected, stored)| {
+            let force_ecc = i == 1;
+            println!(
+                "  force_ecc={force_ecc:<5} wrong hashes: {wrong} | silent corruptions: {corrected} | stored archives: {stored}",
+            );
+        },
+    );
     println!("  (ECC turns all five §4.2.2 incidents into corrected, logged events)\n");
 }
 
@@ -107,7 +137,8 @@ fn ablation_fleet_scaling() {
                 for _ in 0..(90 * 6) {
                     // 90 days in 4-hour steps, tent-ish conditions
                     let o = f.poll(4.0, 2.0, 70.0, 0);
-                    if o.faults.contains(&frostlab::faults::types::FaultKind::TransientSystemFailure)
+                    if o.faults
+                        .contains(&frostlab::faults::types::FaultKind::TransientSystemFailure)
                     {
                         failed = true;
                     }

@@ -57,10 +57,19 @@ fn main() {
     println!("\nincident ledger ({} incidents):", results.incidents.len());
     for i in &results.incidents {
         let end = match i.resolved {
-            Some(t) => format!("resolved {} ({})", t.datetime(), i.resolution.as_deref().unwrap_or("-")),
+            Some(t) => format!(
+                "resolved {} ({})",
+                t.datetime(),
+                i.resolution.as_deref().unwrap_or("-")
+            ),
             None => "still open at campaign end".to_string(),
         };
-        println!("  [{}] {} opened {} — {end}", i.kind.name(), i.subject, i.started.datetime());
+        println!(
+            "  [{}] {} opened {} — {end}",
+            i.kind.name(),
+            i.subject,
+            i.started.datetime()
+        );
     }
 
     println!("\nmachine-readable incident log:");

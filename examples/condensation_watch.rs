@@ -15,9 +15,9 @@
 //! cargo run --release --example condensation_watch [seed]
 //! ```
 
+use frostlab::climate::presets;
 use frostlab::climate::psychro::condensation_risk;
 use frostlab::climate::weather::WeatherModel;
-use frostlab::climate::presets;
 use frostlab::simkern::time::{SimDuration, SimTime};
 use frostlab::thermal::enclosure::Enclosure;
 use frostlab::thermal::server_case::{ServerCaseThermal, ServerThermalParams};
@@ -84,7 +84,10 @@ fn main() {
     println!("  worst dew-point margin : {worst_dead:+.1} K");
     println!("  condensation minutes   : {dead_events}");
     if let Some((at, margin)) = dead_event_example {
-        println!("  first event            : {} (margin {margin:+.1} K)", at.datetime());
+        println!(
+            "  first event            : {} (margin {margin:+.1} K)",
+            at.datetime()
+        );
     }
 
     println!("\nreading: the paper's reasoning holds — internal power keeps a running");

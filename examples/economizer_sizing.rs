@@ -38,7 +38,15 @@ fn main() {
 
     let mut t = Table::new(
         "free-air cooling for 75 kW IT, by climate and supply-air limit",
-        &["climate", "limit °C", "free %", "savings", "PUE", "cooling MWh/yr", "k€/yr saved"],
+        &[
+            "climate",
+            "limit °C",
+            "free %",
+            "savings",
+            "PUE",
+            "cooling MWh/yr",
+            "k€/yr saved",
+        ],
     );
     for climate in [
         presets::helsinki_winter_2010(),
@@ -60,7 +68,10 @@ fn main() {
                 pct(r.savings()),
                 format!("{:.2}", r.effective_pue()),
                 format!("{cooling_mwh:.0}"),
-                format!("{:.0}", (baseline_mwh - cooling_mwh) * 1000.0 * EUR_PER_KWH / 1000.0),
+                format!(
+                    "{:.0}",
+                    (baseline_mwh - cooling_mwh) * 1000.0 * EUR_PER_KWH / 1000.0
+                ),
             ]);
         }
     }

@@ -24,23 +24,32 @@ fn main() {
     // A vendor-A host (non-ECC memory) runs its pack-verify cycle.
     let rng = Rng::new(2010);
     let mut job = JobRunner::new(JobConfig::default(), &rng);
+    println!("golden md5 (computed at install): {}", job.golden_hash());
     println!(
-        "golden md5 (computed at install): {}",
-        job.golden_hash()
+        "archive: {} bytes, {} compression blocks\n",
+        job.compressed_len(),
+        job.block_count()
     );
-    println!("archive: {} bytes, {} compression blocks\n", job.compressed_len(), job.block_count());
 
     // Months pass; one run gets hit by a memory bit flip.
     let clean = job.run(0);
     assert!(clean.hash_ok);
-    println!("clean run    : md5 {} — matches, tarball overwritten", clean.hash);
+    println!(
+        "clean run    : md5 {} — matches, tarball overwritten",
+        clean.hash
+    );
 
     let corrupted = job.run(1);
     assert!(!corrupted.hash_ok);
-    println!("faulted run  : md5 {} — MISMATCH, tarball stored\n", corrupted.hash);
+    println!(
+        "faulted run  : md5 {} — MISMATCH, tarball stored\n",
+        corrupted.hash
+    );
 
     // bzip2recover-style salvage.
-    let archive = corrupted.stored_archive.expect("mismatch stores the archive");
+    let archive = corrupted
+        .stored_archive
+        .expect("mismatch stores the archive");
     let report = recover(&archive);
     println!(
         "recover: {} blocks scanned, {} corrupted {:?}",
@@ -64,7 +73,11 @@ fn main() {
     });
     println!(
         "S.M.A.R.T. long tests: {}",
-        if all_pass { "all drives PASS — storage exonerated" } else { "failures found" }
+        if all_pass {
+            "all drives PASS — storage exonerated"
+        } else {
+            "failures found"
+        }
     );
     println!("file system / kernel errors: none reported\n");
 

@@ -4,91 +4,34 @@
 //! winter hundreds of times with faults drawn from the hazard models and
 //! ask: what's the *distribution* of the fleet failure rate? How often does
 //! a campaign look as benign as the one the authors happened to observe
-//! (one failing host)? Campaigns run in parallel across cores (crossbeam
-//! scoped threads).
+//! (one failing host)? Campaigns run in parallel across cores on the
+//! deterministic ensemble engine — the report below is byte-identical for
+//! any worker count, because summaries merge in seed order regardless of
+//! completion order.
 //!
 //! ```sh
-//! cargo run --release --example monte_carlo_failures [n_campaigns]
+//! cargo run --release --example monte_carlo_failures [n_campaigns] [threads]
 //! ```
 
-use std::sync::Mutex;
-
-use frostlab::analysis::report::{pct, Table};
-use frostlab::analysis::stats::wilson_interval;
-use frostlab::core::{Experiment, ExperimentConfig};
+use frostlab::core::ExperimentConfig;
+use frostlab::ensemble::report::monte_carlo_report;
 
 fn main() {
     let n: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(40);
+    let threads: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0); // 0 = all cores
     println!("monte-carlo failure study — {n} stochastic campaigns\n");
 
-    let results = Mutex::new(Vec::new());
-    let next = std::sync::atomic::AtomicU64::new(0);
-    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    print!(
+        "{}",
+        monte_carlo_report(n, threads, ExperimentConfig::paper_stochastic)
+    );
 
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let seed = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-                if seed >= n {
-                    break;
-                }
-                let r = Experiment::new(ExperimentConfig::paper_stochastic(seed)).run();
-                let cmp = r.failure_comparison();
-                results.lock().expect("no poisoned locks").push((
-                    seed,
-                    cmp.outside.failed_hosts,
-                    cmp.control.failed_hosts,
-                    r.workload.hash_errors().len() as u64,
-                    r.workload.total_runs(),
-                ));
-            });
-        }
-    })
-    .expect("worker panicked");
-
-    let mut rows = results.into_inner().expect("scope joined");
-    rows.sort_by_key(|r| r.0);
-
-    let campaigns = rows.len() as f64;
-    let mean_tent_failed: f64 = rows.iter().map(|r| r.1 as f64).sum::<f64>() / campaigns;
-    let mean_control_failed: f64 = rows.iter().map(|r| r.2 as f64).sum::<f64>() / campaigns;
-    let mean_hash_errors: f64 = rows.iter().map(|r| r.3 as f64).sum::<f64>() / campaigns;
-    let like_paper = rows.iter().filter(|r| r.1 <= 1 && r.2 == 0).count();
-    let any_tent_failure = rows.iter().filter(|r| r.1 > 0).count();
-
-    let mut t = Table::new("stochastic-winter outcomes", &["metric", "value"]);
-    t.row(&["campaigns".into(), rows.len().to_string()]);
-    t.row(&["mean failed hosts (tent, of 9)".into(), format!("{mean_tent_failed:.2}")]);
-    t.row(&["mean failed hosts (control, of 9)".into(), format!("{mean_control_failed:.2}")]);
-    t.row(&["mean wrong hashes per campaign".into(), format!("{mean_hash_errors:.2}")]);
-    t.row(&[
-        "campaigns ≤ 1 tent failure, clean control (like the paper)".into(),
-        format!(
-            "{} ({})",
-            like_paper,
-            pct(like_paper as f64 / campaigns)
-        ),
-    ]);
-    t.row(&[
-        "campaigns with ≥ 1 tent failure".into(),
-        format!("{} ({})", any_tent_failure, pct(any_tent_failure as f64 / campaigns)),
-    ]);
-    let (lo, hi) = wilson_interval(any_tent_failure as u64, rows.len() as u64);
-    t.row(&[
-        "P(tent failure) 95 % Wilson".into(),
-        format!("[{}, {}]", pct(lo), pct(hi)),
-    ]);
-    println!("{t}");
-
-    println!("per-campaign detail (first 10):");
-    for (seed, tent, control, hashes, runs) in rows.iter().take(10) {
-        println!(
-            "  seed {seed:>3}: tent hosts failed {tent}, control {control}, wrong hashes {hashes}, runs {runs}"
-        );
-    }
     println!("\nreading: the paper's single observed winter (1 tent failure, clean control)");
     println!("is an unremarkable draw from the modeled hazards. Note the model's twist on");
     println!("the paper's second research question: tent CPUs run 20–30 K *cooler* than");

@@ -29,7 +29,9 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(6);
-    println!("summer outlook — extending the campaign through August, {campaigns} stochastic runs\n");
+    println!(
+        "summer outlook — extending the campaign through August, {campaigns} stochastic runs\n"
+    );
 
     let mut winter_hangs = 0usize; // Feb 19 – May 13 (the paper's window)
     let mut summer_hangs = 0usize; // May 13 – Aug 31 (the continuation)
@@ -75,9 +77,7 @@ fn main() {
         "transient failures by season (tent + control, all campaigns)",
         &["season", "hangs", "hangs / fleet-month"],
     );
-    let per_month = |hangs: usize, days: f64| {
-        hangs as f64 / (campaigns as f64 * days / 30.44)
-    };
+    let per_month = |hangs: usize, days: f64| hangs as f64 / (campaigns as f64 * days / 30.44);
     t.row(&[
         "winter+spring (Feb 19 – May 13)".into(),
         winter_hangs.to_string(),
@@ -91,13 +91,12 @@ fn main() {
     println!("{t}");
 
     let curve = kaplan_meier(&observations);
-    println!("tent-host survival (Kaplan–Meier over {} machine-histories):", observations.len());
+    println!(
+        "tent-host survival (Kaplan–Meier over {} machine-histories):",
+        observations.len()
+    );
     for hours in [500.0, 1500.0, 3000.0, 4500.0] {
-        println!(
-            "  S({:>4.0} h) = {:.3}",
-            hours,
-            survival_at(&curve, hours)
-        );
+        println!("  S({:>4.0} h) = {:.3}", hours, survival_at(&curve, hours));
     }
     match mtbf_hours(&observations) {
         Some(mtbf) => println!("  crude MTBF: {mtbf:.0} machine-hours\n"),
@@ -109,8 +108,16 @@ fn main() {
         "economizer feasibility, full year in Helsinki",
         &["technology", "free-cooling %", "savings vs mechanical"],
     );
-    let air = simulate_year(presets::helsinki_winter_2010(), &EconomizerConfig::default(), 3);
-    let wet = simulate_year_wetside(presets::helsinki_winter_2010(), &WetSideConfig::default(), 3);
+    let air = simulate_year(
+        presets::helsinki_winter_2010(),
+        &EconomizerConfig::default(),
+        3,
+    );
+    let wet = simulate_year_wetside(
+        presets::helsinki_winter_2010(),
+        &WetSideConfig::default(),
+        3,
+    );
     t.row(&[
         "air-side (the tent, scaled up)".into(),
         format!("{:.1} %", 100.0 * air.free_fraction()),

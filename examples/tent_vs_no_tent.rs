@@ -62,7 +62,10 @@ fn main() {
     }
 
     println!("campaign precipitation on the terrace:");
-    println!("  snow  : {snow_mm:.0} mm water equivalent (≈ {:.0} cm fresh depth)", snow_mm);
+    println!(
+        "  snow  : {snow_mm:.0} mm water equivalent (≈ {:.0} cm fresh depth)",
+        snow_mm
+    );
     println!("  rain  : {rain_mm:.0} mm");
     println!("  hours with precipitation: {wet_hours:.0}\n");
 
@@ -86,11 +89,7 @@ fn main() {
         ("the tent", tent_liquid),
     ] {
         let p = 1.0 - (-K_PER_MM * liquid).exp();
-        table.row(&[
-            name.to_string(),
-            format!("{liquid:.1} mm"),
-            pct(p),
-        ]);
+        table.row(&[name.to_string(), format!("{liquid:.1} mm"), pct(p)]);
     }
     println!("{table}");
     println!("reading: without shielding the campaign is hopeless (risk → certainty);");

@@ -34,7 +34,10 @@ fn main() {
         .and_then(|s| parse_date(&s))
         .unwrap_or_else(|| SimTime::from_date(2010, 3, 2));
 
-    println!("Exactum-kamera — simulated terrace, {} (seed {seed})\n", day.date());
+    println!(
+        "Exactum-kamera — simulated terrace, {} (seed {seed})\n",
+        day.date()
+    );
 
     // Spin everything up from Feb 12 so the snowpack and tent are in a
     // realistic state by the chosen day.

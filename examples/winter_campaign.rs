@@ -51,11 +51,23 @@ fn main() {
     // Host-by-host outcome.
     let mut t = Table::new(
         "host outcomes",
-        &["host", "vendor", "group", "failures", "resets", "disposition", "min CPU °C"],
+        &[
+            "host",
+            "vendor",
+            "group",
+            "failures",
+            "resets",
+            "disposition",
+            "min CPU °C",
+        ],
     );
     for h in results.hosts.values() {
         t.row(&[
-            format!("#{:02}{}", h.id, if h.defective { " (defect series)" } else { "" }),
+            format!(
+                "#{:02}{}",
+                h.id,
+                if h.defective { " (defect series)" } else { "" }
+            ),
             h.vendor.to_string(),
             h.placement.to_string(),
             h.failures.len().to_string(),

@@ -24,6 +24,7 @@
 //! | [`energy`] | CRAC/HVAC plant, PUE, air-economizer comparison |
 //! | [`analysis`] | Wilson intervals, exposure estimates, report tables |
 //! | [`core`] | the orchestrated campaign (scripted + stochastic modes) |
+//! | [`ensemble`] | deterministic parallel campaign sweeps with streaming aggregation |
 //!
 //! ## Quickstart
 //!
@@ -49,6 +50,7 @@ pub use frostlab_climate as climate;
 pub use frostlab_compress as compress;
 pub use frostlab_core as core;
 pub use frostlab_energy as energy;
+pub use frostlab_ensemble as ensemble;
 pub use frostlab_faults as faults;
 pub use frostlab_hardware as hardware;
 pub use frostlab_netsim as netsim;

@@ -3,9 +3,9 @@
 //! the weather→tent→psychrometrics consistency loop.
 
 use bytes::Bytes;
+use frostlab::climate::presets;
 use frostlab::climate::psychro;
 use frostlab::climate::weather::WeatherModel;
-use frostlab::climate::presets;
 use frostlab::compress::md5::md5_hex;
 use frostlab::compress::recover::recover;
 use frostlab::netsim::collector::{CollectOutcome, Collector, MonitoredHost};
@@ -34,7 +34,11 @@ fn forensic_chain_job_to_recover() {
     let o = job.run(1);
     assert!(!o.hash_ok);
     let archive = o.stored_archive.expect("stored on mismatch");
-    assert_eq!(md5_hex(&archive), o.hash, "stored bytes hash to the reported value");
+    assert_eq!(
+        md5_hex(&archive),
+        o.hash,
+        "stored bytes hash to the reported value"
+    );
     let report = recover(&archive);
     assert!(report.corrupted_count() <= 1);
     assert!(report.total_blocks() > 300);
@@ -76,8 +80,14 @@ fn collection_over_real_frames() {
         SimTime::from_secs(86_400),
     );
     let received: Vec<u8> = rx.take_delivered().into_iter().flatten().collect();
-    assert_eq!(received, log, "transport must reassemble the log byte-exactly");
-    assert!(tx.retransmissions > 0, "loss should have forced retransmissions");
+    assert_eq!(
+        received, log,
+        "transport must reassemble the log byte-exactly"
+    );
+    assert!(
+        tx.retransmissions > 0,
+        "loss should have forced retransmissions"
+    );
 
     // Now run a collection round against a MonitoredHost carrying that log.
     let mut crng = Rng::new(6);
@@ -86,7 +96,10 @@ fn collection_over_real_frames() {
     mhost.append("md5sums-0307.log", &received);
     let outcome = collector.collect(&mut mhost, true, SimTime::from_secs(1200));
     match outcome {
-        CollectOutcome::Success { files_updated, literal_bytes } => {
+        CollectOutcome::Success {
+            files_updated,
+            literal_bytes,
+        } => {
             assert_eq!(files_updated, 1);
             assert_eq!(literal_bytes, log.len(), "first sync ships everything");
         }
@@ -117,7 +130,10 @@ fn weather_tent_psychrometrics_consistency() {
     }
     // The low-pass filter lags fast outside swings; 20 points of RH is the
     // generous bound, typical gaps are much smaller.
-    assert!(worst_gap < 20.0, "tent RH diverged from psychrometrics by {worst_gap}");
+    assert!(
+        worst_gap < 20.0,
+        "tent RH diverged from psychrometrics by {worst_gap}"
+    );
 }
 
 #[test]

@@ -346,3 +346,191 @@ proptest! {
         prop_assert!((bits as f64) <= entropy_bits + n + 1.0);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Ensemble engine: streaming aggregation vs exact offline computation, and
+// order-independence of the merge (the property the thread-count-invariance
+// gate rests on).
+// ---------------------------------------------------------------------------
+
+use frostlab::analysis::stats::{Histogram, Welford};
+use frostlab::analysis::{
+    mean as offline_mean, percentile as offline_percentile, std_dev as offline_std_dev,
+};
+use frostlab::core::results::CampaignSummary;
+use frostlab::ensemble::CampaignAggregate;
+
+/// Synthetic campaign summary from a proptest-drawn tuple: failure counts,
+/// a fleet rate in [0, 1], an availability in [0, 1], and an energy figure.
+fn synth_summary(
+    seed: u64,
+    (tent, control, rate, avail, energy): (u64, u64, f64, f64, f64),
+) -> CampaignSummary {
+    CampaignSummary {
+        seed,
+        start: "2010-02-12 00:00".into(),
+        end: "2010-02-14 00:00".into(),
+        total_runs: 10 * seed,
+        wrong_hashes: (tent + control) as usize,
+        wrong_hashes_tent: tent as usize,
+        silent_corruptions: control,
+        stored_archives: tent as usize,
+        failed_hosts_tent: tent,
+        failed_hosts_control: control,
+        host_resets: seed % 3,
+        fleet_failure_rate: rate,
+        comparable_with_intel: rate < 0.3,
+        outside_min_c: -30.0 + rate * 10.0,
+        tent_temp_min_c: -10.0 + avail,
+        tent_temp_max_c: 20.0 + avail,
+        tent_rh_max_pct: 50.0 + 40.0 * avail,
+        fleet_min_cpu_c: -5.0 + rate,
+        collection_availability: avail,
+        tent_energy_kwh: energy,
+        lascar_outliers_removed: 0,
+        total_page_ops: 1000 + seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn streaming_mean_variance_match_offline(
+        xs in proptest::collection::vec(-1e3f64..1e3, 2..128),
+    ) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let m = offline_mean(&xs).expect("non-empty");
+        let sd = offline_std_dev(&xs).expect("n >= 2");
+        prop_assert!((w.mean().unwrap() - m).abs() <= 1e-9 * (1.0 + m.abs()));
+        prop_assert!((w.std_dev().unwrap() - sd).abs() <= 1e-7 * (1.0 + sd));
+    }
+
+    #[test]
+    fn welford_merge_is_order_independent_up_to_rounding(
+        xs in proptest::collection::vec(-1e3f64..1e3, 3..96),
+        cut_a in 0usize..96,
+        cut_b in 0usize..96,
+    ) {
+        // Split the samples into three runs at arbitrary points and merge
+        // the partials in two different association orders; both must
+        // agree with the single-pass fold to floating-point tolerance.
+        let (mut i, mut j) = (cut_a % xs.len(), cut_b % xs.len());
+        if i > j {
+            std::mem::swap(&mut i, &mut j);
+        }
+        let parts = [&xs[..i], &xs[i..j], &xs[j..]];
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let fold = |slice: &[f64]| {
+            let mut w = Welford::new();
+            for &x in slice {
+                w.push(x);
+            }
+            w
+        };
+        let (a, b, c) = (fold(parts[0]), fold(parts[1]), fold(parts[2]));
+        // (a ∪ b) ∪ c
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        // c ∪ (b ∪ a): different association AND different order.
+        let mut right = c;
+        let mut ba = b;
+        ba.merge(&a);
+        right.merge(&ba);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert_eq!(right.count(), whole.count());
+        for w in [&left, &right] {
+            prop_assert!((w.mean().unwrap() - whole.mean().unwrap()).abs() <= 1e-9);
+            prop_assert!((w.variance().unwrap() - whole.variance().unwrap()).abs() <= 1e-6);
+        }
+    }
+
+    #[test]
+    fn histogram_percentile_matches_offline_within_one_bin(
+        xs in proptest::collection::vec(0f64..1.0, 1..256),
+        p in 0f64..100.0,
+    ) {
+        // Tolerance: the histogram only knows which 0.0125-wide bin each
+        // sample fell in. It mirrors `percentile`'s rank interpolation,
+        // and both anchor estimates stay inside their sample's bin, so
+        // ONE bin width bounds the error against the exact offline
+        // computation.
+        let mut h = Histogram::new(0.0, 0.0125, 80);
+        for &x in &xs {
+            h.push(x);
+        }
+        let exact = offline_percentile(&xs, p);
+        let est = h.percentile(p).expect("non-empty");
+        prop_assert!(
+            (est - exact).abs() <= h.width + 1e-12,
+            "p{}: estimate {} vs exact {}", p, est, exact
+        );
+    }
+
+    #[test]
+    fn ensemble_merge_is_associative_and_order_independent(
+        raws in proptest::collection::vec(
+            (0u64..4, 0u64..3, 0f64..1.0, 0f64..1.0, 0f64..1500.0),
+            1..40,
+        ),
+        cut_a in 0usize..40,
+        cut_b in 0usize..40,
+    ) {
+        let summaries: Vec<CampaignSummary> = raws
+            .iter()
+            .enumerate()
+            .map(|(i, raw)| synth_summary(i as u64, *raw))
+            .collect();
+        let mut whole = CampaignAggregate::new();
+        for s in &summaries {
+            whole.absorb(s);
+        }
+        let (mut i, mut j) = (cut_a % summaries.len(), cut_b % summaries.len());
+        if i > j {
+            std::mem::swap(&mut i, &mut j);
+        }
+        let fold = |slice: &[CampaignSummary]| {
+            let mut agg = CampaignAggregate::new();
+            for s in slice {
+                agg.absorb(s);
+            }
+            agg
+        };
+        let (a, b, c) = (fold(&summaries[..i]), fold(&summaries[i..j]), fold(&summaries[j..]));
+        // (a ∪ b) ∪ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // (c ∪ b) ∪ a — different association and order.
+        let mut right = c;
+        right.merge(&b);
+        right.merge(&a);
+
+        let whole = whole.finish(0, 1);
+        for merged in [left.finish(0, 1), right.finish(0, 1)] {
+            // Counters, min/max and histogram percentiles merge exactly.
+            prop_assert_eq!(merged.campaigns, whole.campaigns);
+            prop_assert_eq!(merged.total_page_ops, whole.total_page_ops);
+            prop_assert_eq!(merged.campaigns_like_paper, whole.campaigns_like_paper);
+            prop_assert_eq!(merged.campaigns_with_tent_failure, whole.campaigns_with_tent_failure);
+            prop_assert_eq!(merged.silent_corruptions_total, whole.silent_corruptions_total);
+            prop_assert_eq!(merged.outside_min_c, whole.outside_min_c);
+            prop_assert_eq!(merged.tent_temp_min_c, whole.tent_temp_min_c);
+            prop_assert_eq!(merged.tent_temp_max_c, whole.tent_temp_max_c);
+            prop_assert_eq!(merged.fleet_failure_rate_p50, whole.fleet_failure_rate_p50);
+            prop_assert_eq!(merged.fleet_failure_rate_p90, whole.fleet_failure_rate_p90);
+            // Welford moments are associative up to rounding only.
+            prop_assert!((merged.fleet_failure_rate_mean - whole.fleet_failure_rate_mean).abs() <= 1e-9);
+            prop_assert!((merged.fleet_failure_rate_std - whole.fleet_failure_rate_std).abs() <= 1e-6);
+            prop_assert!((merged.tent_energy_kwh_mean - whole.tent_energy_kwh_mean).abs() <= 1e-6);
+            prop_assert!((merged.collection_availability_mean - whole.collection_availability_mean).abs() <= 1e-9);
+        }
+    }
+}

@@ -47,7 +47,10 @@ fn chaos_campaign_survives_and_documents_its_outages() {
 
     // Whatever went wrong is in the incident ledger, machine-readable.
     let json = results.incident_log_json().expect("plain data");
-    assert!(json.starts_with('['), "incident log is a JSON array: {json}");
+    assert!(
+        json.starts_with('['),
+        "incident log is a JSON array: {json}"
+    );
 
     // Every healed collection gap is documented with its failed attempts.
     for gap in &results.collection_gaps {

@@ -20,7 +20,10 @@ fn full_scripted_campaign_reproduces_the_paper() {
 
     // --- T1: failure rate 1/18 = 5.6 %, comparable to Intel's 4.46 % ---
     let cmp = results.failure_comparison();
-    assert_eq!(cmp.outside.failed_hosts, 1, "exactly one failing host (tent)");
+    assert_eq!(
+        cmp.outside.failed_hosts, 1,
+        "exactly one failing host (tent)"
+    );
     assert_eq!(cmp.control.failed_hosts, 0, "control group clean");
     assert!((cmp.fleet().rate - 1.0 / 18.0).abs() < 1e-12);
     assert!(cmp.comparable_with_intel());
@@ -29,7 +32,10 @@ fn full_scripted_campaign_reproduces_the_paper() {
     let h15 = &results.hosts[&15];
     assert_eq!(h15.failures.len(), 2, "two transient failures");
     assert_eq!(h15.failures[0], SimTime::from_ymd_hms(2010, 3, 7, 4, 40, 0));
-    assert_eq!(h15.failures[1], SimTime::from_ymd_hms(2010, 3, 17, 12, 20, 0));
+    assert_eq!(
+        h15.failures[1],
+        SimTime::from_ymd_hms(2010, 3, 17, 12, 20, 0)
+    );
     assert_eq!(h15.resets, 1, "one in-place reset (the Monday visit)");
     assert_eq!(h15.disposition, Disposition::TakenIndoors);
     assert_eq!(
@@ -79,7 +85,11 @@ fn full_scripted_campaign_reproduces_the_paper() {
     assert!(results.fleet_min_cpu_c() < 0.0, "CPUs ran below freezing");
     assert!(results.fleet_min_cpu_c() > -15.0, "but not absurdly so");
     for h in results.hosts.values() {
-        assert!(h.disks_pass_long_test, "host {} disks must pass (paper: S.M.A.R.T. clean)", h.id);
+        assert!(
+            h.disks_pass_long_test,
+            "host {} disks must pass (paper: S.M.A.R.T. clean)",
+            h.id
+        );
     }
 
     // --- switch deaths show up as collection unavailability ---
@@ -97,26 +107,41 @@ fn full_scripted_campaign_reproduces_the_paper() {
 
     // --- the Lascar: late start, readout outliers removed ---
     assert!(
-        results.lascar_temp.start().expect("lascar has data")
-            >= SimTime::from_date(2010, 3, 5),
+        results.lascar_temp.start().expect("lascar has data") >= SimTime::from_date(2010, 3, 5),
         "no inside data before the logger arrived"
     );
-    assert!(results.lascar_outliers_removed > 0, "indoor excursions cleaned");
+    assert!(
+        results.lascar_outliers_removed > 0,
+        "indoor excursions cleaned"
+    );
     assert!(
         results.lascar_temp_raw.len() > results.lascar_temp.len(),
         "cleaning removed samples"
     );
 
     // --- physics sanity across the campaign ---
-    let out_min = results.outside.iter().map(|o| o.temp_c).fold(f64::INFINITY, f64::min);
-    assert!((-30.0..-12.0).contains(&out_min), "deep cold happened: {out_min}");
+    let out_min = results
+        .outside
+        .iter()
+        .map(|o| o.temp_c)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        (-30.0..-12.0).contains(&out_min),
+        "deep cold happened: {out_min}"
+    );
     let tent_min = results.tent_temp_truth.min().expect("tent data");
-    assert!(tent_min > out_min, "tent stays above outside at the minimum");
+    assert!(
+        tent_min > out_min,
+        "tent stays above outside at the minimum"
+    );
     let basement_band = (
         results.basement_temp.min().expect("data"),
         results.basement_temp.max().expect("data"),
     );
-    assert!(basement_band.0 > 18.0 && basement_band.1 < 25.0, "control in spec {basement_band:?}");
+    assert!(
+        basement_band.0 > 18.0 && basement_band.1 < 25.0,
+        "control in spec {basement_band:?}"
+    );
 
     // --- energy ---
     assert!(results.tent_energy_true_kwh > 500.0);
@@ -163,7 +188,10 @@ fn full_scripted_campaign_reproduces_the_paper() {
                 )
         })
         .count();
-    assert!(failed_rounds > 0, "tent hosts unreachable during the outage");
+    assert!(
+        failed_rounds > 0,
+        "tent hosts unreachable during the outage"
+    );
 
     // --- unreachable rounds carry the gap duration, growing monotonically
     // per host while the outage lasts ---
@@ -180,7 +208,10 @@ fn full_scripted_campaign_reproduces_the_paper() {
         .flatten()
         .filter(|g| **g > SimDuration::days(2))
         .count();
-    assert!(long_gaps > 0, "the weekend outage produced multi-day staleness");
+    assert!(
+        long_gaps > 0,
+        "the weekend outage produced multi-day staleness"
+    );
 
     // --- the retrying collector healed the outage right after the repair ---
     let restored = SimTime::from_ymd_hms(2010, 3, 1, 11, 30, 0);
@@ -216,7 +247,12 @@ fn full_scripted_campaign_reproduces_the_paper() {
         .iter()
         .filter(|i| i.kind == IncidentKind::HostHang && i.subject == "host-15")
         .collect();
-    assert_eq!(h15_incidents.len(), 2, "both hangs logged: {:?}", results.incidents);
+    assert_eq!(
+        h15_incidents.len(),
+        2,
+        "both hangs logged: {:?}",
+        results.incidents
+    );
     assert_eq!(
         h15_incidents[0].resolution.as_deref(),
         Some("reset in place"),

@@ -14,27 +14,27 @@ pub fn std_dev(xs: &[f64]) -> Option<f64> {
     if xs.len() < 2 {
         return None;
     }
-    let m = mean(xs).expect("non-empty");
+    let m = mean(xs)?;
     Some((xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt())
 }
 
 /// Percentile by linear interpolation, `p ∈ [0, 100]`.
 ///
-/// # Panics
-/// Panics on empty input or out-of-range `p`.
-pub fn percentile(xs: &[f64], p: f64) -> f64 {
-    assert!(!xs.is_empty(), "percentile of empty slice");
-    assert!((0.0..=100.0).contains(&p), "percentile out of range");
+/// Returns `None` on empty input or out-of-range `p`.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=100.0).contains(&p) {
+        return None;
+    }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
     if lo == hi {
-        sorted[lo]
+        Some(sorted[lo])
     } else {
         let w = rank - lo as f64;
-        sorted[lo] * (1.0 - w) + sorted[hi] * w
+        Some(sorted[lo] * (1.0 - w) + sorted[hi] * w)
     }
 }
 
@@ -264,12 +264,11 @@ impl Histogram {
     /// so the result is within **one bin width** of what [`percentile`]
     /// would compute on the raw samples. Underflow samples clamp to
     /// `min`, overflow to the top edge. Returns `None` on an empty
-    /// histogram.
-    ///
-    /// # Panics
-    /// Panics if `p` is out of range.
+    /// histogram or out-of-range `p`.
     pub fn percentile(&self, p: f64) -> Option<f64> {
-        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        if !(0.0..=100.0).contains(&p) {
+            return None;
+        }
         let total = self.total();
         if total == 0 {
             return None;
@@ -337,10 +336,13 @@ mod tests {
     #[test]
     fn percentiles() {
         let xs: Vec<f64> = (1..=100).map(f64::from).collect();
-        assert_eq!(percentile(&xs, 0.0), 1.0);
-        assert_eq!(percentile(&xs, 100.0), 100.0);
-        assert!((percentile(&xs, 50.0) - 50.5).abs() < 1e-9);
-        assert!((percentile(&xs, 95.0) - 95.05).abs() < 1e-9);
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 100.0), Some(100.0));
+        assert!((percentile(&xs, 50.0).unwrap() - 50.5).abs() < 1e-9);
+        assert!((percentile(&xs, 95.0).unwrap() - 95.05).abs() < 1e-9);
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&xs, 100.5), None);
+        assert_eq!(percentile(&xs, -1.0), None);
     }
 
     #[test]
@@ -456,7 +458,7 @@ mod tests {
         let h = Histogram::build(&xs, 0.0, 1.0, 110);
         assert!(h.percentile(50.0).is_some());
         for p in [0.0, 10.0, 50.0, 90.0, 100.0] {
-            let exact = percentile(&xs, p);
+            let exact = percentile(&xs, p).unwrap();
             let est = h.percentile(p).unwrap();
             assert!(
                 (est - exact).abs() <= h.width,

@@ -32,7 +32,7 @@ pub struct KmStep {
 /// Censored observations reduce the risk set without stepping the curve.
 pub fn kaplan_meier(observations: &[Observation]) -> Vec<KmStep> {
     let mut obs: Vec<Observation> = observations.to_vec();
-    obs.sort_by(|a, b| a.hours.partial_cmp(&b.hours).expect("no NaN times"));
+    obs.sort_by(|a, b| a.hours.total_cmp(&b.hours));
     let mut steps = Vec::new();
     let mut survival = 1.0f64;
     let mut i = 0usize;

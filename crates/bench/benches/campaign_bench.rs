@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use frostlab_core::config::ExperimentConfig;
 use frostlab_core::prototype::run_prototype;
-use frostlab_core::Experiment;
+use frostlab_core::ScenarioBuilder;
 
 fn bench_campaign(c: &mut Criterion) {
     let mut g = c.benchmark_group("campaign");
@@ -16,7 +16,9 @@ fn bench_campaign(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(20));
     g.bench_function("campaign_week", |b| {
         b.iter(|| {
-            let results = Experiment::new(ExperimentConfig::short(1, 7)).run();
+            let results = ScenarioBuilder::paper(ExperimentConfig::short(1, 7))
+                .build()
+                .run();
             std::hint::black_box(results.workload.total_runs())
         })
     });

@@ -24,7 +24,8 @@
 use std::time::Instant;
 
 use frostlab_core::config::{ExperimentConfig, FaultMode};
-use frostlab_core::Experiment;
+use frostlab_core::phases::PhaseTiming;
+use frostlab_core::ScenarioBuilder;
 use frostlab_ensemble::run_summary_sweep;
 
 /// Schema tag for the benchmark JSON.
@@ -49,6 +50,10 @@ struct BenchReport {
     per_campaign_ms: f64,
     /// ensemble_serial_ms / ensemble_parallel_ms.
     speedup: f64,
+    /// Per-phase wall-clock breakdown of the instrumented campaign-week
+    /// run (pipeline order). Informational — not checked against the
+    /// baseline.
+    phase_breakdown: Vec<PhaseTiming>,
 }
 
 fn ms(t: Instant) -> f64 {
@@ -93,11 +98,20 @@ fn main() {
         ..ExperimentConfig::short(seed, days)
     };
 
-    eprintln!("bench_report: campaign_week (1 warmup + 1 timed) …");
-    let warmup = Experiment::new(ExperimentConfig::short(1, 7)).run();
+    eprintln!("bench_report: campaign_week (1 instrumented warmup + 1 timed) …");
+    // The warmup doubles as the instrumented run: every phase wrapped in a
+    // timing probe yields the per-phase breakdown, while the timed run
+    // below stays probe-free so `campaign_week_ms` is comparable with
+    // pre-pipeline baselines.
+    let (warmup, phase_breakdown) = ScenarioBuilder::paper(ExperimentConfig::short(1, 7))
+        .with_timing()
+        .build()
+        .run_with_timings();
     std::hint::black_box(warmup.workload.total_runs());
     let t = Instant::now();
-    let results = Experiment::new(ExperimentConfig::short(1, 7)).run();
+    let results = ScenarioBuilder::paper(ExperimentConfig::short(1, 7))
+        .build()
+        .run();
     std::hint::black_box(results.workload.total_runs());
     let campaign_week_ms = ms(t);
 
@@ -132,6 +146,7 @@ fn main() {
         ensemble_parallel_ms,
         per_campaign_ms: ensemble_serial_ms / jobs.max(1) as f64,
         speedup: ensemble_serial_ms / ensemble_parallel_ms.max(1e-9),
+        phase_breakdown,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out, format!("{json}\n")).expect("write benchmark JSON");

@@ -21,7 +21,7 @@
 
 #![forbid(unsafe_code)]
 
-use frostlab_core::{Experiment, ExperimentConfig, ExperimentResults};
+use frostlab_core::{ExperimentConfig, ExperimentResults, ScenarioBuilder};
 
 /// Parse the optional seed argument (default 42 — the published runs).
 pub fn seed_from_args() -> u64 {
@@ -33,5 +33,7 @@ pub fn seed_from_args() -> u64 {
 
 /// Run the scripted campaign for the given seed.
 pub fn scripted_campaign(seed: u64) -> ExperimentResults {
-    Experiment::new(ExperimentConfig::paper_scripted(seed)).run()
+    ScenarioBuilder::paper(ExperimentConfig::paper_scripted(seed))
+        .build()
+        .run()
 }

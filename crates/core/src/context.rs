@@ -1,0 +1,627 @@
+//! The shared per-tick campaign state that every [`crate::phases::TickPhase`]
+//! steps over.
+//!
+//! [`CampaignCtx`] owns everything the campaign touches — the clock, the
+//! RNG lane root, the weather models, the enclosures, the fleet, the
+//! instruments, the collection network, the watchdog and every accumulator
+//! that ends up in [`ExperimentResults`]. Phases receive `&mut CampaignCtx`
+//! and communicate with each other exclusively through it: the weather
+//! phase writes [`CampaignCtx::weather`], the enclosure phase writes
+//! [`CampaignCtx::tent_state`] and [`CampaignCtx::tent_power_w`], the power
+//! phase integrates what the enclosure phase computed, and so on.
+//!
+//! Cross-cutting fault plumbing (hangs, scripted events, chaos events, the
+//! indoor-diagnosis workflow) lives here as methods so that any phase —
+//! stock or user-written — can trigger them consistently.
+
+use std::collections::BTreeMap;
+
+use frostlab_climate::station::{StationConfig, WeatherObservation, WeatherStation};
+use frostlab_climate::weather::{WeatherModel, WeatherSample};
+use frostlab_faults::chaos::{ChaosEngine, ChaosEvent};
+use frostlab_faults::injector::{FaultInjector, HostFaults};
+use frostlab_faults::repair::{Disposition, HostRecord, RepairPolicy};
+use frostlab_faults::types::{FaultEvent, FaultKind, HostId};
+use frostlab_hardware::server::{Server, ServerSpec, Vendor};
+use frostlab_netsim::collector::{Collector, MonitoredHost};
+use frostlab_simkern::rng::Rng;
+use frostlab_simkern::time::{SimDuration, SimTime};
+use frostlab_telemetry::lascar::{LascarConfig, LascarLogger};
+use frostlab_telemetry::outlier::SpikeFilter;
+use frostlab_telemetry::series::TimeSeries;
+use frostlab_telemetry::technoline::CostControlMeter;
+use frostlab_thermal::basement::Basement;
+use frostlab_thermal::enclosure::{Enclosure, EnclosureState};
+use frostlab_thermal::server_case::{ServerCaseThermal, ServerThermalParams};
+use frostlab_thermal::tent::{Tent, TentConfig};
+use frostlab_workload::job::{JobRunner, JobTemplate};
+use frostlab_workload::schedule::LoadSchedule;
+use frostlab_workload::stats::{Placement, WorkloadStats};
+
+use crate::config::{ExperimentConfig, FaultMode};
+use crate::fleet::{paper_fleet, switch_assignment, HostPlan, SwitchFailoverPolicy};
+use crate::results::{ExperimentResults, HostSummary, StoredArchive};
+use crate::scripted::ScriptedEvent;
+use crate::watchdog::{IncidentKind, Watchdog};
+
+/// One live machine in the campaign.
+pub struct HostSim {
+    /// Fleet-plan entry (id, vendor, placement, install date).
+    pub plan: HostPlan,
+    /// The machine itself.
+    pub server: Server,
+    /// Chassis thermal chain.
+    pub thermal: ServerCaseThermal,
+    /// The pack-verify job runner.
+    pub job: JobRunner,
+    /// The jittered 10-minute schedule.
+    pub schedule: LoadSchedule,
+    /// Stochastic fault models for this host.
+    pub faults: HostFaults,
+    /// Repair-workflow history.
+    pub record: HostRecord,
+    /// The host's collectable log store.
+    pub store: MonitoredHost,
+    /// Bit flips queued for the next pack-verify run.
+    pub pending_flips: u32,
+    /// End of the current run's CPU-busy window.
+    pub busy_until: SimTime,
+    /// Next scheduled run start.
+    pub next_run_at: SimTime,
+    /// Pending staff inspection after a hang.
+    pub inspection_due: Option<SimTime>,
+    /// Wall power drawn during the previous tick, W.
+    pub last_wall_w: f64,
+    /// Physical CPU temperature, °C.
+    pub cpu_temp_c: f64,
+    /// Page ops accumulated since the last fault poll.
+    pub page_ops_since_poll: u64,
+    /// Permanently withdrawn (taken indoors)?
+    pub withdrawn: bool,
+    /// Outcome of the indoor Memtest diagnosis, if one ran.
+    pub memtest_failed: Option<bool>,
+    /// Next sensor-log append.
+    pub next_sensor_log: SimTime,
+}
+
+impl HostSim {
+    /// Is the host on site and not withdrawn at time `t`?
+    pub fn installed(&self, t: SimTime) -> bool {
+        t >= self.plan.install_at && !self.withdrawn
+    }
+
+    pub(crate) fn thermal_params(vendor: Vendor) -> ServerThermalParams {
+        match vendor {
+            Vendor::A => ServerThermalParams::vendor_a_tower(),
+            Vendor::B => ServerThermalParams::vendor_b_sff(),
+            Vendor::C => ServerThermalParams::vendor_c_2u(),
+        }
+    }
+
+    pub(crate) fn spec_for(plan: &HostPlan) -> ServerSpec {
+        match plan.vendor {
+            Vendor::A => ServerSpec::vendor_a(),
+            Vendor::B => ServerSpec::vendor_b(plan.defective),
+            Vendor::C => ServerSpec::vendor_c(),
+        }
+    }
+}
+
+/// Live chaos-injection state (stochastic mode with `cfg.chaos` set).
+pub struct ChaosState {
+    /// The pre-generated chaos event schedule.
+    pub engine: ChaosEngine,
+    /// Per-attempt loss draws during a link-loss burst.
+    pub draws: Rng,
+    /// End of the current link-loss burst.
+    pub loss_until: SimTime,
+    /// Per-attempt drop probability during the burst.
+    pub loss_prob: f64,
+}
+
+/// All campaign state, shared across phases through `&mut`.
+pub struct CampaignCtx {
+    /// The campaign configuration.
+    pub cfg: ExperimentConfig,
+    /// The clock: the tick currently being simulated.
+    pub now: SimTime,
+    /// Tick length, seconds.
+    pub dt_secs: f64,
+    /// Tick length, hours.
+    pub dt_hours: f64,
+    /// RNG lane root. [`Rng::derive`] new labelled streams from it; adding
+    /// a consumer never perturbs existing streams.
+    pub root: Rng,
+    /// The synthetic winter.
+    pub wx: WeatherModel,
+    /// The SMEAR III surrogate observing it.
+    pub station: WeatherStation,
+    /// Current-tick weather sample (written by the weather phase).
+    pub weather: WeatherSample,
+    /// The tent on the roof terrace.
+    pub tent: Tent,
+    /// The basement control-group enclosure.
+    pub basement: Basement,
+    /// Tent air state this tick (written by the enclosure phase).
+    pub tent_state: EnclosureState,
+    /// Basement air state this tick (written by the enclosure phase).
+    pub basement_state: EnclosureState,
+    /// Tent-group wall power this tick, W (written by the enclosure phase
+    /// from the *previous* tick's per-host draw, read by the power phase).
+    pub tent_power_w: f64,
+    /// Basement-group wall power this tick, W.
+    pub basement_power_w: f64,
+    /// The Lascar USB logger in the tent.
+    pub lascar: LascarLogger,
+    /// The Technoline wall-power meter on the tent feed.
+    pub meter: CostControlMeter,
+    /// The monitoring host's collection pipeline.
+    pub collector: Collector,
+    /// The fleet.
+    pub hosts: Vec<HostSim>,
+    /// Which of the two tent switches are up.
+    pub switch_up: [bool; 2],
+    /// Incident bookkeeping.
+    pub watchdog: Watchdog,
+    /// Spare-switch repair policy (stochastic/chaos mode).
+    pub failover: SwitchFailoverPolicy,
+    /// Escalation policy for the Monday repair visits.
+    pub repair_policy: RepairPolicy,
+    /// Chaos-injection state (`None` outside chaos mode).
+    pub chaos: Option<ChaosState>,
+    /// Chaos-mode switch repairs scheduled by the failover policy.
+    pub pending_switch_restores: Vec<(SimTime, usize)>,
+    /// Workload bookkeeping accumulator.
+    pub workload: WorkloadStats,
+    /// Every fault event so far.
+    pub fault_events: Vec<FaultEvent>,
+    /// Wrong-hash archives kept for forensics.
+    pub stored_archives: Vec<StoredArchive>,
+    /// Tent air temperature truth series (10-min cadence).
+    pub tent_temp_truth: TimeSeries,
+    /// Tent air RH truth series.
+    pub tent_rh_truth: TimeSeries,
+    /// Basement air temperature truth series.
+    pub basement_temp: TimeSeries,
+    /// The station's outside observations.
+    pub outside: Vec<WeatherObservation>,
+    /// True tent-group energy integral, Wh.
+    pub energy_true_wh: f64,
+}
+
+impl CampaignCtx {
+    /// Build the campaign state: fleet, instruments, network, chaos.
+    ///
+    /// Construction order (and every `derive` label) is part of the
+    /// determinism contract: the golden-hash tests pin the resulting
+    /// streams, so keep it stable.
+    pub fn new(cfg: ExperimentConfig) -> CampaignCtx {
+        let root = Rng::new(cfg.seed);
+        let wx = WeatherModel::new(cfg.climate.clone(), cfg.seed);
+        let station = WeatherStation::new(StationConfig::default(), cfg.start, &root);
+        let boot_weather = WeatherSample {
+            t: cfg.start,
+            temp_c: cfg.climate.seasonal_mean_c(cfg.start.day_of_year() as f64),
+            rh_pct: 85.0,
+            wind_ms: 3.0,
+            solar_w_m2: 0.0,
+            cloud: 0.7,
+        };
+        let tent = Tent::new(cfg.tent.clone(), TentConfig::initial(), &boot_weather);
+        let injector = FaultInjector::new(&root);
+        let template = JobTemplate::build(cfg.job.clone());
+        let mut collector_rng = root.derive("collector");
+        let collector = Collector::new(&mut collector_rng);
+
+        let mut hosts = Vec::new();
+        for plan in paper_fleet() {
+            let host_rng = root.derive(&format!("host/{}", plan.id));
+            let mut store_rng = host_rng.derive("store");
+            let store = MonitoredHost::new(plan.id, &mut store_rng, vec![collector.key.public]);
+            let mut spec = HostSim::spec_for(&plan);
+            if cfg.force_ecc {
+                spec.ecc = true;
+            }
+            hosts.push(HostSim {
+                server: Server::new(spec),
+                thermal: ServerCaseThermal::new(HostSim::thermal_params(plan.vendor), 18.0),
+                job: JobRunner::from_template(&template, &host_rng),
+                schedule: LoadSchedule::new(plan.install_at, &host_rng),
+                faults: injector.host(HostId(plan.id), plan.defective),
+                record: HostRecord::new(HostId(plan.id)),
+                store,
+                pending_flips: 0,
+                busy_until: plan.install_at,
+                next_run_at: plan.install_at,
+                inspection_due: None,
+                last_wall_w: 0.0,
+                cpu_temp_c: 18.0,
+                page_ops_since_poll: 0,
+                withdrawn: false,
+                memtest_failed: None,
+                next_sensor_log: plan.install_at,
+                plan,
+            });
+        }
+
+        let lascar = LascarLogger::new(LascarConfig::default(), cfg.lascar_deployed_at, &root);
+        let meter = CostControlMeter::new(&root);
+
+        // Chaos injection only exists in stochastic mode; scripted mode
+        // replays the paper's history verbatim. The engine and its draw
+        // stream come from `derive`, so enabling/disabling chaos never
+        // shifts any other consumer's randomness.
+        let chaos = match (&cfg.fault_mode, &cfg.chaos) {
+            (FaultMode::Stochastic, Some(chaos_cfg)) => {
+                let host_ids: Vec<u32> = hosts.iter().map(|h| h.plan.id).collect();
+                Some(ChaosState {
+                    engine: ChaosEngine::generate(
+                        chaos_cfg,
+                        (cfg.start, cfg.end),
+                        &host_ids,
+                        2,
+                        &root,
+                    ),
+                    draws: root.derive("chaos-draws"),
+                    loss_until: cfg.start,
+                    loss_prob: 0.0,
+                })
+            }
+            _ => None,
+        };
+
+        let basement = Basement::new();
+        let tent_state = tent.state();
+        let basement_state = basement.state();
+        let dt_secs = cfg.tick.as_secs() as f64;
+        CampaignCtx {
+            now: cfg.start,
+            dt_secs,
+            dt_hours: dt_secs / 3600.0,
+            root,
+            station,
+            wx,
+            weather: boot_weather,
+            tent,
+            basement,
+            tent_state,
+            basement_state,
+            tent_power_w: 0.0,
+            basement_power_w: 0.0,
+            lascar,
+            meter,
+            collector,
+            hosts,
+            switch_up: [true, true],
+            watchdog: Watchdog::new(),
+            failover: SwitchFailoverPolicy::default(),
+            repair_policy: RepairPolicy::default(),
+            chaos,
+            pending_switch_restores: Vec::new(),
+            workload: WorkloadStats::new(),
+            fault_events: Vec::new(),
+            stored_archives: Vec::new(),
+            tent_temp_truth: TimeSeries::new(),
+            tent_rh_truth: TimeSeries::new(),
+            basement_temp: TimeSeries::new(),
+            outside: Vec::new(),
+            energy_true_wh: 0.0,
+            cfg,
+        }
+    }
+
+    /// Is this host's collection path up?
+    pub fn reachable(&self, host: &HostSim) -> bool {
+        if !host.server.is_running() {
+            return false;
+        }
+        match host.plan.placement {
+            Placement::Basement => true,
+            Placement::Tent => self.switch_up[switch_assignment(host.plan.id)],
+        }
+    }
+
+    /// Append a fault event to the campaign ledger.
+    pub fn record_fault(&mut self, at: SimTime, host: u32, kind: FaultKind) {
+        self.fault_events.push(FaultEvent {
+            at,
+            host: HostId(host),
+            kind,
+        });
+    }
+
+    /// Hang host `idx`: stop the box, open an incident, schedule the next
+    /// staff inspection.
+    pub fn apply_hang(&mut self, idx: usize, at: SimTime) {
+        let due = HostRecord::next_inspection(at);
+        let host = &mut self.hosts[idx];
+        if !host.server.is_running() {
+            return;
+        }
+        host.server.hang();
+        host.record.record_failure(at);
+        host.inspection_due = Some(due);
+        let id = host.plan.id;
+        self.watchdog
+            .open(IncidentKind::HostHang, &format!("host-{id}"), at);
+        self.record_fault(at, id, FaultKind::TransientSystemFailure);
+    }
+
+    /// Apply one scripted event.
+    pub fn handle_scripted(&mut self, at: SimTime, ev: ScriptedEvent) {
+        match ev {
+            ScriptedEvent::TentReconfig { config, .. } => self.tent.set_config(config),
+            ScriptedEvent::HostHang { host } => {
+                if let Some(idx) = self.hosts.iter().position(|h| h.plan.id == host) {
+                    self.apply_hang(idx, at);
+                }
+            }
+            ScriptedEvent::SensorColdFault { host } => {
+                if let Some(h) = self.hosts.iter_mut().find(|h| h.plan.id == host) {
+                    h.server.sensors.inject_cold_fault();
+                }
+                self.watchdog.open(
+                    IncidentKind::SensorFault,
+                    &format!("host-{host}/sensor"),
+                    at,
+                );
+                self.record_fault(at, host, FaultKind::SensorChipErratic);
+            }
+            ScriptedEvent::SensorRedetect { host } => {
+                if let Some(h) = self.hosts.iter_mut().find(|h| h.plan.id == host) {
+                    h.server.sensors.attempt_redetect();
+                }
+            }
+            ScriptedEvent::SensorWarmReboot { host } => {
+                if let Some(h) = self.hosts.iter_mut().find(|h| h.plan.id == host) {
+                    h.server.sensors.warm_reboot();
+                }
+                self.watchdog.resolve(
+                    &format!("host-{host}/sensor"),
+                    at,
+                    "sensor chip warm-rebooted",
+                );
+            }
+            ScriptedEvent::SwitchDown { switch } => {
+                self.switch_up[switch] = false;
+                self.watchdog
+                    .open(IncidentKind::SwitchFailure, &format!("switch-{switch}"), at);
+                self.record_fault(at, 101 + switch as u32, FaultKind::SwitchFailure);
+            }
+            ScriptedEvent::SwitchRestored { switch } => {
+                self.switch_up[switch] = true;
+                self.watchdog
+                    .resolve(&format!("switch-{switch}"), at, "spare switch swapped in");
+            }
+            ScriptedEvent::FlipNextRun { host } => {
+                if let Some(h) = self.hosts.iter_mut().find(|h| h.plan.id == host) {
+                    h.pending_flips += 1;
+                    h.server.memory.apply_bit_flip();
+                }
+                self.record_fault(at, host, FaultKind::MemoryBitFlip);
+            }
+        }
+    }
+
+    /// The repair-workflow escalation after repeat failures: reset fails in
+    /// outside conditions, the host goes indoors, gets the Memtest86+
+    /// treatment (a real pattern run over a DRAM model carrying the defects
+    /// a repeatedly-hanging machine plausibly has), and stays out of the
+    /// campaign — the paper's host #15 path.
+    pub fn take_indoors(&mut self, idx: usize) {
+        let host = &mut self.hosts[idx];
+        host.record.replace(); // replaced-in-slot bookkeeping happens via #19
+        host.withdrawn = true;
+        host.server.power_off();
+        // Indoor diagnosis: a machine that hung repeatedly gets a marginal
+        // DIMM model — an intermittent cell whose period comes from the
+        // host's own RNG stream — and the real tester runs over it.
+        let mut dram = frostlab_hardware::memtest::DramArray::new(2048);
+        let mut diag_rng = Rng::new(self.cfg.seed).derive(&format!("memtest/{}", host.plan.id));
+        let word = diag_rng.below(2048) as usize;
+        let bit = diag_rng.below(64) as u8;
+        let period = 3 + diag_rng.below(40) as u32;
+        dram.inject_intermittent(word, 1u64 << bit, period);
+        let report = frostlab_hardware::memtest::run_memtest(&mut dram, 8, self.cfg.seed);
+        host.memtest_failed = Some(!report.passed());
+        let id = host.plan.id;
+        self.collector.abandon(id);
+    }
+
+    /// Apply one chaos event (stochastic mode only).
+    pub fn handle_chaos(&mut self, at: SimTime, ev: ChaosEvent) {
+        match ev {
+            ChaosEvent::LinkLossBurst { loss, duration } => {
+                if let Some(chaos) = self.chaos.as_mut() {
+                    chaos.loss_until = at + duration;
+                    chaos.loss_prob = loss;
+                }
+            }
+            // Jitter delays frames but the 20-minute cadence dwarfs any
+            // per-hop delay, so a jitter burst is invisible at this layer;
+            // the frame-level effect lives in `frostlab_netsim::net`.
+            ChaosEvent::JitterBurst { .. } => {}
+            ChaosEvent::SwitchDeath { switch } => {
+                if !self.switch_up[switch] {
+                    return; // already dead
+                }
+                self.switch_up[switch] = false;
+                self.watchdog
+                    .open(IncidentKind::SwitchFailure, &format!("switch-{switch}"), at);
+                self.record_fault(at, 101 + switch as u32, FaultKind::SwitchFailure);
+                // The spare-swap repair workflow bounds the outage — while
+                // spares last.
+                if let Some(restore_at) = self.failover.take_spare(at) {
+                    self.pending_switch_restores.push((restore_at, switch));
+                }
+            }
+            ChaosEvent::HostHang { host } => {
+                if let Some(idx) = self.hosts.iter().position(|h| h.plan.id == host) {
+                    if self.hosts[idx].installed(at) {
+                        self.apply_hang(idx, at);
+                    }
+                }
+            }
+            ChaosEvent::HostReboot { host } => {
+                // Transient: the box comes straight back without operator
+                // attention; only the in-flight run is lost.
+                if let Some(h) = self
+                    .hosts
+                    .iter_mut()
+                    .find(|h| h.plan.id == host && h.installed(at))
+                {
+                    if h.server.is_running() {
+                        h.server.reset();
+                        h.schedule.resume_at(at);
+                        h.next_run_at = h.schedule.next_run();
+                        self.record_fault(at, host, FaultKind::TransientSystemFailure);
+                    }
+                }
+            }
+            ChaosEvent::SensorFreeze { host } => {
+                if let Some(h) = self
+                    .hosts
+                    .iter_mut()
+                    .find(|h| h.plan.id == host && h.installed(at))
+                {
+                    h.server.sensors.inject_cold_fault();
+                    self.watchdog.open(
+                        IncidentKind::SensorFault,
+                        &format!("host-{host}/sensor"),
+                        at,
+                    );
+                    self.record_fault(at, host, FaultKind::SensorChipErratic);
+                }
+            }
+        }
+    }
+
+    /// Does the chaos link-loss burst eat this collection attempt?
+    pub fn chaos_drops_attempt(&mut self, t: SimTime) -> bool {
+        match self.chaos.as_mut() {
+            Some(chaos) if t < chaos.loss_until => chaos.draws.chance(chaos.loss_prob),
+            _ => false,
+        }
+    }
+
+    /// Freeze the campaign into [`ExperimentResults`].
+    pub fn finish(self) -> ExperimentResults {
+        // Clean the Lascar channels the way the authors did.
+        let filter = SpikeFilter::default();
+        let (lascar_temp, removed_t) = filter.clean(self.lascar.temperature());
+        let (lascar_rh, removed_rh) = filter.clean(self.lascar.humidity());
+
+        let mut hosts = BTreeMap::new();
+        for mut h in self.hosts {
+            let disposition = h.record.disposition();
+            hosts.insert(
+                h.plan.id,
+                HostSummary {
+                    id: h.plan.id,
+                    vendor: h.plan.vendor,
+                    placement: h.plan.placement,
+                    defective: h.plan.defective,
+                    installed_at: h.plan.install_at,
+                    failures: h.record.failures().to_vec(),
+                    resets: h.record.reset_count(),
+                    disposition: if h.withdrawn {
+                        Disposition::TakenIndoors
+                    } else {
+                        disposition
+                    },
+                    min_cpu_c: h.server.sensors.min_seen_c(),
+                    sensor_erratic_reads: h.server.sensors.erratic_count(),
+                    page_ops: h.server.memory.page_ops(),
+                    silent_corruptions: h.server.memory.silent_corruptions(),
+                    disks_pass_long_test: h.server.storage.all_long_tests_pass(),
+                    memtest_failed: h.memtest_failed,
+                },
+            );
+        }
+
+        ExperimentResults {
+            seed: self.cfg.seed,
+            window: (self.cfg.start, self.cfg.end),
+            outside: self.outside,
+            tent_temp_truth: self.tent_temp_truth,
+            tent_rh_truth: self.tent_rh_truth,
+            basement_temp: self.basement_temp,
+            lascar_temp_raw: self.lascar.temperature().clone(),
+            lascar_rh_raw: self.lascar.humidity().clone(),
+            lascar_temp,
+            lascar_rh,
+            lascar_outliers_removed: removed_t + removed_rh,
+            workload: self.workload,
+            fault_events: self.fault_events,
+            hosts,
+            collection: self.collector.history().to_vec(),
+            collection_gaps: self.collector.gaps().to_vec(),
+            incidents: self.watchdog.into_incidents(),
+            stored_archives: self.stored_archives,
+            tent_energy_metered_kwh: self.meter.energy_kwh(),
+            tent_energy_true_kwh: self.energy_true_wh / 1000.0,
+        }
+    }
+}
+
+/// Daily-rotated log-file name, e.g. `md5sums-0307.log` — the hosts rotate
+/// their logs at midnight so each collection round only has to rsync the
+/// current day's small files.
+pub(crate) fn daily_log(prefix: &str, t: SimTime) -> String {
+    let d = t.date();
+    format!("{prefix}-{:02}{:02}.log", d.month, d.day)
+}
+
+/// The next Monday at 10:00 at or after `t` (staff-visit cadence).
+pub(crate) fn next_monday_morning(t: SimTime) -> SimTime {
+    let mut date = t.date();
+    loop {
+        if date.weekday_index() == 0 {
+            let candidate = date.to_sim_time() + SimDuration::hours(10);
+            if candidate >= t {
+                return candidate;
+            }
+        }
+        date = date.succ();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_monday_morning_lands_on_monday_ten_am() {
+        // Feb 12 2010 is a Friday; the next Monday is Feb 15.
+        let t = next_monday_morning(SimTime::from_date(2010, 2, 12));
+        assert_eq!(t, SimTime::from_ymd_hms(2010, 2, 15, 10, 0, 0));
+        // A Monday 09:00 resolves to the same day at 10:00.
+        let mon9 = SimTime::from_ymd_hms(2010, 2, 15, 9, 0, 0);
+        assert_eq!(
+            next_monday_morning(mon9),
+            SimTime::from_ymd_hms(2010, 2, 15, 10, 0, 0)
+        );
+        // A Monday 11:00 resolves to the following Monday.
+        let mon11 = SimTime::from_ymd_hms(2010, 2, 15, 11, 0, 0);
+        assert_eq!(
+            next_monday_morning(mon11),
+            SimTime::from_ymd_hms(2010, 2, 22, 10, 0, 0)
+        );
+    }
+
+    #[test]
+    fn daily_log_rotates_by_date() {
+        let t = SimTime::from_ymd_hms(2010, 3, 7, 4, 40, 0);
+        assert_eq!(daily_log("md5sums", t), "md5sums-0307.log");
+        assert_eq!(daily_log("sensors", t), "sensors-0307.log");
+    }
+
+    #[test]
+    fn fresh_ctx_matches_config_window() {
+        let ctx = CampaignCtx::new(ExperimentConfig::short(1, 3));
+        assert_eq!(ctx.now, ctx.cfg.start);
+        assert_eq!(ctx.hosts.len(), paper_fleet().len());
+        assert!(ctx.switch_up.iter().all(|&up| up));
+        assert!(ctx.chaos.is_none(), "scripted mode never builds chaos");
+    }
+}

@@ -1,828 +1,52 @@
-//! The tick-driven campaign orchestrator.
+//! The classic campaign entry point, now a thin shim.
 //!
-//! One-minute ticks from the prototype weekend to mid-May. Each tick:
+//! The tick-driven orchestrator that used to live here as one monolithic
+//! `run()` is decomposed into the phase-pipeline kernel:
 //!
-//! 1. advance the weather and let the SMEAR III surrogate observe it;
-//! 2. step the tent and basement thermal models with the groups' current
-//!    power draw;
-//! 3. poll the Lascar logger against the tent air state;
-//! 4. fire any scripted events that came due (tent mods, hangs, sensor
-//!    saga, switch deaths, wrong-hash injections);
-//! 5. per installed host: step the chassis thermal chain, read the sensor
-//!    chip, tick S.M.A.R.T., poll the stochastic fault models, run the
-//!    synthetic load when its jittered 10-minute slot arrives, and handle
-//!    repair-workflow visits;
-//! 6. run the 20-minute collection round against reachable hosts;
-//! 7. integrate the Technoline meter over the tent group's wall power.
+//! * [`crate::context::CampaignCtx`] — the shared campaign state;
+//! * [`crate::phases`] — the seven per-tick substrate phases;
+//! * [`crate::scenario::ScenarioBuilder`] — composes phases into runnable
+//!   scenarios.
 //!
-//! Everything lands in [`ExperimentResults`].
+//! [`Experiment`] remains as the stable two-call API (`new` + `run`) for
+//! the common case — the stock paper pipeline with nothing customised —
+//! and is exactly equivalent to
+//! `ScenarioBuilder::paper(cfg).build().run()`. The golden-hash tests in
+//! `tests/golden_hash.rs` pin the pipeline byte-identical to the
+//! pre-refactor monolith.
 
-use std::collections::BTreeMap;
-
-use frostlab_climate::station::{StationConfig, WeatherStation};
-use frostlab_climate::weather::{WeatherModel, WeatherSample};
-use frostlab_faults::chaos::{ChaosEngine, ChaosEvent};
-use frostlab_faults::injector::{FaultInjector, HostFaults};
-use frostlab_faults::repair::{Disposition, HostRecord, RepairAction, RepairPolicy};
-use frostlab_faults::types::{FaultEvent, FaultKind, HostId};
-use frostlab_hardware::server::{Server, ServerSpec, Vendor};
-use frostlab_netsim::collector::{Collector, MonitoredHost};
-use frostlab_simkern::rng::Rng;
-use frostlab_simkern::time::{SimDuration, SimTime};
-use frostlab_telemetry::lascar::{LascarConfig, LascarLogger};
-use frostlab_telemetry::outlier::SpikeFilter;
-use frostlab_telemetry::series::TimeSeries;
-use frostlab_telemetry::technoline::CostControlMeter;
-use frostlab_thermal::basement::Basement;
-use frostlab_thermal::enclosure::Enclosure;
-use frostlab_thermal::server_case::{ServerCaseThermal, ServerThermalParams};
-use frostlab_thermal::tent::{Tent, TentConfig};
-use frostlab_workload::job::{JobRunner, JobTemplate};
-use frostlab_workload::schedule::LoadSchedule;
-use frostlab_workload::stats::{Placement, WorkloadStats};
-
-use crate::config::{ExperimentConfig, FaultMode};
-use crate::fleet::{paper_fleet, switch_assignment, HostPlan, SwitchFailoverPolicy};
-use crate::results::{ExperimentResults, HostSummary, StoredArchive};
-use crate::scripted::{paper_script, ScriptedEvent};
-use crate::watchdog::{IncidentKind, Watchdog};
-
-/// One live machine in the campaign.
-struct HostSim {
-    plan: HostPlan,
-    server: Server,
-    thermal: ServerCaseThermal,
-    job: JobRunner,
-    schedule: LoadSchedule,
-    faults: HostFaults,
-    record: HostRecord,
-    store: MonitoredHost,
-    /// Bit flips queued for the next pack-verify run.
-    pending_flips: u32,
-    /// End of the current run's CPU-busy window.
-    busy_until: SimTime,
-    /// Next scheduled run start.
-    next_run_at: SimTime,
-    /// Pending staff inspection after a hang.
-    inspection_due: Option<SimTime>,
-    /// Wall power drawn during the previous tick, W.
-    last_wall_w: f64,
-    /// Physical CPU temperature, °C.
-    cpu_temp_c: f64,
-    /// Page ops accumulated since the last fault poll.
-    page_ops_since_poll: u64,
-    /// Permanently withdrawn (taken indoors)?
-    withdrawn: bool,
-    /// Outcome of the indoor Memtest diagnosis, if one ran.
-    memtest_failed: Option<bool>,
-    /// Next sensor-log append.
-    next_sensor_log: SimTime,
-}
-
-impl HostSim {
-    fn installed(&self, t: SimTime) -> bool {
-        t >= self.plan.install_at && !self.withdrawn
-    }
-
-    fn thermal_params(vendor: Vendor) -> ServerThermalParams {
-        match vendor {
-            Vendor::A => ServerThermalParams::vendor_a_tower(),
-            Vendor::B => ServerThermalParams::vendor_b_sff(),
-            Vendor::C => ServerThermalParams::vendor_c_2u(),
-        }
-    }
-
-    fn spec_for(plan: &HostPlan) -> ServerSpec {
-        match plan.vendor {
-            Vendor::A => ServerSpec::vendor_a(),
-            Vendor::B => ServerSpec::vendor_b(plan.defective),
-            Vendor::C => ServerSpec::vendor_c(),
-        }
-    }
-}
-
-/// Live chaos-injection state (stochastic mode with `cfg.chaos` set).
-struct ChaosState {
-    engine: ChaosEngine,
-    /// Per-attempt loss draws during a link-loss burst.
-    draws: Rng,
-    loss_until: SimTime,
-    loss_prob: f64,
-}
+use crate::config::ExperimentConfig;
+use crate::results::ExperimentResults;
+use crate::scenario::{Scenario, ScenarioBuilder};
 
 /// The campaign driver. Construct with a config, then [`Experiment::run`].
+///
+/// Equivalent to the stock [`ScenarioBuilder::paper`] pipeline; use the
+/// builder directly to customise phases.
 pub struct Experiment {
-    cfg: ExperimentConfig,
-    wx: WeatherModel,
-    station: WeatherStation,
-    tent: Tent,
-    basement: Basement,
-    lascar: LascarLogger,
-    meter: CostControlMeter,
-    collector: Collector,
-    hosts: Vec<HostSim>,
-    script: Vec<(SimTime, ScriptedEvent)>,
-    script_next: usize,
-    switch_up: [bool; 2],
-    watchdog: Watchdog,
-    failover: SwitchFailoverPolicy,
-    chaos: Option<ChaosState>,
-    /// Chaos-mode switch repairs scheduled by the failover policy.
-    pending_switch_restores: Vec<(SimTime, usize)>,
-    // accumulation
-    workload: WorkloadStats,
-    fault_events: Vec<FaultEvent>,
-    stored_archives: Vec<StoredArchive>,
-    tent_temp_truth: TimeSeries,
-    tent_rh_truth: TimeSeries,
-    basement_temp: TimeSeries,
-    outside: Vec<frostlab_climate::station::WeatherObservation>,
-    energy_true_wh: f64,
-    next_truth_sample: SimTime,
-    next_collection: SimTime,
-    next_fault_poll: SimTime,
-    next_lascar_readout: SimTime,
+    scenario: Scenario,
 }
 
 impl Experiment {
     /// Build the campaign: fleet, instruments, network, scripts.
     pub fn new(cfg: ExperimentConfig) -> Experiment {
-        let root = Rng::new(cfg.seed);
-        let wx = WeatherModel::new(cfg.climate.clone(), cfg.seed);
-        let station = WeatherStation::new(StationConfig::default(), cfg.start, &root);
-        let boot_weather = WeatherSample {
-            t: cfg.start,
-            temp_c: cfg.climate.seasonal_mean_c(cfg.start.day_of_year() as f64),
-            rh_pct: 85.0,
-            wind_ms: 3.0,
-            solar_w_m2: 0.0,
-            cloud: 0.7,
-        };
-        let tent = Tent::new(cfg.tent.clone(), TentConfig::initial(), &boot_weather);
-        let injector = FaultInjector::new(&root);
-        let template = JobTemplate::build(cfg.job.clone());
-        let mut collector_rng = root.derive("collector");
-        let collector = Collector::new(&mut collector_rng);
-
-        let mut hosts = Vec::new();
-        for plan in paper_fleet() {
-            let host_rng = root.derive(&format!("host/{}", plan.id));
-            let mut store_rng = host_rng.derive("store");
-            let store = MonitoredHost::new(plan.id, &mut store_rng, vec![collector.key.public]);
-            let mut spec = HostSim::spec_for(&plan);
-            if cfg.force_ecc {
-                spec.ecc = true;
-            }
-            hosts.push(HostSim {
-                server: Server::new(spec),
-                thermal: ServerCaseThermal::new(HostSim::thermal_params(plan.vendor), 18.0),
-                job: JobRunner::from_template(&template, &host_rng),
-                schedule: LoadSchedule::new(plan.install_at, &host_rng),
-                faults: injector.host(HostId(plan.id), plan.defective),
-                record: HostRecord::new(HostId(plan.id)),
-                store,
-                pending_flips: 0,
-                busy_until: plan.install_at,
-                next_run_at: plan.install_at,
-                inspection_due: None,
-                last_wall_w: 0.0,
-                cpu_temp_c: 18.0,
-                page_ops_since_poll: 0,
-                withdrawn: false,
-                memtest_failed: None,
-                next_sensor_log: plan.install_at,
-                plan,
-            });
-        }
-
-        let script = match cfg.fault_mode {
-            FaultMode::Scripted => paper_script(),
-            // Stochastic mode draws *faults* from the hazard models, but
-            // the operators' physical interventions (the R/I/B/F tent
-            // modifications) and the infrastructure history (the defective
-            // switches' deaths and replacement) still happened — keep them.
-            FaultMode::Stochastic => paper_script()
-                .into_iter()
-                .filter(|(_, ev)| {
-                    matches!(
-                        ev,
-                        ScriptedEvent::TentReconfig { .. }
-                            | ScriptedEvent::SwitchDown { .. }
-                            | ScriptedEvent::SwitchRestored { .. }
-                    )
-                })
-                .collect(),
-        };
-
-        let lascar = LascarLogger::new(LascarConfig::default(), cfg.lascar_deployed_at, &root);
-        let meter = CostControlMeter::new(&root);
-
-        // Chaos injection only exists in stochastic mode; scripted mode
-        // replays the paper's history verbatim. The engine and its draw
-        // stream come from `derive`, so enabling/disabling chaos never
-        // shifts any other consumer's randomness.
-        let chaos = match (&cfg.fault_mode, &cfg.chaos) {
-            (FaultMode::Stochastic, Some(chaos_cfg)) => {
-                let host_ids: Vec<u32> = hosts.iter().map(|h| h.plan.id).collect();
-                Some(ChaosState {
-                    engine: ChaosEngine::generate(
-                        chaos_cfg,
-                        (cfg.start, cfg.end),
-                        &host_ids,
-                        2,
-                        &root,
-                    ),
-                    draws: root.derive("chaos-draws"),
-                    loss_until: cfg.start,
-                    loss_prob: 0.0,
-                })
-            }
-            _ => None,
-        };
-
         Experiment {
-            station,
-            wx,
-            tent,
-            basement: Basement::new(),
-            lascar,
-            meter,
-            collector,
-            hosts,
-            script,
-            script_next: 0,
-            switch_up: [true, true],
-            watchdog: Watchdog::new(),
-            failover: SwitchFailoverPolicy::default(),
-            chaos,
-            pending_switch_restores: Vec::new(),
-            workload: WorkloadStats::new(),
-            fault_events: Vec::new(),
-            stored_archives: Vec::new(),
-            tent_temp_truth: TimeSeries::new(),
-            tent_rh_truth: TimeSeries::new(),
-            basement_temp: TimeSeries::new(),
-            outside: Vec::new(),
-            energy_true_wh: 0.0,
-            next_truth_sample: cfg.start,
-            next_collection: cfg.start + cfg.collection_interval,
-            next_fault_poll: cfg.start + cfg.fault_poll_interval,
-            next_lascar_readout: next_monday_morning(cfg.lascar_deployed_at),
-            cfg,
-        }
-    }
-
-    /// Is this host's collection path up?
-    fn reachable(&self, host: &HostSim) -> bool {
-        if !host.server.is_running() {
-            return false;
-        }
-        match host.plan.placement {
-            Placement::Basement => true,
-            Placement::Tent => self.switch_up[switch_assignment(host.plan.id)],
-        }
-    }
-
-    fn record_fault(&mut self, at: SimTime, host: u32, kind: FaultKind) {
-        self.fault_events.push(FaultEvent {
-            at,
-            host: HostId(host),
-            kind,
-        });
-    }
-
-    fn apply_hang(&mut self, idx: usize, at: SimTime) {
-        let due = HostRecord::next_inspection(at);
-        let host = &mut self.hosts[idx];
-        if !host.server.is_running() {
-            return;
-        }
-        host.server.hang();
-        host.record.record_failure(at);
-        host.inspection_due = Some(due);
-        let id = host.plan.id;
-        self.watchdog
-            .open(IncidentKind::HostHang, &format!("host-{id}"), at);
-        self.record_fault(at, id, FaultKind::TransientSystemFailure);
-    }
-
-    fn handle_scripted(&mut self, at: SimTime, ev: ScriptedEvent) {
-        match ev {
-            ScriptedEvent::TentReconfig { config, .. } => self.tent.set_config(config),
-            ScriptedEvent::HostHang { host } => {
-                if let Some(idx) = self.hosts.iter().position(|h| h.plan.id == host) {
-                    self.apply_hang(idx, at);
-                }
-            }
-            ScriptedEvent::SensorColdFault { host } => {
-                if let Some(h) = self.hosts.iter_mut().find(|h| h.plan.id == host) {
-                    h.server.sensors.inject_cold_fault();
-                }
-                self.watchdog.open(
-                    IncidentKind::SensorFault,
-                    &format!("host-{host}/sensor"),
-                    at,
-                );
-                self.record_fault(at, host, FaultKind::SensorChipErratic);
-            }
-            ScriptedEvent::SensorRedetect { host } => {
-                if let Some(h) = self.hosts.iter_mut().find(|h| h.plan.id == host) {
-                    h.server.sensors.attempt_redetect();
-                }
-            }
-            ScriptedEvent::SensorWarmReboot { host } => {
-                if let Some(h) = self.hosts.iter_mut().find(|h| h.plan.id == host) {
-                    h.server.sensors.warm_reboot();
-                }
-                self.watchdog.resolve(
-                    &format!("host-{host}/sensor"),
-                    at,
-                    "sensor chip warm-rebooted",
-                );
-            }
-            ScriptedEvent::SwitchDown { switch } => {
-                self.switch_up[switch] = false;
-                self.watchdog
-                    .open(IncidentKind::SwitchFailure, &format!("switch-{switch}"), at);
-                self.record_fault(at, 101 + switch as u32, FaultKind::SwitchFailure);
-            }
-            ScriptedEvent::SwitchRestored { switch } => {
-                self.switch_up[switch] = true;
-                self.watchdog
-                    .resolve(&format!("switch-{switch}"), at, "spare switch swapped in");
-            }
-            ScriptedEvent::FlipNextRun { host } => {
-                if let Some(h) = self.hosts.iter_mut().find(|h| h.plan.id == host) {
-                    h.pending_flips += 1;
-                    h.server.memory.apply_bit_flip();
-                }
-                self.record_fault(at, host, FaultKind::MemoryBitFlip);
-            }
-        }
-    }
-
-    /// The repair-workflow escalation after repeat failures: reset fails in
-    /// outside conditions, the host goes indoors, gets the Memtest86+
-    /// treatment (a real pattern run over a DRAM model carrying the defects
-    /// a repeatedly-hanging machine plausibly has), and stays out of the
-    /// campaign — the paper's host #15 path.
-    fn take_indoors(&mut self, idx: usize) {
-        let host = &mut self.hosts[idx];
-        host.record.replace(); // replaced-in-slot bookkeeping happens via #19
-        host.withdrawn = true;
-        host.server.power_off();
-        // Indoor diagnosis: a machine that hung repeatedly gets a marginal
-        // DIMM model — an intermittent cell whose period comes from the
-        // host's own RNG stream — and the real tester runs over it.
-        let mut dram = frostlab_hardware::memtest::DramArray::new(2048);
-        let mut diag_rng = Rng::new(self.cfg.seed).derive(&format!("memtest/{}", host.plan.id));
-        let word = diag_rng.below(2048) as usize;
-        let bit = diag_rng.below(64) as u8;
-        let period = 3 + diag_rng.below(40) as u32;
-        dram.inject_intermittent(word, 1u64 << bit, period);
-        let report = frostlab_hardware::memtest::run_memtest(&mut dram, 8, self.cfg.seed);
-        host.memtest_failed = Some(!report.passed());
-        let id = host.plan.id;
-        self.collector.abandon(id);
-    }
-
-    /// Apply one chaos event (stochastic mode only).
-    fn handle_chaos(&mut self, at: SimTime, ev: ChaosEvent) {
-        match ev {
-            ChaosEvent::LinkLossBurst { loss, duration } => {
-                if let Some(chaos) = self.chaos.as_mut() {
-                    chaos.loss_until = at + duration;
-                    chaos.loss_prob = loss;
-                }
-            }
-            // Jitter delays frames but the 20-minute cadence dwarfs any
-            // per-hop delay, so a jitter burst is invisible at this layer;
-            // the frame-level effect lives in `frostlab_netsim::net`.
-            ChaosEvent::JitterBurst { .. } => {}
-            ChaosEvent::SwitchDeath { switch } => {
-                if !self.switch_up[switch] {
-                    return; // already dead
-                }
-                self.switch_up[switch] = false;
-                self.watchdog
-                    .open(IncidentKind::SwitchFailure, &format!("switch-{switch}"), at);
-                self.record_fault(at, 101 + switch as u32, FaultKind::SwitchFailure);
-                // The spare-swap repair workflow bounds the outage — while
-                // spares last.
-                if let Some(restore_at) = self.failover.take_spare(at) {
-                    self.pending_switch_restores.push((restore_at, switch));
-                }
-            }
-            ChaosEvent::HostHang { host } => {
-                if let Some(idx) = self.hosts.iter().position(|h| h.plan.id == host) {
-                    if self.hosts[idx].installed(at) {
-                        self.apply_hang(idx, at);
-                    }
-                }
-            }
-            ChaosEvent::HostReboot { host } => {
-                // Transient: the box comes straight back without operator
-                // attention; only the in-flight run is lost.
-                if let Some(h) = self
-                    .hosts
-                    .iter_mut()
-                    .find(|h| h.plan.id == host && h.installed(at))
-                {
-                    if h.server.is_running() {
-                        h.server.reset();
-                        h.schedule.resume_at(at);
-                        h.next_run_at = h.schedule.next_run();
-                        self.record_fault(at, host, FaultKind::TransientSystemFailure);
-                    }
-                }
-            }
-            ChaosEvent::SensorFreeze { host } => {
-                if let Some(h) = self
-                    .hosts
-                    .iter_mut()
-                    .find(|h| h.plan.id == host && h.installed(at))
-                {
-                    h.server.sensors.inject_cold_fault();
-                    self.watchdog.open(
-                        IncidentKind::SensorFault,
-                        &format!("host-{host}/sensor"),
-                        at,
-                    );
-                    self.record_fault(at, host, FaultKind::SensorChipErratic);
-                }
-            }
-        }
-    }
-
-    /// Does the chaos link-loss burst eat this collection attempt?
-    fn chaos_drops_attempt(&mut self, t: SimTime) -> bool {
-        match self.chaos.as_mut() {
-            Some(chaos) if t < chaos.loss_until => chaos.draws.chance(chaos.loss_prob),
-            _ => false,
+            scenario: ScenarioBuilder::paper(cfg).build(),
         }
     }
 
     /// Run the campaign to completion.
-    pub fn run(mut self) -> ExperimentResults {
-        let policy = RepairPolicy::default();
-        let mut t = self.cfg.start;
-        let tick = self.cfg.tick;
-        let dt_secs = tick.as_secs() as f64;
-        let dt_hours = dt_secs / 3600.0;
-
-        while t <= self.cfg.end {
-            // 1. Weather + station.
-            while let Some(obs) = self.station.poll(&mut self.wx, t) {
-                self.outside.push(obs);
-            }
-            let weather = self.wx.sample_at(t);
-
-            // 2. Enclosures, driven by the previous tick's power.
-            let tent_power: f64 = self
-                .hosts
-                .iter()
-                .filter(|h| h.plan.placement == Placement::Tent && h.installed(t))
-                .map(|h| h.last_wall_w)
-                .sum();
-            let basement_power: f64 = self
-                .hosts
-                .iter()
-                .filter(|h| h.plan.placement == Placement::Basement && h.installed(t))
-                .map(|h| h.last_wall_w)
-                .sum();
-            self.tent.step(dt_secs, &weather, tent_power);
-            self.basement.step(dt_secs, &weather, basement_power);
-            let tent_state = self.tent.state();
-            let basement_state = self.basement.state();
-
-            // 3. Lascar — including the weekly Monday USB readout that
-            // downloads the memory and drags the unit indoors for half an
-            // hour (the outlier source the paper mentions).
-            if t >= self.next_lascar_readout {
-                self.lascar.begin_readout(t, SimDuration::minutes(30));
-                self.next_lascar_readout = t + SimDuration::days(7);
-            }
-            self.lascar
-                .poll(t, tent_state.air_temp_c, tent_state.air_rh_pct);
-
-            // Truth series (10-min cadence).
-            if t >= self.next_truth_sample {
-                self.tent_temp_truth.push(t, tent_state.air_temp_c);
-                self.tent_rh_truth.push(t, tent_state.air_rh_pct);
-                self.basement_temp.push(t, basement_state.air_temp_c);
-                self.next_truth_sample = t + SimDuration::minutes(10);
-            }
-
-            // 4. Scripted events due.
-            while self.script_next < self.script.len() && self.script[self.script_next].0 <= t {
-                let (at, ev) = self.script[self.script_next].clone();
-                self.script_next += 1;
-                self.handle_scripted(at, ev);
-            }
-
-            // 4b. Chaos events due, then any failover-scheduled switch
-            // repairs that have come due.
-            let chaos_due = match self.chaos.as_mut() {
-                Some(chaos) => chaos.engine.pop_due(t),
-                None => Vec::new(),
-            };
-            for (at, ev) in chaos_due {
-                self.handle_chaos(at, ev);
-            }
-            while let Some(pos) = self
-                .pending_switch_restores
-                .iter()
-                .position(|(due, _)| *due <= t)
-            {
-                let (at, switch) = self.pending_switch_restores.remove(pos);
-                self.switch_up[switch] = true;
-                self.watchdog
-                    .resolve(&format!("switch-{switch}"), at, "spare switch swapped in");
-            }
-
-            // 5. Hosts.
-            let fault_poll_due = t >= self.next_fault_poll;
-            let stochastic = self.cfg.fault_mode == FaultMode::Stochastic;
-            let mut hangs: Vec<(usize, SimTime)> = Vec::new();
-            let mut withdrawals: Vec<usize> = Vec::new();
-            for idx in 0..self.hosts.len() {
-                // Split-borrow dance: take what we need from `self` first.
-                let host = &mut self.hosts[idx];
-                if !host.installed(t) {
-                    continue;
-                }
-                let encl = match host.plan.placement {
-                    Placement::Tent => tent_state,
-                    Placement::Basement => basement_state,
-                };
-                let util = if host.server.is_running() && t < host.busy_until {
-                    1.0
-                } else {
-                    0.0
-                };
-                let cpu_w = host.server.spec.cpu_power_w(util);
-                let dc_w = host.server.spec.dc_power_w(util);
-                host.thermal.step(dt_secs, encl.air_temp_c, cpu_w, dc_w);
-                host.cpu_temp_c = host.thermal.cpu_temp_c();
-                host.last_wall_w = host.server.wall_power_w(util);
-                host.server.tick(dt_hours, host.thermal.hdd_temp_c());
-                let sensor_reading = host.server.sensors.read_cpu_temp(host.cpu_temp_c);
-
-                // Sensor log.
-                if t >= host.next_sensor_log {
-                    let line = match sensor_reading {
-                        Some(v) => {
-                            format!("{} cpu={:.1} rh={:.0}\n", t.datetime(), v, encl.air_rh_pct)
-                        }
-                        None => format!("{} cpu=n/a rh={:.0}\n", t.datetime(), encl.air_rh_pct),
-                    };
-                    host.store.append(&daily_log("sensors", t), line.as_bytes());
-                    host.next_sensor_log = t + self.cfg.sensor_log_interval;
-                }
-
-                // Stochastic faults.
-                if stochastic && fault_poll_due && host.server.is_running() {
-                    let poll_hours = self.cfg.fault_poll_interval.as_secs() as f64 / 3600.0;
-                    let page_ops = std::mem::take(&mut host.page_ops_since_poll);
-                    let outcome =
-                        host.faults
-                            .poll(poll_hours, host.cpu_temp_c, encl.air_rh_pct, page_ops);
-                    for kind in &outcome.faults {
-                        match kind {
-                            FaultKind::TransientSystemFailure => hangs.push((idx, t)),
-                            FaultKind::SensorChipErratic => {
-                                host.server.sensors.inject_cold_fault();
-                                self.fault_events.push(FaultEvent {
-                                    at: t,
-                                    host: HostId(host.plan.id),
-                                    kind: *kind,
-                                });
-                            }
-                            FaultKind::DiskPendingSector => {
-                                host.server
-                                    .storage
-                                    .for_each_disk_mut(|d| d.inject_pending_sector(0));
-                                self.fault_events.push(FaultEvent {
-                                    at: t,
-                                    host: HostId(host.plan.id),
-                                    kind: *kind,
-                                });
-                            }
-                            FaultKind::PsuFailure => {
-                                host.server.psu.fail();
-                                hangs.push((idx, t));
-                            }
-                            _ => {}
-                        }
-                    }
-                    if outcome.memory_flips > 0 {
-                        for _ in 0..outcome.memory_flips {
-                            if host.server.memory.apply_bit_flip()
-                                == frostlab_hardware::memory::FlipOutcome::SilentCorruption
-                            {
-                                host.pending_flips += 1;
-                            }
-                            self.fault_events.push(FaultEvent {
-                                at: t,
-                                host: HostId(host.plan.id),
-                                kind: FaultKind::MemoryBitFlip,
-                            });
-                        }
-                    }
-                }
-
-                // Workload.
-                if host.server.is_running() && t >= host.next_run_at {
-                    let flips = std::mem::take(&mut host.pending_flips);
-                    let outcome = host.job.run(flips);
-                    host.busy_until = t + SimDuration::secs(outcome.duration_secs as i64);
-                    host.page_ops_since_poll += outcome.page_ops;
-                    host.server.memory.record_page_ops(outcome.page_ops);
-                    self.workload.record_run(host.plan.id, outcome.page_ops);
-                    let line = format!("{} {} run\n", t.datetime(), outcome.hash);
-                    host.store.append(&daily_log("md5sums", t), line.as_bytes());
-                    if !outcome.hash_ok {
-                        self.workload
-                            .record_hash_error(host.plan.id, host.plan.placement, t);
-                        if let Some(bytes) = outcome.stored_archive {
-                            self.stored_archives.push(StoredArchive {
-                                host: host.plan.id,
-                                at: t,
-                                bytes,
-                            });
-                        }
-                    }
-                    host.schedule.resume_at(t);
-                    host.next_run_at = host.schedule.next_run();
-                }
-
-                // Repair visit.
-                if let Some(due) = host.inspection_due {
-                    if t >= due {
-                        host.inspection_due = None;
-                        match host.record.inspect(&policy) {
-                            RepairAction::ResetInPlace => {
-                                host.server.reset();
-                                host.schedule.resume_at(t);
-                                host.next_run_at = host.schedule.next_run();
-                                self.watchdog.resolve(
-                                    &format!("host-{}", host.plan.id),
-                                    t,
-                                    "reset in place",
-                                );
-                            }
-                            RepairAction::TakeIndoors => withdrawals.push(idx),
-                        }
-                    }
-                }
-            }
-            for (idx, at) in hangs {
-                self.apply_hang(idx, at);
-            }
-            for idx in withdrawals {
-                let id = self.hosts[idx].plan.id;
-                self.take_indoors(idx);
-                self.watchdog
-                    .resolve(&format!("host-{id}"), t, "taken indoors (memtest)");
-            }
-            if fault_poll_due {
-                self.next_fault_poll = t + self.cfg.fault_poll_interval;
-            }
-
-            // 6. Collection round, plus the watchdog's staleness sweep.
-            if t >= self.next_collection {
-                for idx in 0..self.hosts.len() {
-                    if !self.hosts[idx].installed(t) {
-                        continue;
-                    }
-                    let reachable =
-                        self.reachable(&self.hosts[idx]) && !self.chaos_drops_attempt(t);
-                    let host = &mut self.hosts[idx];
-                    self.collector.collect(&mut host.store, reachable, t);
-                    // Staleness check: alarm only when nothing else (an open
-                    // switch or host incident) already explains the gap.
-                    let id = host.plan.id;
-                    let explained = self.watchdog.is_open(&format!("host-{id}"))
-                        || (host.plan.placement == Placement::Tent
-                            && self
-                                .watchdog
-                                .is_open(&format!("switch-{}", switch_assignment(id))));
-                    let staleness = self.collector.staleness(id, t);
-                    self.watchdog.observe_staleness(id, staleness, explained, t);
-                }
-                self.next_collection = t + self.cfg.collection_interval;
-            }
-
-            // 6b. Catch-up retries with backoff for hosts whose mirror is
-            // stale. A scheduled failure at this same tick has already
-            // pushed the host's next attempt into the future, so a host is
-            // never tried twice in one tick.
-            for id in self.collector.due_retries(t) {
-                let Some(idx) = self.hosts.iter().position(|h| h.plan.id == id) else {
-                    continue;
-                };
-                if !self.hosts[idx].installed(t) {
-                    continue;
-                }
-                let reachable = self.reachable(&self.hosts[idx]) && !self.chaos_drops_attempt(t);
-                let host = &mut self.hosts[idx];
-                self.collector.retry_collect(&mut host.store, reachable, t);
-            }
-
-            // 7. Power metering (tent group feed).
-            self.energy_true_wh += tent_power * dt_hours;
-            self.meter.integrate(tent_power, dt_hours);
-
-            t += tick;
-        }
-
-        self.finish()
-    }
-
-    fn finish(self) -> ExperimentResults {
-        // Clean the Lascar channels the way the authors did.
-        let filter = SpikeFilter::default();
-        let (lascar_temp, removed_t) = filter.clean(self.lascar.temperature());
-        let (lascar_rh, removed_rh) = filter.clean(self.lascar.humidity());
-
-        let mut hosts = BTreeMap::new();
-        for mut h in self.hosts {
-            let disposition = h.record.disposition();
-            hosts.insert(
-                h.plan.id,
-                HostSummary {
-                    id: h.plan.id,
-                    vendor: h.plan.vendor,
-                    placement: h.plan.placement,
-                    defective: h.plan.defective,
-                    installed_at: h.plan.install_at,
-                    failures: h.record.failures().to_vec(),
-                    resets: h.record.reset_count(),
-                    disposition: if h.withdrawn {
-                        Disposition::TakenIndoors
-                    } else {
-                        disposition
-                    },
-                    min_cpu_c: h.server.sensors.min_seen_c(),
-                    sensor_erratic_reads: h.server.sensors.erratic_count(),
-                    page_ops: h.server.memory.page_ops(),
-                    silent_corruptions: h.server.memory.silent_corruptions(),
-                    disks_pass_long_test: h.server.storage.all_long_tests_pass(),
-                    memtest_failed: h.memtest_failed,
-                },
-            );
-        }
-
-        ExperimentResults {
-            seed: self.cfg.seed,
-            window: (self.cfg.start, self.cfg.end),
-            outside: self.outside,
-            tent_temp_truth: self.tent_temp_truth,
-            tent_rh_truth: self.tent_rh_truth,
-            basement_temp: self.basement_temp,
-            lascar_temp_raw: self.lascar.temperature().clone(),
-            lascar_rh_raw: self.lascar.humidity().clone(),
-            lascar_temp,
-            lascar_rh,
-            lascar_outliers_removed: removed_t + removed_rh,
-            workload: self.workload,
-            fault_events: self.fault_events,
-            hosts,
-            collection: self.collector.history().to_vec(),
-            collection_gaps: self.collector.gaps().to_vec(),
-            incidents: self.watchdog.into_incidents(),
-            stored_archives: self.stored_archives,
-            tent_energy_metered_kwh: self.meter.energy_kwh(),
-            tent_energy_true_kwh: self.energy_true_wh / 1000.0,
-        }
-    }
-}
-
-/// Daily-rotated log-file name, e.g. `md5sums-0307.log` — the hosts rotate
-/// their logs at midnight so each collection round only has to rsync the
-/// current day's small files.
-fn daily_log(prefix: &str, t: SimTime) -> String {
-    let d = t.date();
-    format!("{prefix}-{:02}{:02}.log", d.month, d.day)
-}
-
-/// The next Monday at 10:00 at or after `t` (staff-visit cadence).
-fn next_monday_morning(t: SimTime) -> SimTime {
-    let mut date = t.date();
-    loop {
-        if date.weekday_index() == 0 {
-            let candidate = date.to_sim_time() + SimDuration::hours(10);
-            if candidate >= t {
-                return candidate;
-            }
-        }
-        date = date.succ();
+    pub fn run(self) -> ExperimentResults {
+        self.scenario.run()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use frostlab_simkern::time::{SimDuration, SimTime};
+
+    use crate::config::FaultMode;
 
     #[test]
     fn short_campaign_runs_and_accumulates() {

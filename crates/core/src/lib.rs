@@ -17,10 +17,19 @@
 //! * [`scripted`] — the documented event history (tent modifications
 //!   R/I/B/F, host #15's two failures, the sensor-chip saga, the switch
 //!   deaths, the five wrong hashes) for faithful figure reproduction;
-//! * [`experiment`] — the tick-driven orchestrator; supports **scripted**
-//!   mode (replays the history; figures match the paper) and **stochastic**
-//!   mode (all faults drawn from the hazard models; for Monte-Carlo and
-//!   sensitivity studies);
+//! * [`context`] — [`context::CampaignCtx`], the shared per-tick campaign
+//!   state (clock, RNG lanes, weather, enclosures, fleet, instruments,
+//!   accumulators);
+//! * [`phases`] — the seven per-tick substrate phases
+//!   (weather → enclosure-thermal → logger-poll → script → host-step →
+//!   collection → power-integration), each a [`phases::TickPhase`];
+//! * [`scenario`] — [`scenario::ScenarioBuilder`], which composes phases
+//!   into runnable campaigns (insert/replace/wrap, per-phase timing);
+//!   supports **scripted** mode (replays the history; figures match the
+//!   paper) and **stochastic** mode (all faults drawn from the hazard
+//!   models; for Monte-Carlo and sensitivity studies);
+//! * [`experiment`] — the stable two-call shim over the stock paper
+//!   pipeline;
 //! * [`prototype`] — the plastic-box weekend (T5);
 //! * [`results`] — everything measured, in one struct;
 //! * [`figures`] / [`tables`] — per-figure and per-table reproduction
@@ -30,10 +39,10 @@
 //!
 //! ```no_run
 //! use frostlab_core::config::ExperimentConfig;
-//! use frostlab_core::experiment::Experiment;
+//! use frostlab_core::scenario::ScenarioBuilder;
 //!
 //! let config = ExperimentConfig::paper_scripted(42);
-//! let results = Experiment::new(config).run();
+//! let results = ScenarioBuilder::paper(config).build().run();
 //! println!("runs: {}", results.workload.total_runs());
 //! println!("failure rate: {:.1} %", 100.0 * results.failure_comparison().fleet().rate);
 //! ```
@@ -42,15 +51,21 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod context;
 pub mod experiment;
 pub mod figures;
 pub mod fleet;
+pub mod phases;
 pub mod prototype;
 pub mod results;
+pub mod scenario;
 pub mod scripted;
 pub mod tables;
 pub mod watchdog;
 
 pub use config::ExperimentConfig;
+pub use context::CampaignCtx;
 pub use experiment::Experiment;
+pub use phases::TickPhase;
 pub use results::ExperimentResults;
+pub use scenario::{Scenario, ScenarioBuilder};

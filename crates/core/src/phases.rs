@@ -1,0 +1,674 @@
+//! The per-tick substrate phases of the campaign kernel.
+//!
+//! Each phase is one step of the paper's per-minute tick sequence, ported
+//! verbatim from the old monolithic orchestrator and pinned byte-identical
+//! by the golden-hash tests:
+//!
+//! 1. [`WeatherPhase`] — advance the synthetic winter, let the SMEAR III
+//!    surrogate observe it;
+//! 2. [`EnclosureThermalPhase`] — step tent and basement with the groups'
+//!    previous-tick wall power;
+//! 3. [`LoggerPollPhase`] — Lascar readout/poll and the 10-minute truth
+//!    series;
+//! 4. [`ScriptPhase`] — scripted events, chaos events, pending switch
+//!    repairs;
+//! 5. [`HostStepPhase`] — chassis thermals, sensors, stochastic faults,
+//!    the synthetic load, repair visits;
+//! 6. [`CollectionPhase`] — the 20-minute collection round, staleness
+//!    sweep, and backoff retries;
+//! 7. [`PowerIntegrationPhase`] — the Technoline meter over the tent feed.
+//!
+//! Phases communicate only through [`CampaignCtx`]; the
+//! [`crate::scenario::ScenarioBuilder`] composes them (and anything
+//! user-written that implements [`TickPhase`]) into a runnable scenario.
+
+use std::time::Instant;
+
+use frostlab_faults::repair::RepairAction;
+use frostlab_faults::types::{FaultEvent, FaultKind, HostId};
+use frostlab_simkern::time::{SimDuration, SimTime};
+use frostlab_workload::stats::Placement;
+
+use crate::config::{ExperimentConfig, FaultMode};
+use crate::context::{daily_log, next_monday_morning, CampaignCtx};
+use crate::fleet::switch_assignment;
+use crate::results::StoredArchive;
+use crate::scripted::{paper_script, ScriptedEvent};
+
+/// One substrate step of the per-tick pipeline.
+///
+/// A phase owns its private schedule state (next due times, event cursors)
+/// and reads/writes shared campaign state through [`CampaignCtx`]. The
+/// scenario steps every phase once per tick, in pipeline order.
+pub trait TickPhase {
+    /// Stable phase name, used by the builder to address phases for
+    /// `replace`/`insert_before`/`wrap`.
+    fn name(&self) -> &str;
+
+    /// Advance this substrate by one tick at `ctx.now`.
+    fn step(&mut self, ctx: &mut CampaignCtx);
+
+    /// Wall-clock accounting, if this phase collects any (see
+    /// [`TimingProbe`]). Stock phases return `None`.
+    fn timing(&self) -> Option<PhaseTiming> {
+        None
+    }
+}
+
+/// Accumulated wall-clock cost of one phase across a whole campaign.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PhaseTiming {
+    /// The wrapped phase's name.
+    pub phase: String,
+    /// Total wall-clock spent inside `step`, milliseconds.
+    pub total_ms: f64,
+    /// Number of `step` invocations.
+    pub calls: u64,
+}
+
+/// Wraps any phase and meters the wall-clock its `step` consumes.
+///
+/// Installed across the whole pipeline by
+/// [`crate::scenario::ScenarioBuilder::with_timing`], or around a single
+/// phase via `wrap`.
+pub struct TimingProbe {
+    inner: Box<dyn TickPhase>,
+    total: std::time::Duration,
+    calls: u64,
+}
+
+impl TimingProbe {
+    /// Meter `inner`.
+    pub fn new(inner: Box<dyn TickPhase>) -> TimingProbe {
+        TimingProbe {
+            inner,
+            total: std::time::Duration::ZERO,
+            calls: 0,
+        }
+    }
+}
+
+impl TickPhase for TimingProbe {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn step(&mut self, ctx: &mut CampaignCtx) {
+        let started = Instant::now();
+        self.inner.step(ctx);
+        self.total += started.elapsed();
+        self.calls += 1;
+    }
+
+    fn timing(&self) -> Option<PhaseTiming> {
+        Some(PhaseTiming {
+            phase: self.inner.name().to_string(),
+            total_ms: self.total.as_secs_f64() * 1e3,
+            calls: self.calls,
+        })
+    }
+}
+
+/// Step 1: advance the weather model and poll the station.
+#[derive(Debug, Default)]
+pub struct WeatherPhase;
+
+impl WeatherPhase {
+    /// Stock weather phase.
+    pub fn new() -> WeatherPhase {
+        WeatherPhase
+    }
+}
+
+impl TickPhase for WeatherPhase {
+    fn name(&self) -> &str {
+        "weather"
+    }
+
+    fn step(&mut self, ctx: &mut CampaignCtx) {
+        let t = ctx.now;
+        while let Some(obs) = ctx.station.poll(&mut ctx.wx, t) {
+            ctx.outside.push(obs);
+        }
+        ctx.weather = ctx.wx.sample_at(t);
+    }
+}
+
+/// Step 2: step the tent and basement enclosures, driven by the previous
+/// tick's per-host wall power. Publishes the groups' power draw for the
+/// power-integration phase — the meter sees the same watts that heated
+/// the tent.
+#[derive(Debug, Default)]
+pub struct EnclosureThermalPhase;
+
+impl EnclosureThermalPhase {
+    /// Stock enclosure phase.
+    pub fn new() -> EnclosureThermalPhase {
+        EnclosureThermalPhase
+    }
+}
+
+impl TickPhase for EnclosureThermalPhase {
+    fn name(&self) -> &str {
+        "enclosure-thermal"
+    }
+
+    fn step(&mut self, ctx: &mut CampaignCtx) {
+        use frostlab_thermal::enclosure::Enclosure;
+        let t = ctx.now;
+        let tent_power: f64 = ctx
+            .hosts
+            .iter()
+            .filter(|h| h.plan.placement == Placement::Tent && h.installed(t))
+            .map(|h| h.last_wall_w)
+            .sum();
+        let basement_power: f64 = ctx
+            .hosts
+            .iter()
+            .filter(|h| h.plan.placement == Placement::Basement && h.installed(t))
+            .map(|h| h.last_wall_w)
+            .sum();
+        ctx.tent.step(ctx.dt_secs, &ctx.weather, tent_power);
+        ctx.basement.step(ctx.dt_secs, &ctx.weather, basement_power);
+        ctx.tent_state = ctx.tent.state();
+        ctx.basement_state = ctx.basement.state();
+        ctx.tent_power_w = tent_power;
+        ctx.basement_power_w = basement_power;
+    }
+}
+
+/// Step 3: the Lascar logger — including the weekly Monday USB readout
+/// that downloads the memory and drags the unit indoors for half an hour
+/// (the outlier source the paper mentions) — plus the 10-minute truth
+/// series the figures are drawn from.
+#[derive(Debug)]
+pub struct LoggerPollPhase {
+    next_readout: SimTime,
+    next_truth_sample: SimTime,
+}
+
+impl LoggerPollPhase {
+    /// Stock logger phase scheduled from the campaign config.
+    pub fn new(cfg: &ExperimentConfig) -> LoggerPollPhase {
+        LoggerPollPhase {
+            next_readout: next_monday_morning(cfg.lascar_deployed_at),
+            next_truth_sample: cfg.start,
+        }
+    }
+}
+
+impl TickPhase for LoggerPollPhase {
+    fn name(&self) -> &str {
+        "logger-poll"
+    }
+
+    fn step(&mut self, ctx: &mut CampaignCtx) {
+        let t = ctx.now;
+        if t >= self.next_readout {
+            ctx.lascar.begin_readout(t, SimDuration::minutes(30));
+            self.next_readout = t + SimDuration::days(7);
+        }
+        ctx.lascar
+            .poll(t, ctx.tent_state.air_temp_c, ctx.tent_state.air_rh_pct);
+
+        if t >= self.next_truth_sample {
+            ctx.tent_temp_truth.push(t, ctx.tent_state.air_temp_c);
+            ctx.tent_rh_truth.push(t, ctx.tent_state.air_rh_pct);
+            ctx.basement_temp.push(t, ctx.basement_state.air_temp_c);
+            self.next_truth_sample = t + SimDuration::minutes(10);
+        }
+    }
+}
+
+/// Step 4: fire scripted events that came due, then chaos events, then
+/// any failover-scheduled switch repairs.
+#[derive(Debug)]
+pub struct ScriptPhase {
+    events: Vec<(SimTime, ScriptedEvent)>,
+    next: usize,
+}
+
+impl ScriptPhase {
+    /// The paper's event history, filtered by fault mode: scripted mode
+    /// replays everything; stochastic mode draws *faults* from the hazard
+    /// models but keeps the operators' physical interventions (the R/I/B/F
+    /// tent modifications) and the infrastructure history (the defective
+    /// switches' deaths and replacement), which happened regardless.
+    pub fn from_config(cfg: &ExperimentConfig) -> ScriptPhase {
+        let events = match cfg.fault_mode {
+            FaultMode::Scripted => paper_script(),
+            FaultMode::Stochastic => paper_script()
+                .into_iter()
+                .filter(|(_, ev)| {
+                    matches!(
+                        ev,
+                        ScriptedEvent::TentReconfig { .. }
+                            | ScriptedEvent::SwitchDown { .. }
+                            | ScriptedEvent::SwitchRestored { .. }
+                    )
+                })
+                .collect(),
+        };
+        ScriptPhase::with_events(events)
+    }
+
+    /// A custom script. Events must be sorted by due time; each fires on
+    /// the first tick at or after it.
+    pub fn with_events(events: Vec<(SimTime, ScriptedEvent)>) -> ScriptPhase {
+        ScriptPhase { events, next: 0 }
+    }
+}
+
+impl TickPhase for ScriptPhase {
+    fn name(&self) -> &str {
+        "script"
+    }
+
+    fn step(&mut self, ctx: &mut CampaignCtx) {
+        let t = ctx.now;
+        while self.next < self.events.len() && self.events[self.next].0 <= t {
+            let (at, ev) = self.events[self.next].clone();
+            self.next += 1;
+            ctx.handle_scripted(at, ev);
+        }
+
+        let chaos_due = match ctx.chaos.as_mut() {
+            Some(chaos) => chaos.engine.pop_due(t),
+            None => Vec::new(),
+        };
+        for (at, ev) in chaos_due {
+            ctx.handle_chaos(at, ev);
+        }
+        while let Some(pos) = ctx
+            .pending_switch_restores
+            .iter()
+            .position(|(due, _)| *due <= t)
+        {
+            let (at, switch) = ctx.pending_switch_restores.remove(pos);
+            ctx.switch_up[switch] = true;
+            ctx.watchdog
+                .resolve(&format!("switch-{switch}"), at, "spare switch swapped in");
+        }
+    }
+}
+
+/// Step 5: per installed host — chassis thermal chain, sensor chip,
+/// S.M.A.R.T. ticks, stochastic fault polls, the jittered 10-minute
+/// synthetic load, and repair-workflow visits. Hangs and withdrawals are
+/// applied after the fleet loop, matching the monolith's ordering.
+#[derive(Debug)]
+pub struct HostStepPhase {
+    next_fault_poll: SimTime,
+}
+
+impl HostStepPhase {
+    /// Stock host phase scheduled from the campaign config.
+    pub fn new(cfg: &ExperimentConfig) -> HostStepPhase {
+        HostStepPhase {
+            next_fault_poll: cfg.start + cfg.fault_poll_interval,
+        }
+    }
+}
+
+impl TickPhase for HostStepPhase {
+    fn name(&self) -> &str {
+        "host-step"
+    }
+
+    fn step(&mut self, ctx: &mut CampaignCtx) {
+        let t = ctx.now;
+        let fault_poll_due = t >= self.next_fault_poll;
+        let stochastic = ctx.cfg.fault_mode == FaultMode::Stochastic;
+        let mut hangs: Vec<(usize, SimTime)> = Vec::new();
+        let mut withdrawals: Vec<usize> = Vec::new();
+        for idx in 0..ctx.hosts.len() {
+            // Split-borrow dance: disjoint fields of `ctx` borrow
+            // independently, exactly as they did through the monolith's
+            // `self`.
+            let host = &mut ctx.hosts[idx];
+            if !host.installed(t) {
+                continue;
+            }
+            let encl = match host.plan.placement {
+                Placement::Tent => ctx.tent_state,
+                Placement::Basement => ctx.basement_state,
+            };
+            let util = if host.server.is_running() && t < host.busy_until {
+                1.0
+            } else {
+                0.0
+            };
+            let cpu_w = host.server.spec.cpu_power_w(util);
+            let dc_w = host.server.spec.dc_power_w(util);
+            host.thermal.step(ctx.dt_secs, encl.air_temp_c, cpu_w, dc_w);
+            host.cpu_temp_c = host.thermal.cpu_temp_c();
+            host.last_wall_w = host.server.wall_power_w(util);
+            host.server.tick(ctx.dt_hours, host.thermal.hdd_temp_c());
+            let sensor_reading = host.server.sensors.read_cpu_temp(host.cpu_temp_c);
+
+            // Sensor log.
+            if t >= host.next_sensor_log {
+                let line = match sensor_reading {
+                    Some(v) => {
+                        format!("{} cpu={:.1} rh={:.0}\n", t.datetime(), v, encl.air_rh_pct)
+                    }
+                    None => format!("{} cpu=n/a rh={:.0}\n", t.datetime(), encl.air_rh_pct),
+                };
+                host.store.append(&daily_log("sensors", t), line.as_bytes());
+                host.next_sensor_log = t + ctx.cfg.sensor_log_interval;
+            }
+
+            // Stochastic faults.
+            if stochastic && fault_poll_due && host.server.is_running() {
+                let poll_hours = ctx.cfg.fault_poll_interval.as_secs() as f64 / 3600.0;
+                let page_ops = std::mem::take(&mut host.page_ops_since_poll);
+                let outcome =
+                    host.faults
+                        .poll(poll_hours, host.cpu_temp_c, encl.air_rh_pct, page_ops);
+                for kind in &outcome.faults {
+                    match kind {
+                        FaultKind::TransientSystemFailure => hangs.push((idx, t)),
+                        FaultKind::SensorChipErratic => {
+                            host.server.sensors.inject_cold_fault();
+                            ctx.fault_events.push(FaultEvent {
+                                at: t,
+                                host: HostId(host.plan.id),
+                                kind: *kind,
+                            });
+                        }
+                        FaultKind::DiskPendingSector => {
+                            host.server
+                                .storage
+                                .for_each_disk_mut(|d| d.inject_pending_sector(0));
+                            ctx.fault_events.push(FaultEvent {
+                                at: t,
+                                host: HostId(host.plan.id),
+                                kind: *kind,
+                            });
+                        }
+                        FaultKind::PsuFailure => {
+                            host.server.psu.fail();
+                            hangs.push((idx, t));
+                        }
+                        _ => {}
+                    }
+                }
+                if outcome.memory_flips > 0 {
+                    for _ in 0..outcome.memory_flips {
+                        if host.server.memory.apply_bit_flip()
+                            == frostlab_hardware::memory::FlipOutcome::SilentCorruption
+                        {
+                            host.pending_flips += 1;
+                        }
+                        ctx.fault_events.push(FaultEvent {
+                            at: t,
+                            host: HostId(host.plan.id),
+                            kind: FaultKind::MemoryBitFlip,
+                        });
+                    }
+                }
+            }
+
+            // Workload.
+            if host.server.is_running() && t >= host.next_run_at {
+                let flips = std::mem::take(&mut host.pending_flips);
+                let outcome = host.job.run(flips);
+                host.busy_until = t + SimDuration::secs(outcome.duration_secs as i64);
+                host.page_ops_since_poll += outcome.page_ops;
+                host.server.memory.record_page_ops(outcome.page_ops);
+                ctx.workload.record_run(host.plan.id, outcome.page_ops);
+                let line = format!("{} {} run\n", t.datetime(), outcome.hash);
+                host.store.append(&daily_log("md5sums", t), line.as_bytes());
+                if !outcome.hash_ok {
+                    ctx.workload
+                        .record_hash_error(host.plan.id, host.plan.placement, t);
+                    if let Some(bytes) = outcome.stored_archive {
+                        ctx.stored_archives.push(StoredArchive {
+                            host: host.plan.id,
+                            at: t,
+                            bytes,
+                        });
+                    }
+                }
+                host.schedule.resume_at(t);
+                host.next_run_at = host.schedule.next_run();
+            }
+
+            // Repair visit.
+            if let Some(due) = host.inspection_due {
+                if t >= due {
+                    host.inspection_due = None;
+                    match host.record.inspect(&ctx.repair_policy) {
+                        RepairAction::ResetInPlace => {
+                            host.server.reset();
+                            host.schedule.resume_at(t);
+                            host.next_run_at = host.schedule.next_run();
+                            ctx.watchdog.resolve(
+                                &format!("host-{}", host.plan.id),
+                                t,
+                                "reset in place",
+                            );
+                        }
+                        RepairAction::TakeIndoors => withdrawals.push(idx),
+                    }
+                }
+            }
+        }
+        for (idx, at) in hangs {
+            ctx.apply_hang(idx, at);
+        }
+        for idx in withdrawals {
+            let id = ctx.hosts[idx].plan.id;
+            ctx.take_indoors(idx);
+            ctx.watchdog
+                .resolve(&format!("host-{id}"), t, "taken indoors (memtest)");
+        }
+        if fault_poll_due {
+            self.next_fault_poll = t + ctx.cfg.fault_poll_interval;
+        }
+    }
+}
+
+/// Step 6: the scheduled collection round with the watchdog's staleness
+/// sweep, then catch-up retries with backoff for hosts whose mirror is
+/// stale.
+#[derive(Debug)]
+pub struct CollectionPhase {
+    next_round: SimTime,
+}
+
+impl CollectionPhase {
+    /// Stock collection phase scheduled from the campaign config.
+    pub fn new(cfg: &ExperimentConfig) -> CollectionPhase {
+        CollectionPhase {
+            next_round: cfg.start + cfg.collection_interval,
+        }
+    }
+}
+
+impl TickPhase for CollectionPhase {
+    fn name(&self) -> &str {
+        "collection"
+    }
+
+    fn step(&mut self, ctx: &mut CampaignCtx) {
+        let t = ctx.now;
+        if t >= self.next_round {
+            for idx in 0..ctx.hosts.len() {
+                if !ctx.hosts[idx].installed(t) {
+                    continue;
+                }
+                let reachable = ctx.reachable(&ctx.hosts[idx]) && !ctx.chaos_drops_attempt(t);
+                let host = &mut ctx.hosts[idx];
+                ctx.collector.collect(&mut host.store, reachable, t);
+                // Staleness check: alarm only when nothing else (an open
+                // switch or host incident) already explains the gap.
+                let id = host.plan.id;
+                let explained = ctx.watchdog.is_open(&format!("host-{id}"))
+                    || (host.plan.placement == Placement::Tent
+                        && ctx
+                            .watchdog
+                            .is_open(&format!("switch-{}", switch_assignment(id))));
+                let staleness = ctx.collector.staleness(id, t);
+                ctx.watchdog.observe_staleness(id, staleness, explained, t);
+            }
+            self.next_round = t + ctx.cfg.collection_interval;
+        }
+
+        // Catch-up retries with backoff for hosts whose mirror is stale. A
+        // scheduled failure at this same tick has already pushed the host's
+        // next attempt into the future, so a host is never tried twice in
+        // one tick.
+        for id in ctx.collector.due_retries(t) {
+            let Some(idx) = ctx.hosts.iter().position(|h| h.plan.id == id) else {
+                continue;
+            };
+            if !ctx.hosts[idx].installed(t) {
+                continue;
+            }
+            let reachable = ctx.reachable(&ctx.hosts[idx]) && !ctx.chaos_drops_attempt(t);
+            let host = &mut ctx.hosts[idx];
+            ctx.collector.retry_collect(&mut host.store, reachable, t);
+        }
+    }
+}
+
+/// Step 7: integrate the tent group's wall power — the true integral and
+/// the Technoline Cost Control meter's imperfect view of it. Reads the
+/// power the enclosure phase published this tick, so the meter and the
+/// tent physics always agree on the watts.
+#[derive(Debug, Default)]
+pub struct PowerIntegrationPhase;
+
+impl PowerIntegrationPhase {
+    /// Stock power-integration phase.
+    pub fn new() -> PowerIntegrationPhase {
+        PowerIntegrationPhase
+    }
+}
+
+impl TickPhase for PowerIntegrationPhase {
+    fn name(&self) -> &str {
+        "power-integration"
+    }
+
+    fn step(&mut self, ctx: &mut CampaignCtx) {
+        ctx.energy_true_wh += ctx.tent_power_w * ctx.dt_hours;
+        ctx.meter.integrate(ctx.tent_power_w, ctx.dt_hours);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentConfig;
+    use frostlab_thermal::tent::TentConfig;
+
+    fn ctx_at(cfg: ExperimentConfig) -> CampaignCtx {
+        CampaignCtx::new(cfg)
+    }
+
+    #[test]
+    fn scripted_event_exactly_on_tick_boundary_fires_that_tick() {
+        let cfg = ExperimentConfig::short(1, 3);
+        let start = cfg.start;
+        let mut ctx = ctx_at(cfg);
+        let mut phase =
+            ScriptPhase::with_events(vec![(start, ScriptedEvent::SwitchDown { switch: 0 })]);
+        ctx.now = start;
+        phase.step(&mut ctx);
+        assert!(!ctx.switch_up[0], "event due exactly at the tick must fire");
+        assert!(ctx.watchdog.is_open("switch-0"));
+    }
+
+    #[test]
+    fn scripted_event_between_ticks_fires_on_next_tick_with_original_due_time() {
+        let cfg = ExperimentConfig::short(1, 3);
+        let start = cfg.start;
+        let tick = cfg.tick;
+        let mut ctx = ctx_at(cfg);
+        // Due 1 s after the first tick: must NOT fire at `start`, must fire
+        // at `start + tick`, and the incident keeps the scripted due time,
+        // not the tick time.
+        let due = start + SimDuration::secs(1);
+        let mut phase =
+            ScriptPhase::with_events(vec![(due, ScriptedEvent::SwitchDown { switch: 1 })]);
+        ctx.now = start;
+        phase.step(&mut ctx);
+        assert!(ctx.switch_up[1], "not due yet");
+        ctx.now = start + tick;
+        phase.step(&mut ctx);
+        assert!(!ctx.switch_up[1]);
+        let incident = ctx
+            .watchdog
+            .incidents()
+            .iter()
+            .find(|i| i.subject == "switch-1")
+            .expect("incident opened");
+        assert_eq!(incident.started, due, "incident stamped with due time");
+    }
+
+    #[test]
+    fn multiple_due_events_fire_in_script_order_within_one_tick() {
+        let cfg = ExperimentConfig::short(1, 3);
+        let start = cfg.start;
+        let tick = cfg.tick;
+        let mut ctx = ctx_at(cfg);
+        // Both come due within one tick window; down-then-restore must
+        // leave the switch up (the reverse order would leave it down).
+        let mut phase = ScriptPhase::with_events(vec![
+            (
+                start + SimDuration::secs(10),
+                ScriptedEvent::SwitchDown { switch: 0 },
+            ),
+            (
+                start + SimDuration::secs(20),
+                ScriptedEvent::SwitchRestored { switch: 0 },
+            ),
+        ]);
+        ctx.now = start + tick;
+        phase.step(&mut ctx);
+        assert!(ctx.switch_up[0], "down then restore, in order");
+        assert!(!ctx.watchdog.is_open("switch-0"));
+    }
+
+    #[test]
+    fn script_event_at_campaign_end_still_fires_on_final_tick() {
+        let cfg = ExperimentConfig::short(1, 3);
+        let end = cfg.end;
+        let mut ctx = ctx_at(cfg);
+        let mut phase = ScriptPhase::with_events(vec![(
+            end,
+            ScriptedEvent::TentReconfig {
+                mark: 'R',
+                config: TentConfig::initial(),
+            },
+        )]);
+        ctx.now = end;
+        phase.step(&mut ctx);
+        // No panic, event consumed: a second step must not re-fire it.
+        phase.step(&mut ctx);
+    }
+
+    #[test]
+    fn timing_probe_counts_calls_and_preserves_name() {
+        let cfg = ExperimentConfig::short(1, 3);
+        let mut ctx = ctx_at(cfg);
+        let mut probe = TimingProbe::new(Box::new(WeatherPhase::new()));
+        assert_eq!(probe.name(), "weather");
+        for _ in 0..5 {
+            probe.step(&mut ctx);
+            ctx.now += SimDuration::minutes(1);
+        }
+        let timing = probe.timing().expect("probe measures");
+        assert_eq!(timing.phase, "weather");
+        assert_eq!(timing.calls, 5);
+        assert!(timing.total_ms >= 0.0);
+    }
+
+    #[test]
+    fn stock_phases_report_no_timing() {
+        assert!(WeatherPhase::new().timing().is_none());
+        assert!(PowerIntegrationPhase::new().timing().is_none());
+    }
+}

@@ -1,0 +1,369 @@
+//! Composing campaigns out of [`TickPhase`]s.
+//!
+//! [`ScenarioBuilder::paper`] assembles the stock seven-phase pipeline
+//! that reproduces the paper's campaign; `insert_before` / `insert_after`
+//! / `replace` / `remove` / `wrap` then let a what-if study restructure
+//! the pipeline without forking the orchestrator:
+//!
+//! ```no_run
+//! use frostlab_core::config::ExperimentConfig;
+//! use frostlab_core::scenario::ScenarioBuilder;
+//!
+//! // The paper's campaign, with per-phase wall-clock metering.
+//! let (results, timings) = ScenarioBuilder::paper(ExperimentConfig::paper_scripted(42))
+//!     .with_timing()
+//!     .build()
+//!     .run_with_timings();
+//! println!("runs: {}", results.workload.total_runs());
+//! for t in timings {
+//!     println!("{:>20}: {:.1} ms over {} calls", t.phase, t.total_ms, t.calls);
+//! }
+//! ```
+//!
+//! The stock phase names, in pipeline order: `weather`,
+//! `enclosure-thermal`, `logger-poll`, `script`, `host-step`,
+//! `collection`, `power-integration`.
+
+use crate::config::ExperimentConfig;
+use crate::context::CampaignCtx;
+use crate::phases::{
+    CollectionPhase, EnclosureThermalPhase, HostStepPhase, LoggerPollPhase, PhaseTiming,
+    PowerIntegrationPhase, ScriptPhase, TickPhase, TimingProbe, WeatherPhase,
+};
+use crate::results::ExperimentResults;
+
+/// Builds a [`Scenario`] by composing [`TickPhase`]s over a fresh
+/// [`CampaignCtx`].
+pub struct ScenarioBuilder {
+    ctx: CampaignCtx,
+    phases: Vec<Box<dyn TickPhase>>,
+}
+
+impl ScenarioBuilder {
+    /// The stock pipeline reproducing the paper's campaign — the seven
+    /// phases in the order the old monolithic orchestrator ran them.
+    pub fn paper(cfg: ExperimentConfig) -> ScenarioBuilder {
+        let mut b = ScenarioBuilder::empty(cfg);
+        let cfg = &b.ctx.cfg;
+        let phases: Vec<Box<dyn TickPhase>> = vec![
+            Box::new(WeatherPhase::new()),
+            Box::new(EnclosureThermalPhase::new()),
+            Box::new(LoggerPollPhase::new(cfg)),
+            Box::new(ScriptPhase::from_config(cfg)),
+            Box::new(HostStepPhase::new(cfg)),
+            Box::new(CollectionPhase::new(cfg)),
+            Box::new(PowerIntegrationPhase::new()),
+        ];
+        b.phases = phases;
+        b
+    }
+
+    /// A pipeline with no phases — the campaign state exists but nothing
+    /// steps it. Push phases to build a scenario from scratch.
+    pub fn empty(cfg: ExperimentConfig) -> ScenarioBuilder {
+        ScenarioBuilder {
+            ctx: CampaignCtx::new(cfg),
+            phases: Vec::new(),
+        }
+    }
+
+    /// The campaign config this scenario was built from.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.ctx.cfg
+    }
+
+    /// Current phase names, in pipeline order.
+    pub fn phase_names(&self) -> Vec<String> {
+        self.phases.iter().map(|p| p.name().to_string()).collect()
+    }
+
+    /// Append a phase at the end of the pipeline.
+    pub fn push(mut self, phase: Box<dyn TickPhase>) -> ScenarioBuilder {
+        self.phases.push(phase);
+        self
+    }
+
+    /// Insert a phase immediately before the named one.
+    ///
+    /// # Panics
+    /// Panics if no phase has that name — a misaddressed pipeline edit is
+    /// a scenario-definition bug, not a runtime condition.
+    pub fn insert_before(mut self, name: &str, phase: Box<dyn TickPhase>) -> ScenarioBuilder {
+        let idx = self.index_of(name);
+        self.phases.insert(idx, phase);
+        self
+    }
+
+    /// Insert a phase immediately after the named one.
+    ///
+    /// # Panics
+    /// Panics if no phase has that name.
+    pub fn insert_after(mut self, name: &str, phase: Box<dyn TickPhase>) -> ScenarioBuilder {
+        let idx = self.index_of(name);
+        self.phases.insert(idx + 1, phase);
+        self
+    }
+
+    /// Swap the named phase for a replacement (e.g. a replayed-trace
+    /// weather phase in place of the synthetic one).
+    ///
+    /// # Panics
+    /// Panics if no phase has that name.
+    pub fn replace(mut self, name: &str, phase: Box<dyn TickPhase>) -> ScenarioBuilder {
+        let idx = self.index_of(name);
+        self.phases[idx] = phase;
+        self
+    }
+
+    /// Drop the named phase from the pipeline.
+    ///
+    /// # Panics
+    /// Panics if no phase has that name.
+    pub fn remove(mut self, name: &str) -> ScenarioBuilder {
+        let idx = self.index_of(name);
+        self.phases.remove(idx);
+        self
+    }
+
+    /// Wrap the named phase in a decorator (the wrapper decides whether
+    /// and how to delegate — timing probes, conditional skips, tracing).
+    ///
+    /// # Panics
+    /// Panics if no phase has that name.
+    pub fn wrap(
+        mut self,
+        name: &str,
+        wrapper: impl FnOnce(Box<dyn TickPhase>) -> Box<dyn TickPhase>,
+    ) -> ScenarioBuilder {
+        let idx = self.index_of(name);
+        // Placeholder swap: `WeatherPhase` stands in while the real phase
+        // moves through the wrapper.
+        let inner = std::mem::replace(&mut self.phases[idx], Box::new(WeatherPhase::new()));
+        self.phases[idx] = wrapper(inner);
+        self
+    }
+
+    /// Wrap *every* phase in a [`TimingProbe`] so
+    /// [`Scenario::run_with_timings`] can report the per-phase wall-clock
+    /// breakdown.
+    pub fn with_timing(mut self) -> ScenarioBuilder {
+        self.phases = self
+            .phases
+            .into_iter()
+            .map(|p| Box::new(TimingProbe::new(p)) as Box<dyn TickPhase>)
+            .collect();
+        self
+    }
+
+    /// Finish composition.
+    pub fn build(self) -> Scenario {
+        Scenario {
+            ctx: self.ctx,
+            phases: self.phases,
+        }
+    }
+
+    fn index_of(&self, name: &str) -> usize {
+        self.phases
+            .iter()
+            .position(|p| p.name() == name)
+            .unwrap_or_else(|| {
+                panic!(
+                    "no phase named {name:?} in pipeline {:?}",
+                    self.phase_names()
+                )
+            })
+    }
+}
+
+/// A runnable campaign: a phase pipeline over a [`CampaignCtx`].
+pub struct Scenario {
+    ctx: CampaignCtx,
+    phases: Vec<Box<dyn TickPhase>>,
+}
+
+impl Scenario {
+    /// Run the campaign to completion.
+    pub fn run(self) -> ExperimentResults {
+        self.run_with_timings().0
+    }
+
+    /// Run the campaign and also return whatever per-phase wall-clock
+    /// accounting the pipeline collected (empty unless phases were wrapped
+    /// in [`TimingProbe`]s, e.g. via [`ScenarioBuilder::with_timing`]).
+    pub fn run_with_timings(mut self) -> (ExperimentResults, Vec<PhaseTiming>) {
+        let tick = self.ctx.cfg.tick;
+        while self.ctx.now <= self.ctx.cfg.end {
+            for phase in &mut self.phases {
+                phase.step(&mut self.ctx);
+            }
+            self.ctx.now += tick;
+        }
+        let timings = self.phases.iter().filter_map(|p| p.timing()).collect();
+        (self.ctx.finish(), timings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phases::PhaseTiming;
+
+    const STOCK: [&str; 7] = [
+        "weather",
+        "enclosure-thermal",
+        "logger-poll",
+        "script",
+        "host-step",
+        "collection",
+        "power-integration",
+    ];
+
+    /// A phase that counts its own steps — for composition tests.
+    struct CountingPhase {
+        name: &'static str,
+        steps: u64,
+    }
+
+    impl TickPhase for CountingPhase {
+        fn name(&self) -> &str {
+            self.name
+        }
+        fn step(&mut self, _ctx: &mut CampaignCtx) {
+            self.steps += 1;
+        }
+    }
+
+    #[test]
+    fn paper_pipeline_has_the_stock_phases_in_order() {
+        let b = ScenarioBuilder::paper(ExperimentConfig::short(1, 3));
+        assert_eq!(b.phase_names(), STOCK);
+    }
+
+    #[test]
+    fn builder_edits_address_phases_by_name() {
+        let b = ScenarioBuilder::paper(ExperimentConfig::short(1, 3))
+            .insert_before(
+                "host-step",
+                Box::new(CountingPhase {
+                    name: "pre-host",
+                    steps: 0,
+                }),
+            )
+            .insert_after(
+                "power-integration",
+                Box::new(CountingPhase {
+                    name: "post-power",
+                    steps: 0,
+                }),
+            )
+            .remove("collection")
+            .replace(
+                "script",
+                Box::new(CountingPhase {
+                    name: "no-script",
+                    steps: 0,
+                }),
+            );
+        assert_eq!(
+            b.phase_names(),
+            vec![
+                "weather",
+                "enclosure-thermal",
+                "logger-poll",
+                "no-script",
+                "pre-host",
+                "host-step",
+                "power-integration",
+                "post-power",
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no phase named")]
+    fn misaddressed_edit_panics() {
+        let _ = ScenarioBuilder::paper(ExperimentConfig::short(1, 3)).remove("no-such-phase");
+    }
+
+    #[test]
+    fn paper_builder_matches_the_experiment_shim_exactly() {
+        let via_builder = ScenarioBuilder::paper(ExperimentConfig::short(2, 10))
+            .build()
+            .run();
+        let via_shim = crate::experiment::Experiment::new(ExperimentConfig::short(2, 10)).run();
+        assert_eq!(
+            via_builder.workload.total_runs(),
+            via_shim.workload.total_runs()
+        );
+        assert_eq!(via_builder.tent_temp_truth, via_shim.tent_temp_truth);
+        assert_eq!(via_builder.incidents, via_shim.incidents);
+        assert_eq!(
+            via_builder.tent_energy_true_kwh,
+            via_shim.tent_energy_true_kwh
+        );
+    }
+
+    #[test]
+    fn with_timing_meters_every_phase_without_changing_results() {
+        let plain = ScenarioBuilder::paper(ExperimentConfig::short(3, 5))
+            .build()
+            .run();
+        let (timed, timings) = ScenarioBuilder::paper(ExperimentConfig::short(3, 5))
+            .with_timing()
+            .build()
+            .run_with_timings();
+        assert_eq!(plain.workload.total_runs(), timed.workload.total_runs());
+        assert_eq!(plain.tent_temp_truth, timed.tent_temp_truth);
+        let names: Vec<&str> = timings.iter().map(|t| t.phase.as_str()).collect();
+        assert_eq!(names, STOCK);
+        // 5 days of 1-minute ticks, inclusive window.
+        let expected_ticks = 5 * 24 * 60 + 1;
+        for t in &timings {
+            assert_eq!(t.calls, expected_ticks, "{}", t.phase);
+        }
+    }
+
+    #[test]
+    fn wrap_decorates_a_single_phase() {
+        let (_, timings) = ScenarioBuilder::paper(ExperimentConfig::short(4, 2))
+            .wrap("collection", |inner| Box::new(TimingProbe::new(inner)))
+            .build()
+            .run_with_timings();
+        assert_eq!(timings.len(), 1);
+        assert_eq!(timings[0].phase, "collection");
+        assert!(timings[0].calls > 0);
+    }
+
+    #[test]
+    fn removing_host_step_stops_the_workload_but_weather_continues() {
+        let results = ScenarioBuilder::paper(ExperimentConfig::short(2, 10))
+            .remove("host-step")
+            .build()
+            .run();
+        assert_eq!(results.workload.total_runs(), 0);
+        assert!(results.outside.len() > 400);
+        assert!(results.tent_temp_truth.len() > 400);
+    }
+
+    #[test]
+    fn empty_pipeline_runs_and_finishes() {
+        let results = ScenarioBuilder::empty(ExperimentConfig::short(1, 2))
+            .build()
+            .run();
+        assert_eq!(results.workload.total_runs(), 0);
+        assert!(results.outside.is_empty());
+    }
+
+    #[test]
+    fn phase_timing_serializes_round_trip() {
+        let t = PhaseTiming {
+            phase: "collection".to_string(),
+            total_ms: 12.5,
+            calls: 7,
+        };
+        let json = serde_json::to_string(&t).expect("plain data");
+        let back: PhaseTiming = serde_json::from_str(&json).expect("valid");
+        assert_eq!(back, t);
+    }
+}

@@ -261,6 +261,76 @@ mod tests {
     }
 
     #[test]
+    fn ledger_preserves_open_order_across_interleaved_resolves() {
+        // The ledger is the §4.2.1 narrative: incidents must appear in the
+        // order they were first observed, regardless of when (or whether)
+        // each one resolved. BTreeMap-keyed open tracking must not leak its
+        // alphabetical ordering into the ledger.
+        let mut w = Watchdog::new();
+        w.open(IncidentKind::SwitchFailure, "switch-1", t(0));
+        w.open(IncidentKind::HostHang, "host-15", t(10));
+        w.open(IncidentKind::SensorFault, "host-1/sensor", t(20));
+        // Resolve out of open order: last opened heals first.
+        w.resolve("host-1/sensor", t(30), "chip recovered");
+        w.resolve("switch-1", t(40), "spare switch swapped in");
+        // host-15 stays open; a new subject opens after the resolves.
+        w.open(IncidentKind::SwitchFailure, "switch-0", t(50));
+
+        let subjects: Vec<&str> = w.incidents().iter().map(|i| i.subject.as_str()).collect();
+        assert_eq!(
+            subjects,
+            ["switch-1", "host-15", "host-1/sensor", "switch-0"],
+            "ledger order is first-open order, not resolve or key order"
+        );
+        // Resolution landed on the right entries.
+        assert_eq!(w.incidents()[0].resolved, Some(t(40)));
+        assert_eq!(w.incidents()[1].resolved, None);
+        assert_eq!(w.incidents()[2].resolved, Some(t(30)));
+        assert_eq!(w.incidents()[3].resolved, None);
+        assert_eq!(w.into_incidents().len(), 4);
+    }
+
+    #[test]
+    fn reopened_subject_appends_a_fresh_incident() {
+        // Host #15 hung twice; each hang is its own ledger entry, appended
+        // at its own open time — the earlier resolved entry is untouched.
+        let mut w = Watchdog::new();
+        w.open(IncidentKind::HostHang, "host-15", t(0));
+        w.resolve("host-15", t(100), "reset in place");
+        w.open(IncidentKind::HostHang, "host-15", t(200));
+        w.resolve("host-15", t(300), "taken indoors (memtest)");
+
+        let h15: Vec<&Incident> = w.incidents().iter().collect();
+        assert_eq!(h15.len(), 2);
+        assert_eq!(h15[0].started, t(0));
+        assert_eq!(h15[0].resolution.as_deref(), Some("reset in place"));
+        assert_eq!(h15[1].started, t(200));
+        assert_eq!(
+            h15[1].resolution.as_deref(),
+            Some("taken indoors (memtest)")
+        );
+        assert!(h15[0].started < h15[1].started, "chronological ledger");
+    }
+
+    #[test]
+    fn resolve_targets_the_open_incident_not_an_earlier_one() {
+        // After a reopen, resolve must stamp the *newest* entry for the
+        // subject even though an older resolved entry shares its key.
+        let mut w = Watchdog::new();
+        w.open(IncidentKind::SensorFault, "host-1/sensor", t(0));
+        w.resolve("host-1/sensor", t(10), "first recovery");
+        w.open(IncidentKind::SensorFault, "host-1/sensor", t(20));
+        assert!(w.is_open("host-1/sensor"));
+        w.resolve("host-1/sensor", t(30), "second recovery");
+        assert_eq!(w.incidents()[0].resolved, Some(t(10)));
+        assert_eq!(w.incidents()[1].resolved, Some(t(30)));
+        assert_eq!(
+            w.incidents()[1].resolution.as_deref(),
+            Some("second recovery")
+        );
+    }
+
+    #[test]
     fn incident_record_serializes() {
         let mut w = Watchdog::new();
         w.open(IncidentKind::SwitchFailure, "switch-1", t(0));

@@ -19,7 +19,7 @@ use std::sync::mpsc;
 
 use frostlab_core::config::ExperimentConfig;
 use frostlab_core::results::ExperimentResults;
-use frostlab_core::Experiment;
+use frostlab_core::{Scenario, ScenarioBuilder};
 
 /// Progress callback: `(completed_jobs, total_jobs)`, invoked on the
 /// caller's thread each time a job is merged (i.e. in index order).
@@ -142,10 +142,32 @@ impl<'a> Ensemble<'a> {
         .expect("ensemble worker panicked");
     }
 
-    /// Run one [`Experiment`] per index, project each
+    /// Run one [`Scenario`] per index, project each
     /// [`ExperimentResults`] down to `R` *on the worker* (so the full
     /// results are dropped before the next campaign starts), and feed the
     /// projections to `sink` in index order.
+    ///
+    /// `make_scenario` is called on the worker, so scenario construction
+    /// (which builds the whole fleet) is parallelised along with the run.
+    pub fn run_scenarios<B, P, R, S>(&self, make_scenario: B, project: P, sink: S)
+    where
+        B: Fn(u64) -> Scenario + Sync,
+        P: Fn(&ExperimentResults) -> R + Sync,
+        R: Send,
+        S: FnMut(u64, R),
+    {
+        self.run_map(
+            |i| {
+                let results = make_scenario(i).run();
+                project(&results)
+            },
+            sink,
+        )
+    }
+
+    /// Convenience over [`Ensemble::run_scenarios`] for the common case:
+    /// one stock paper-pipeline campaign per index, configured by
+    /// `make_config`.
     pub fn run_experiments<C, P, R, S>(&self, make_config: C, project: P, sink: S)
     where
         C: Fn(u64) -> ExperimentConfig + Sync,
@@ -153,11 +175,9 @@ impl<'a> Ensemble<'a> {
         R: Send,
         S: FnMut(u64, R),
     {
-        self.run_map(
-            |i| {
-                let results = Experiment::new(make_config(i)).run();
-                project(&results)
-            },
+        self.run_scenarios(
+            |i| ScenarioBuilder::paper(make_config(i)).build(),
+            project,
             sink,
         )
     }

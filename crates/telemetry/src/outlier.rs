@@ -36,7 +36,7 @@ impl Default for SpikeFilter {
 }
 
 fn median(xs: &mut [f64]) -> f64 {
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in telemetry"));
+    xs.sort_by(|a, b| a.total_cmp(b));
     let n = xs.len();
     if n % 2 == 1 {
         xs[n / 2]

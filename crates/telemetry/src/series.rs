@@ -86,7 +86,7 @@ impl TimeSeries {
         if self.len() < 2 {
             return None;
         }
-        let mean = self.mean().expect("non-empty");
+        let mean = self.mean()?;
         let var = self.values().map(|v| (v - mean).powi(2)).sum::<f64>() / (self.len() - 1) as f64;
         Some(var.sqrt())
     }

@@ -11,7 +11,7 @@
 //! cargo run --release --example chaos_campaign [seed]
 //! ```
 
-use frostlab::core::{Experiment, ExperimentConfig};
+use frostlab::core::{ExperimentConfig, ScenarioBuilder};
 use frostlab::netsim::collector::AttemptKind;
 
 fn main() {
@@ -24,7 +24,9 @@ fn main() {
     };
     println!("chaos campaign — seed {seed}, §4.2.1-grade adversity overlaid\n");
 
-    let results = Experiment::new(ExperimentConfig::paper_chaos(seed)).run();
+    let results = ScenarioBuilder::paper(ExperimentConfig::paper_chaos(seed))
+        .build()
+        .run();
 
     let scheduled = results
         .collection

@@ -5,13 +5,15 @@
 //! ```
 
 use frostlab::core::tables;
-use frostlab::core::{Experiment, ExperimentConfig};
+use frostlab::core::{ExperimentConfig, ScenarioBuilder};
 
 fn main() {
     println!("frostlab quickstart — Running Servers around Zero Degrees (GreenNetworking 2010)\n");
     println!("Simulating the scripted campaign (Feb 12 – May 13, 2010)…\n");
 
-    let results = Experiment::new(ExperimentConfig::paper_scripted(42)).run();
+    let results = ScenarioBuilder::paper(ExperimentConfig::paper_scripted(42))
+        .build()
+        .run();
 
     println!(
         "synthetic-load runs : {} (paper reported 27 627 at writing time,\n\

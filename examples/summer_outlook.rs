@@ -17,7 +17,7 @@ use frostlab::analysis::report::Table;
 use frostlab::analysis::survival::{kaplan_meier, mtbf_hours, survival_at, Observation};
 use frostlab::climate::presets;
 use frostlab::core::config::{ExperimentConfig, FaultMode};
-use frostlab::core::Experiment;
+use frostlab::core::ScenarioBuilder;
 use frostlab::energy::economizer::{simulate_year, EconomizerConfig};
 use frostlab::energy::wetside::{simulate_year_wetside, WetSideConfig};
 use frostlab::faults::types::FaultKind;
@@ -45,7 +45,7 @@ fn main() {
             end: summer_end,
             ..ExperimentConfig::paper_stochastic(seed)
         };
-        let r = Experiment::new(cfg).run();
+        let r = ScenarioBuilder::paper(cfg).build().run();
         for ev in &r.fault_events {
             if ev.kind == FaultKind::TransientSystemFailure {
                 if ev.at < boundary {

@@ -9,7 +9,7 @@ use frostlab::analysis::report::Table;
 use frostlab::core::figures;
 use frostlab::core::prototype::run_prototype;
 use frostlab::core::tables;
-use frostlab::core::{Experiment, ExperimentConfig};
+use frostlab::core::{ExperimentConfig, ScenarioBuilder};
 
 fn main() {
     let seed: u64 = std::env::args()
@@ -26,7 +26,7 @@ fn main() {
 
     // Phase 2: the normal phase.
     println!("running the normal phase (Feb 19 – May 13)…\n");
-    let results = Experiment::new(cfg).run();
+    let results = ScenarioBuilder::paper(cfg).build().run();
 
     println!("{}", tables::t1_failures(&results));
     println!("{}", tables::t2_hashes(&results));

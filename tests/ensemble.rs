@@ -4,7 +4,7 @@
 //! worker finished first) staying fixed.
 
 use frostlab::core::config::{ExperimentConfig, FaultMode};
-use frostlab::core::Experiment;
+use frostlab::core::ScenarioBuilder;
 use frostlab::ensemble::report::monte_carlo_report;
 use frostlab::ensemble::{run_summary_sweep, CampaignAggregate, Ensemble};
 
@@ -37,7 +37,12 @@ fn sweep_matches_hand_rolled_serial_loop() {
     let sweep = run_summary_sweep(3, 4, 2, short_stochastic);
     let mut agg = CampaignAggregate::new();
     for seed in 3..7 {
-        agg.absorb(&Experiment::new(short_stochastic(seed)).run().summary());
+        agg.absorb(
+            &ScenarioBuilder::paper(short_stochastic(seed))
+                .build()
+                .run()
+                .summary(),
+        );
     }
     assert_eq!(
         sweep.invariant_json().unwrap(),

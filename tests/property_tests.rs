@@ -466,7 +466,7 @@ proptest! {
         for &x in &xs {
             h.push(x);
         }
-        let exact = offline_percentile(&xs, p);
+        let exact = offline_percentile(&xs, p).unwrap();
         let est = h.percentile(p).expect("non-empty");
         prop_assert!(
             (est - exact).abs() <= h.width + 1e-12,

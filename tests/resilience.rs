@@ -10,7 +10,7 @@
 
 use frostlab::core::config::{ExperimentConfig, FaultMode};
 use frostlab::core::watchdog::IncidentKind;
-use frostlab::core::Experiment;
+use frostlab::core::ScenarioBuilder;
 use frostlab::faults::chaos::{ChaosConfig, ChaosEngine, ChaosEvent};
 use frostlab::netsim::collector::AttemptKind;
 use frostlab::simkern::rng::Rng;
@@ -35,9 +35,13 @@ fn chaos_config(seed: u64) -> ExperimentConfig {
     }
 }
 
+fn run_chaos(seed: u64) -> frostlab::core::ExperimentResults {
+    ScenarioBuilder::paper(chaos_config(seed)).build().run()
+}
+
 #[test]
 fn chaos_campaign_survives_and_documents_its_outages() {
-    let results = Experiment::new(chaos_config(99)).run();
+    let results = run_chaos(99);
 
     // The campaign itself must remain healthy: the fleet keeps running the
     // synthetic load and the collector keeps (eventually) collecting.
@@ -64,7 +68,7 @@ fn spare_backed_switch_deaths_heal_within_the_repair_window() {
     // The failover policy: dead switch → next working-day inspection
     // (Mon–Fri 10:00) → 90-minute swap. Worst case is a death just after
     // Friday's window closes, repaired Monday 11:30 — under four days.
-    let results = Experiment::new(chaos_config(7)).run();
+    let results = run_chaos(7);
     let switch_incidents: Vec<_> = results
         .incidents
         .iter()
@@ -92,13 +96,13 @@ fn spare_backed_switch_deaths_heal_within_the_repair_window() {
 
 #[test]
 fn chaos_campaigns_are_reproducible_and_seed_sensitive() {
-    let a = Experiment::new(chaos_config(33)).run();
-    let b = Experiment::new(chaos_config(33)).run();
+    let a = run_chaos(33);
+    let b = run_chaos(33);
     assert_eq!(a.incidents, b.incidents, "same seed, same incident ledger");
     assert_eq!(a.collection.len(), b.collection.len());
     assert_eq!(a.workload.total_runs(), b.workload.total_runs());
 
-    let c = Experiment::new(chaos_config(34)).run();
+    let c = run_chaos(34);
     // A different seed must reshuffle the chaos schedule (the engine draws
     // event times from seed-derived streams).
     assert!(
@@ -109,7 +113,7 @@ fn chaos_campaigns_are_reproducible_and_seed_sensitive() {
 
 #[test]
 fn retries_are_bookkept_separately_from_the_cadence() {
-    let results = Experiment::new(chaos_config(55)).run();
+    let results = run_chaos(55);
     let scheduled = results
         .collection
         .iter()

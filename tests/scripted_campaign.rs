@@ -5,13 +5,15 @@
 //! exercises every crate in the workspace end to end.
 
 use frostlab::compress::recover::recover;
-use frostlab::core::{tables, Experiment, ExperimentConfig};
+use frostlab::core::{tables, ExperimentConfig, ScenarioBuilder};
 use frostlab::faults::repair::Disposition;
 use frostlab::faults::types::FaultKind;
 use frostlab::simkern::time::{SimDuration, SimTime};
 
 fn campaign() -> frostlab::core::ExperimentResults {
-    Experiment::new(ExperimentConfig::paper_scripted(42)).run()
+    ScenarioBuilder::paper(ExperimentConfig::paper_scripted(42))
+        .build()
+        .run()
 }
 
 #[test]

@@ -3,7 +3,7 @@
 //! reproducibility rather than exact history.
 
 use frostlab::core::config::{ExperimentConfig, FaultMode};
-use frostlab::core::Experiment;
+use frostlab::core::ScenarioBuilder;
 use frostlab::faults::common_cause::{common_cause_candidates, DetectorConfig};
 use frostlab::faults::types::FaultKind;
 use frostlab::simkern::time::{SimDuration, SimTime};
@@ -14,7 +14,7 @@ fn stochastic_window(seed: u64, days: i64) -> frostlab::core::ExperimentResults 
         end: SimTime::from_date(2010, 2, 12) + SimDuration::days(days),
         ..ExperimentConfig::short(seed, days)
     };
-    Experiment::new(cfg).run()
+    ScenarioBuilder::paper(cfg).build().run()
 }
 
 #[test]

@@ -60,6 +60,14 @@ fn ms(t: Instant) -> f64 {
     t.elapsed().as_secs_f64() * 1000.0
 }
 
+/// Pull one wall-clock metric out of a baseline parsed as a plain JSON
+/// value. Field-by-field extraction tolerates older baseline shapes —
+/// e.g. a `BENCH_baseline.json` written before `phase_breakdown` existed
+/// — which a typed parse would reject for the missing field.
+fn baseline_metric(baseline: &serde::Value, name: &str) -> Option<f64> {
+    baseline.get(name).and_then(|v| v.as_f64())
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: bench_report [--jobs N] [--days D] [--threads T] [--out PATH] \
@@ -155,24 +163,28 @@ fn main() {
 
     if let Some(baseline_path) = check {
         let baseline_json = std::fs::read_to_string(&baseline_path).expect("read baseline JSON");
-        let baseline: BenchReport =
+        let baseline: serde::Value =
             serde_json::from_str(&baseline_json).expect("parse baseline JSON");
+        let metric_or_die = |name: &str| {
+            baseline_metric(&baseline, name)
+                .unwrap_or_else(|| panic!("baseline {baseline_path} has no numeric {name:?}"))
+        };
         let mut regressed = false;
         for (metric, fresh, base) in [
             (
                 "campaign_week_ms",
                 report.campaign_week_ms,
-                baseline.campaign_week_ms,
+                metric_or_die("campaign_week_ms"),
             ),
             (
                 "ensemble_serial_ms",
                 report.ensemble_serial_ms,
-                baseline.ensemble_serial_ms,
+                metric_or_die("ensemble_serial_ms"),
             ),
             (
                 "ensemble_parallel_ms",
                 report.ensemble_parallel_ms,
-                baseline.ensemble_parallel_ms,
+                metric_or_die("ensemble_parallel_ms"),
             ),
         ] {
             let ratio = fresh / base.max(1e-9);
@@ -199,6 +211,39 @@ fn main() {
         eprintln!(
             "bench_report: within ±{:.0}% of {baseline_path}",
             tolerance * 100.0
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_metrics_survive_a_pre_phase_breakdown_shape() {
+        // The exact shape bench_report wrote before phase_breakdown (and
+        // any later field) existed; a typed parse would reject it.
+        let old = r#"{
+            "schema": "frostlab-bench-ensemble/v1",
+            "jobs": 32,
+            "days": 7,
+            "threads": 8,
+            "campaign_week_ms": 1200.5,
+            "ensemble_serial_ms": 9000,
+            "ensemble_parallel_ms": 1500.25,
+            "per_campaign_ms": 281.3,
+            "speedup": 6.0
+        }"#;
+        let v: serde::Value = serde_json::from_str(old).expect("valid JSON");
+        assert_eq!(baseline_metric(&v, "campaign_week_ms"), Some(1200.5));
+        // Integer-shaped numbers widen to f64.
+        assert_eq!(baseline_metric(&v, "ensemble_serial_ms"), Some(9000.0));
+        assert_eq!(baseline_metric(&v, "ensemble_parallel_ms"), Some(1500.25));
+        assert_eq!(baseline_metric(&v, "phase_breakdown"), None);
+        assert_eq!(
+            baseline_metric(&v, "schema"),
+            None,
+            "strings are not metrics"
         );
     }
 }

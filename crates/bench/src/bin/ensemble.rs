@@ -6,18 +6,26 @@
 //! order, the `--invariant` output is byte-identical for any `--threads`
 //! value — CI runs it at 1 and 4 threads and `diff`s the files.
 //!
+//! `--traced` arms every campaign's tracer in metrics-only mode and
+//! prints the [`EnsembleMetrics`] report instead of the summary. That
+//! report carries no execution metadata, so it too must be byte-identical
+//! across `--threads` values — the `trace-determinism` CI job diffs it.
+//!
 //! ```sh
-//! ensemble [--seeds N] [--start-seed S] [--threads T] [--days D] [--invariant]
+//! ensemble [--seeds N] [--start-seed S] [--threads T] [--days D]
+//!          [--invariant] [--traced]
 //! ```
 //!
 //! `--days 0` (default 7) runs the full Feb 12 – May 13 campaign.
 
 use frostlab_core::config::{ExperimentConfig, FaultMode};
-use frostlab_ensemble::run_summary_sweep;
+use frostlab_ensemble::{run_summary_sweep, run_traced_sweep};
+use frostlab_trace::TraceConfig;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ensemble [--seeds N] [--start-seed S] [--threads T] [--days D] [--invariant]"
+        "usage: ensemble [--seeds N] [--start-seed S] [--threads T] [--days D] \
+         [--invariant] [--traced]"
     );
     std::process::exit(2);
 }
@@ -28,6 +36,7 @@ fn main() {
     let mut threads: usize = 0;
     let mut days: i64 = 7;
     let mut invariant = false;
+    let mut traced = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -41,11 +50,12 @@ fn main() {
             "--threads" => threads = val("--threads").parse().unwrap_or_else(|_| usage()),
             "--days" => days = val("--days").parse().unwrap_or_else(|_| usage()),
             "--invariant" => invariant = true,
+            "--traced" => traced = true,
             _ => usage(),
         }
     }
 
-    let summary = run_summary_sweep(start_seed, seeds, threads, |seed| {
+    let make_config = |seed: u64| {
         if days > 0 {
             ExperimentConfig {
                 fault_mode: FaultMode::Stochastic,
@@ -54,7 +64,21 @@ fn main() {
         } else {
             ExperimentConfig::paper_stochastic(seed)
         }
-    });
+    };
+
+    if traced {
+        let (_, metrics) = run_traced_sweep(
+            start_seed,
+            seeds,
+            threads,
+            TraceConfig::metrics_only(),
+            make_config,
+        );
+        println!("{}", metrics.to_json().expect("metrics serialize"));
+        return;
+    }
+
+    let summary = run_summary_sweep(start_seed, seeds, threads, make_config);
 
     let json = if invariant {
         summary.invariant_json()

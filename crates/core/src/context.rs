@@ -34,6 +34,7 @@ use frostlab_thermal::basement::Basement;
 use frostlab_thermal::enclosure::{Enclosure, EnclosureState};
 use frostlab_thermal::server_case::{ServerCaseThermal, ServerThermalParams};
 use frostlab_thermal::tent::{Tent, TentConfig};
+use frostlab_trace::Tracer;
 use frostlab_workload::job::{JobRunner, JobTemplate};
 use frostlab_workload::schedule::LoadSchedule;
 use frostlab_workload::stats::{Placement, WorkloadStats};
@@ -187,6 +188,10 @@ pub struct CampaignCtx {
     pub outside: Vec<WeatherObservation>,
     /// True tent-group energy integral, Wh.
     pub energy_true_wh: f64,
+    /// The campaign's trace handle. Disabled (a no-op) by default;
+    /// [`crate::scenario::ScenarioBuilder::with_tracing`] arms it. Draws
+    /// no randomness, so arming it never perturbs any RNG stream.
+    pub tracer: Tracer,
 }
 
 impl CampaignCtx {
@@ -306,6 +311,7 @@ impl CampaignCtx {
             basement_temp: TimeSeries::new(),
             outside: Vec::new(),
             energy_true_wh: 0.0,
+            tracer: Tracer::disabled(),
             cfg,
         }
     }
@@ -560,6 +566,7 @@ impl CampaignCtx {
             stored_archives: self.stored_archives,
             tent_energy_metered_kwh: self.meter.energy_kwh(),
             tent_energy_true_kwh: self.energy_true_wh / 1000.0,
+            trace: self.tracer.finish(),
         }
     }
 }

@@ -103,7 +103,7 @@ mod tests {
     }
 
     #[test]
-    fn watchdog_logs_the_switch_outage_with_recovery() {
+    fn watchdog_logs_the_switch_outage_with_recovery() -> Result<(), serde_json::Error> {
         // 20 days from Feb 12 cover both §4.2.1 switch deaths (Feb 26 and
         // Feb 28) and the Mar 1 restoration.
         let results = Experiment::new(ExperimentConfig::short(5, 20)).run();
@@ -132,9 +132,11 @@ mod tests {
             "{:?}",
             results.incidents
         );
-        // The log round-trips as machine-readable JSON.
-        let json = results.incident_log_json().expect("plain data");
+        // The log round-trips as machine-readable JSON; a serializer error
+        // propagates as a test failure instead of a panic.
+        let json = results.incident_log_json()?;
         assert!(json.contains("switch-0") && json.contains("switch-1"));
+        Ok(())
     }
 
     #[test]

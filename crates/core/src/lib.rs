@@ -28,6 +28,9 @@
 //!   supports **scripted** mode (replays the history; figures match the
 //!   paper) and **stochastic** mode (all faults drawn from the hazard
 //!   models; for Monte-Carlo and sensitivity studies);
+//! * [`observe`] — tracing instrumentation for the pipeline: per-phase
+//!   span probes and the per-tick metrics sampler installed by
+//!   [`scenario::ScenarioBuilder::with_tracing`] (see `frostlab-trace`);
 //! * [`experiment`] — the stable two-call shim over the stock paper
 //!   pipeline;
 //! * [`prototype`] — the plastic-box weekend (T5);
@@ -55,6 +58,7 @@ pub mod context;
 pub mod experiment;
 pub mod figures;
 pub mod fleet;
+pub mod observe;
 pub mod phases;
 pub mod prototype;
 pub mod results;

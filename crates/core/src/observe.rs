@@ -1,0 +1,346 @@
+//! Tracing instrumentation for the phase pipeline.
+//!
+//! Two pieces, both installed by
+//! [`crate::scenario::ScenarioBuilder::with_tracing`]:
+//!
+//! * [`TracePhaseProbe`] decorates each phase and emits one sim-time span
+//!   per step on a `phase/<name>` track;
+//! * [`TraceSamplePhase`] runs after the substrate phases each tick and
+//!   samples the campaign state into the tracer's metrics registry
+//!   (gauges at tick boundaries, counters by delta) while draining the
+//!   append-only ledgers — collector history, healed gaps, fault events,
+//!   watchdog incidents — into trace events via cursors.
+//!
+//! Everything here reads state the campaign already maintains; nothing
+//! draws randomness or wall-clock, so arming tracing cannot perturb a
+//! single RNG stream or artifact byte (the golden-hash tests pin this).
+
+use frostlab_netsim::collector::{AttemptKind, CollectOutcome};
+use frostlab_trace::FieldValue;
+
+use crate::context::CampaignCtx;
+use crate::phases::{PhaseTiming, TickPhase};
+
+/// Decorates a phase with a per-step sim-time span on `phase/<name>`.
+///
+/// The span covers the tick being simulated (`[now, now + tick]`), so the
+/// Perfetto view shows the seven substrate rows stepping in lockstep.
+/// `name()` and `timing()` delegate to the wrapped phase: builder edits
+/// still address it, and a [`crate::phases::TimingProbe`] composes in
+/// either nesting order.
+pub struct TracePhaseProbe {
+    inner: Box<dyn TickPhase>,
+    track: String,
+}
+
+impl TracePhaseProbe {
+    /// Trace `inner`'s steps.
+    pub fn new(inner: Box<dyn TickPhase>) -> TracePhaseProbe {
+        let track = format!("phase/{}", inner.name());
+        TracePhaseProbe { inner, track }
+    }
+}
+
+impl TickPhase for TracePhaseProbe {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn step(&mut self, ctx: &mut CampaignCtx) {
+        self.inner.step(ctx);
+        if ctx.tracer.phase_spans_enabled() {
+            let start = ctx.now;
+            let end = ctx.now + ctx.cfg.tick;
+            ctx.tracer.span(&self.track, "step", start, end, &[]);
+        }
+    }
+
+    fn timing(&self) -> Option<PhaseTiming> {
+        self.inner.timing()
+    }
+}
+
+/// Samples campaign state into the tracer once per tick, after the
+/// substrate phases have stepped.
+///
+/// Gauges snapshot the current tick (`tent.temp_c`, `tent.power_w`,
+/// `collector.gaps_open`, `fleet.hosts_up`, …); counters advance by delta
+/// against the campaign's own accumulators (`workload.runs_total`,
+/// `collector.attempts_total`, `faults.events_total`, …); and the
+/// append-only ledgers are drained through cursors into trace events —
+/// collection attempts and healed-gap spans (gated by
+/// `collection_events`), fault and incident instants (gated by
+/// `incident_events`).
+///
+/// `netsim.retransmits` counts the collector's backoff-driven catch-up
+/// attempts — the campaign-level analog of transport retransmission,
+/// since the collection pipeline models loss at attempt granularity
+/// rather than per frame.
+pub struct TraceSamplePhase {
+    collection_cursor: usize,
+    gap_cursor: usize,
+    fault_cursor: usize,
+    incident_cursor: usize,
+    resolve_emitted: Vec<bool>,
+    runs_seen: u64,
+    hash_errors_seen: usize,
+    registered: bool,
+}
+
+impl TraceSamplePhase {
+    /// A fresh sampler (all cursors at zero).
+    pub fn new() -> TraceSamplePhase {
+        TraceSamplePhase {
+            collection_cursor: 0,
+            gap_cursor: 0,
+            fault_cursor: 0,
+            incident_cursor: 0,
+            resolve_emitted: Vec::new(),
+            runs_seen: 0,
+            hash_errors_seen: 0,
+            registered: false,
+        }
+    }
+}
+
+impl Default for TraceSamplePhase {
+    fn default() -> Self {
+        TraceSamplePhase::new()
+    }
+}
+
+impl TickPhase for TraceSamplePhase {
+    fn name(&self) -> &str {
+        "trace-sample"
+    }
+
+    fn step(&mut self, ctx: &mut CampaignCtx) {
+        if !ctx.tracer.is_enabled() {
+            return;
+        }
+        if !self.registered {
+            ctx.tracer
+                .register_histogram("tent.temp_c_dist", -40.0, 1.0, 80);
+            ctx.tracer
+                .register_histogram("tent.power_w_dist", 0.0, 25.0, 80);
+            self.registered = true;
+        }
+        let t = ctx.now;
+
+        // Environment and fleet gauges, at the tick boundary.
+        ctx.tracer
+            .gauge_set("tent.temp_c", ctx.tent_state.air_temp_c);
+        ctx.tracer
+            .gauge_set("tent.rh_pct", ctx.tent_state.air_rh_pct);
+        ctx.tracer
+            .gauge_set("basement.temp_c", ctx.basement_state.air_temp_c);
+        ctx.tracer.gauge_set("outside.temp_c", ctx.weather.temp_c);
+        ctx.tracer.gauge_set("tent.power_w", ctx.tent_power_w);
+        ctx.tracer
+            .gauge_set("collector.gaps_open", ctx.collector.open_retries() as f64);
+        ctx.tracer
+            .gauge_set("watchdog.open_incidents", ctx.watchdog.open_count() as f64);
+        let hosts_up = ctx
+            .hosts
+            .iter()
+            .filter(|h| h.installed(t) && h.server.is_running())
+            .count();
+        ctx.tracer.gauge_set("fleet.hosts_up", hosts_up as f64);
+        ctx.tracer
+            .gauge_set("workload.archives_stored", ctx.stored_archives.len() as f64);
+        ctx.tracer
+            .observe("tent.temp_c_dist", ctx.tent_state.air_temp_c);
+        ctx.tracer.observe("tent.power_w_dist", ctx.tent_power_w);
+
+        // Workload counters, by delta against the stats accumulator.
+        let runs = ctx.workload.total_runs();
+        ctx.tracer
+            .counter_add("workload.runs_total", runs - self.runs_seen);
+        self.runs_seen = runs;
+        let hash_errors = ctx.workload.hash_errors().len();
+        ctx.tracer.counter_add(
+            "workload.wrong_hashes_total",
+            (hash_errors - self.hash_errors_seen) as u64,
+        );
+        self.hash_errors_seen = hash_errors;
+
+        // Collection attempts since the last tick.
+        let emit_collection = ctx.tracer.collection_events_enabled();
+        let history = ctx.collector.history();
+        for rec in &history[self.collection_cursor..] {
+            ctx.tracer.counter_add("collector.attempts_total", 1);
+            if rec.kind == AttemptKind::Retry {
+                ctx.tracer.counter_add("netsim.retransmits", 1);
+            }
+            let (outcome, files, bytes) = match &rec.outcome {
+                CollectOutcome::Success {
+                    files_updated,
+                    literal_bytes,
+                } => {
+                    ctx.tracer.counter_add("collector.success_total", 1);
+                    ("success", *files_updated as u64, *literal_bytes as u64)
+                }
+                CollectOutcome::Unreachable { .. } => {
+                    ctx.tracer.counter_add("collector.unreachable_total", 1);
+                    ("unreachable", 0, 0)
+                }
+                CollectOutcome::AuthFailed(_) => {
+                    ctx.tracer.counter_add("collector.auth_failed_total", 1);
+                    ("auth-failed", 0, 0)
+                }
+            };
+            if emit_collection {
+                let kind = match rec.kind {
+                    AttemptKind::Scheduled => "scheduled",
+                    AttemptKind::Retry => "retry",
+                };
+                ctx.tracer.instant(
+                    "collector",
+                    "attempt",
+                    rec.at,
+                    &[
+                        ("host", FieldValue::U64(u64::from(rec.host))),
+                        ("kind", FieldValue::Str(kind.to_string())),
+                        ("outcome", FieldValue::Str(outcome.to_string())),
+                        ("files_updated", FieldValue::U64(files)),
+                        ("literal_bytes", FieldValue::U64(bytes)),
+                    ],
+                );
+            }
+        }
+        self.collection_cursor = history.len();
+
+        // Gaps healed since the last tick — each becomes a span on the
+        // affected host's track, covering the whole outage.
+        let gaps = ctx.collector.gaps();
+        for gap in &gaps[self.gap_cursor..] {
+            ctx.tracer.counter_add("collector.gaps_healed_total", 1);
+            if emit_collection {
+                ctx.tracer.span(
+                    &format!("host/{}", gap.host),
+                    "collection-gap",
+                    gap.start,
+                    gap.end,
+                    &[(
+                        "failed_attempts",
+                        FieldValue::U64(u64::from(gap.failed_attempts)),
+                    )],
+                );
+            }
+        }
+        self.gap_cursor = gaps.len();
+
+        // Fault events since the last tick.
+        let emit_incidents = ctx.tracer.incident_events_enabled();
+        let faults = &ctx.fault_events;
+        for ev in &faults[self.fault_cursor..] {
+            ctx.tracer.counter_add("faults.events_total", 1);
+            if emit_incidents {
+                ctx.tracer.instant(
+                    "faults",
+                    "fault",
+                    ev.at,
+                    &[
+                        ("host", FieldValue::U64(u64::from(ev.host.0))),
+                        ("kind", FieldValue::Str(format!("{:?}", ev.kind))),
+                    ],
+                );
+            }
+        }
+        self.fault_cursor = faults.len();
+
+        // Watchdog incidents: opens are append-only (cursor); resolves
+        // mutate in place, so track emission per incident index.
+        let incidents = ctx.watchdog.incidents();
+        self.resolve_emitted.resize(incidents.len(), false);
+        for inc in &incidents[self.incident_cursor..] {
+            ctx.tracer.counter_add("watchdog.incidents_opened", 1);
+            if emit_incidents {
+                ctx.tracer.instant(
+                    "watchdog",
+                    "incident-open",
+                    inc.started,
+                    &[
+                        ("kind", FieldValue::Str(inc.kind.name().to_string())),
+                        ("subject", FieldValue::Str(inc.subject.clone())),
+                    ],
+                );
+            }
+        }
+        self.incident_cursor = incidents.len();
+        for (i, inc) in incidents.iter().enumerate() {
+            if self.resolve_emitted[i] {
+                continue;
+            }
+            if let Some(resolved) = inc.resolved {
+                self.resolve_emitted[i] = true;
+                ctx.tracer.counter_add("watchdog.incidents_resolved", 1);
+                if emit_incidents {
+                    ctx.tracer.instant(
+                        "watchdog",
+                        "incident-resolve",
+                        resolved,
+                        &[("subject", FieldValue::Str(inc.subject.clone()))],
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentConfig;
+    use crate::phases::WeatherPhase;
+    use frostlab_simkern::time::SimDuration;
+    use frostlab_trace::{TraceConfig, Tracer};
+
+    #[test]
+    fn sample_phase_is_inert_without_a_tracer() {
+        let cfg = ExperimentConfig::short(1, 2);
+        let mut ctx = CampaignCtx::new(cfg);
+        let mut phase = TraceSamplePhase::new();
+        phase.step(&mut ctx);
+        assert_eq!(ctx.tracer.events_recorded(), 0);
+    }
+
+    #[test]
+    fn sample_phase_snapshots_gauges_each_tick() {
+        let cfg = ExperimentConfig::short(1, 2);
+        let start = cfg.start;
+        let mut ctx = CampaignCtx::new(cfg);
+        ctx.tracer = Tracer::enabled(TraceConfig::default(), start);
+        let mut phase = TraceSamplePhase::new();
+        phase.step(&mut ctx);
+        let trace = ctx.tracer.finish().expect("enabled");
+        assert_eq!(
+            trace.metrics.gauge("tent.temp_c"),
+            Some(ctx.tent_state.air_temp_c)
+        );
+        assert!(trace.metrics.gauge("fleet.hosts_up").is_some());
+        assert!(trace.metrics.gauge("collector.gaps_open").is_some());
+    }
+
+    #[test]
+    fn phase_probe_emits_one_span_per_step_and_keeps_the_name() {
+        let cfg = ExperimentConfig::short(1, 2);
+        let start = cfg.start;
+        let mut ctx = CampaignCtx::new(cfg);
+        ctx.tracer = Tracer::enabled(TraceConfig::default(), start);
+        let mut probe = TracePhaseProbe::new(Box::new(WeatherPhase::new()));
+        assert_eq!(probe.name(), "weather");
+        for _ in 0..3 {
+            probe.step(&mut ctx);
+            ctx.now += SimDuration::minutes(1);
+        }
+        let trace = ctx.tracer.finish().expect("enabled");
+        let spans: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| e.track == "phase/weather")
+            .collect();
+        assert_eq!(spans.len(), 3);
+        assert!(spans.iter().all(|e| e.end.is_some()));
+    }
+}

@@ -27,6 +27,7 @@ use std::time::Instant;
 use frostlab_faults::repair::RepairAction;
 use frostlab_faults::types::{FaultEvent, FaultKind, HostId};
 use frostlab_simkern::time::{SimDuration, SimTime};
+use frostlab_trace::FieldValue;
 use frostlab_workload::stats::Placement;
 
 use crate::config::{ExperimentConfig, FaultMode};
@@ -101,6 +102,13 @@ impl TickPhase for TimingProbe {
     }
 
     fn timing(&self) -> Option<PhaseTiming> {
+        // If the wrapped phase already meters itself (a nested probe, or a
+        // tracing probe around one), its numbers are authoritative: the
+        // innermost probe excludes every wrapper's own overhead, and
+        // reporting both would double-count the phase under one name.
+        if let Some(inner) = self.inner.timing() {
+            return Some(inner);
+        }
         Some(PhaseTiming {
             phase: self.inner.name().to_string(),
             total_ms: self.total.as_secs_f64() * 1e3,
@@ -417,6 +425,19 @@ impl TickPhase for HostStepPhase {
                 host.page_ops_since_poll += outcome.page_ops;
                 host.server.memory.record_page_ops(outcome.page_ops);
                 ctx.workload.record_run(host.plan.id, outcome.page_ops);
+                if ctx.tracer.host_spans_enabled() {
+                    ctx.tracer.span(
+                        &format!("host/{}", host.plan.id),
+                        "job-run",
+                        t,
+                        host.busy_until,
+                        &[
+                            ("page_ops", FieldValue::U64(outcome.page_ops)),
+                            ("hash_ok", FieldValue::Bool(outcome.hash_ok)),
+                            ("flips", FieldValue::U64(u64::from(flips))),
+                        ],
+                    );
+                }
                 let line = format!("{} {} run\n", t.datetime(), outcome.hash);
                 host.store.append(&daily_log("md5sums", t), line.as_bytes());
                 if !outcome.hash_ok {
@@ -670,5 +691,21 @@ mod tests {
     fn stock_phases_report_no_timing() {
         assert!(WeatherPhase::new().timing().is_none());
         assert!(PowerIntegrationPhase::new().timing().is_none());
+    }
+
+    #[test]
+    fn nested_timing_probes_keep_the_inner_name_and_do_not_double_count() {
+        let cfg = ExperimentConfig::short(1, 3);
+        let mut ctx = ctx_at(cfg);
+        let inner = TimingProbe::new(Box::new(WeatherPhase::new()));
+        let mut outer = TimingProbe::new(Box::new(inner));
+        assert_eq!(outer.name(), "weather");
+        for _ in 0..3 {
+            outer.step(&mut ctx);
+            ctx.now += SimDuration::minutes(1);
+        }
+        let timing = outer.timing().expect("probe measures");
+        assert_eq!(timing.phase, "weather", "inner phase name survives");
+        assert_eq!(timing.calls, 3, "one count per step, not two");
     }
 }

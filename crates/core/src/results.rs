@@ -9,6 +9,7 @@ use frostlab_faults::types::FaultEvent;
 use frostlab_hardware::server::Vendor;
 use frostlab_netsim::collector::{AttemptKind, CollectRecord, CollectionGap};
 use frostlab_simkern::time::SimTime;
+use frostlab_trace::CampaignTrace;
 
 use crate::watchdog::{Incident, IncidentRecord};
 use frostlab_telemetry::series::TimeSeries;
@@ -103,6 +104,9 @@ pub struct ExperimentResults {
     pub tent_energy_metered_kwh: f64,
     /// Tent-group energy, true, kWh.
     pub tent_energy_true_kwh: f64,
+    /// The campaign's frozen trace, if the scenario enabled tracing
+    /// (`None` for the default no-op tracer).
+    pub trace: Option<CampaignTrace>,
 }
 
 impl ExperimentResults {

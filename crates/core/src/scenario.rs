@@ -24,8 +24,11 @@
 //! `enclosure-thermal`, `logger-poll`, `script`, `host-step`,
 //! `collection`, `power-integration`.
 
+use frostlab_trace::{TraceConfig, Tracer};
+
 use crate::config::ExperimentConfig;
 use crate::context::CampaignCtx;
+use crate::observe::{TracePhaseProbe, TraceSamplePhase};
 use crate::phases::{
     CollectionPhase, EnclosureThermalPhase, HostStepPhase, LoggerPollPhase, PhaseTiming,
     PowerIntegrationPhase, ScriptPhase, TickPhase, TimingProbe, WeatherPhase,
@@ -146,12 +149,43 @@ impl ScenarioBuilder {
     /// Wrap *every* phase in a [`TimingProbe`] so
     /// [`Scenario::run_with_timings`] can report the per-phase wall-clock
     /// breakdown.
+    ///
+    /// Phases that already report a timing (e.g. one manually wrapped via
+    /// [`ScenarioBuilder::wrap`]) are left alone, so the phase is metered
+    /// exactly once under its own name.
     pub fn with_timing(mut self) -> ScenarioBuilder {
         self.phases = self
             .phases
             .into_iter()
-            .map(|p| Box::new(TimingProbe::new(p)) as Box<dyn TickPhase>)
+            .map(|p| {
+                if p.timing().is_some() {
+                    p
+                } else {
+                    Box::new(TimingProbe::new(p)) as Box<dyn TickPhase>
+                }
+            })
             .collect();
+        self
+    }
+
+    /// Arm the campaign's tracer and instrument the pipeline: every phase
+    /// currently in the pipeline is wrapped in a [`TracePhaseProbe`] and a
+    /// [`TraceSamplePhase`] is appended to sample metrics at each tick
+    /// boundary. The finished run carries the frozen trace in
+    /// [`ExperimentResults::trace`].
+    ///
+    /// Call this *after* structural edits so late-added phases are probed
+    /// too. Tracing draws no randomness and no wall-clock, so results stay
+    /// byte-identical to an untraced run and the exported trace is
+    /// byte-identical across runs and ensemble thread counts.
+    pub fn with_tracing(mut self, cfg: TraceConfig) -> ScenarioBuilder {
+        self.ctx.tracer = Tracer::enabled(cfg, self.ctx.cfg.start);
+        self.phases = self
+            .phases
+            .into_iter()
+            .map(|p| Box::new(TracePhaseProbe::new(p)) as Box<dyn TickPhase>)
+            .collect();
+        self.phases.push(Box::new(TraceSamplePhase::new()));
         self
     }
 
@@ -333,6 +367,68 @@ mod tests {
         assert_eq!(timings.len(), 1);
         assert_eq!(timings[0].phase, "collection");
         assert!(timings[0].calls > 0);
+    }
+
+    #[test]
+    fn with_timing_after_manual_wrap_does_not_double_count() {
+        // The collection phase is already probed by hand; `with_timing`
+        // must leave it alone instead of nesting a second probe that
+        // would report the phase twice (or double its wall-clock).
+        let (_, timings) = ScenarioBuilder::paper(ExperimentConfig::short(4, 2))
+            .wrap("collection", |inner| Box::new(TimingProbe::new(inner)))
+            .with_timing()
+            .build()
+            .run_with_timings();
+        let names: Vec<&str> = timings.iter().map(|t| t.phase.as_str()).collect();
+        assert_eq!(names, STOCK, "each phase metered exactly once");
+        let expected_ticks = 2 * 24 * 60 + 1;
+        for t in &timings {
+            assert_eq!(t.calls, expected_ticks, "{}", t.phase);
+        }
+    }
+
+    #[test]
+    fn with_tracing_records_a_trace_without_changing_results() {
+        use frostlab_trace::TraceConfig;
+        let plain = ScenarioBuilder::paper(ExperimentConfig::short(3, 2))
+            .build()
+            .run();
+        let traced = ScenarioBuilder::paper(ExperimentConfig::short(3, 2))
+            .with_tracing(TraceConfig::default())
+            .build()
+            .run();
+        assert!(plain.trace.is_none(), "tracing is off by default");
+        assert_eq!(plain.workload.total_runs(), traced.workload.total_runs());
+        assert_eq!(plain.tent_temp_truth, traced.tent_temp_truth);
+        assert_eq!(plain.incidents, traced.incidents);
+        let trace = traced.trace.expect("tracing was armed");
+        assert!(!trace.events.is_empty());
+        // Zero-delta ticks never create a counter, so a window with no
+        // runs leaves it absent rather than zero.
+        assert_eq!(
+            trace.metrics.counter("workload.runs_total").unwrap_or(0),
+            traced.workload.total_runs(),
+            "the runs counter tracks the workload accumulator"
+        );
+        assert!(trace.metrics.gauge("tent.temp_c").is_some());
+    }
+
+    #[test]
+    fn tracing_composes_with_timing() {
+        use frostlab_trace::TraceConfig;
+        let (results, timings) = ScenarioBuilder::paper(ExperimentConfig::short(5, 1))
+            .with_tracing(TraceConfig::default())
+            .with_timing()
+            .build()
+            .run_with_timings();
+        assert!(results.trace.is_some());
+        // The trace-sample phase is part of the pipeline now, so it is
+        // metered too; the seven substrate phases keep their own names
+        // through the nested probes.
+        let names: Vec<&str> = timings.iter().map(|t| t.phase.as_str()).collect();
+        let mut expected: Vec<&str> = STOCK.to_vec();
+        expected.push("trace-sample");
+        assert_eq!(names, expected);
     }
 
     #[test]

@@ -32,13 +32,17 @@
 
 pub mod aggregate;
 pub mod engine;
+pub mod metrics;
 pub mod report;
 
 pub use aggregate::{CampaignAggregate, EnsembleSummary};
 pub use engine::Ensemble;
+pub use metrics::{EnsembleMetrics, GaugeAggregate, MetricsAggregate};
 
 use frostlab_core::config::ExperimentConfig;
 use frostlab_core::results::CampaignSummary;
+use frostlab_core::scenario::ScenarioBuilder;
+use frostlab_trace::TraceConfig;
 
 /// Run `campaigns` experiments for the contiguous seed range starting at
 /// `seed_start` and stream their [`CampaignSummary`] projections into one
@@ -62,4 +66,45 @@ where
         |_, s: CampaignSummary| agg.absorb(&s),
     );
     agg.finish(seed_start, used)
+}
+
+/// Like [`run_summary_sweep`], but every campaign runs with its tracer
+/// armed; per-seed metric snapshots are aggregated **in seed order** into
+/// an [`EnsembleMetrics`] report alongside the usual summary.
+///
+/// Each campaign emits into its own buffer on whatever worker thread runs
+/// it, and the engine's ordered sink does the folding — so the report
+/// (like the summary) is byte-identical for any `threads` value. Event
+/// buffers are dropped after each campaign is projected; pass
+/// [`TraceConfig::metrics_only`] to skip buffering events entirely on
+/// large sweeps.
+pub fn run_traced_sweep<C>(
+    seed_start: u64,
+    campaigns: u64,
+    threads: usize,
+    trace: TraceConfig,
+    make_config: C,
+) -> (EnsembleSummary, EnsembleMetrics)
+where
+    C: Fn(u64) -> ExperimentConfig + Sync,
+{
+    let ensemble = Ensemble::new(campaigns).threads(threads);
+    let used = ensemble.effective_threads();
+    let mut agg = CampaignAggregate::new();
+    let mut metrics = MetricsAggregate::new();
+    ensemble.run_scenarios(
+        |i| {
+            ScenarioBuilder::paper(make_config(seed_start + i))
+                .with_tracing(trace)
+                .build()
+        },
+        |r| (r.summary(), r.trace.as_ref().map(|t| t.metrics.clone())),
+        |_, (s, m)| {
+            agg.absorb(&s);
+            if let Some(m) = m {
+                metrics.absorb(&m);
+            }
+        },
+    );
+    (agg.finish(seed_start, used), metrics.finish(seed_start))
 }

@@ -69,6 +69,35 @@ mod tests {
     }
 
     #[test]
+    fn no_channels_at_all_is_just_the_time_header() {
+        assert_eq!(to_csv(&[]), "datetime,days\n");
+    }
+
+    #[test]
+    fn several_empty_channels_still_name_their_columns() {
+        let a = TimeSeries::new();
+        let b = TimeSeries::new();
+        let csv = to_csv(&[("outside", &a), ("inside", &b)]);
+        assert_eq!(csv, "datetime,days,outside,inside\n");
+    }
+
+    #[test]
+    fn nan_samples_render_as_nan_cells_not_empty_ones() {
+        // A NaN is a *present* broken reading (e.g. a corrupted logger
+        // record), distinct from a missing sample's empty cell.
+        let a = TimeSeries::from_points([
+            (SimTime::from_secs(0), f64::NAN),
+            (SimTime::from_secs(600), 1.0),
+        ]);
+        let b = TimeSeries::from_points([(SimTime::from_secs(600), 2.0)]);
+        let csv = to_csv(&[("bad", &a), ("good", &b)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].ends_with(",NaN,"), "NaN cell lost: {}", lines[1]);
+        assert!(lines[2].ends_with(",1.00,2.00"), "{}", lines[2]);
+    }
+
+    #[test]
     fn dates_render() {
         let a = TimeSeries::from_points([(SimTime::from_date(2010, 3, 7), -9.5)]);
         let csv = to_csv(&[("t", &a)]);

@@ -1,0 +1,104 @@
+//! Trace events: sim-time spans and instants with structured fields.
+
+use frostlab_simkern::time::SimTime;
+use serde::Value;
+
+/// A structured key/value field attached to a [`TraceEvent`].
+///
+/// Not a serde-derived enum (the vendored derive handles unit variants
+/// only); exporters convert through [`FieldValue::to_value`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (non-finite values export as JSON `null`).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Text.
+    Str(String),
+}
+
+impl FieldValue {
+    /// The JSON value this field exports as.
+    pub fn to_value(&self) -> Value {
+        match self {
+            FieldValue::U64(v) => Value::UInt(*v),
+            FieldValue::I64(v) => Value::Int(*v),
+            FieldValue::F64(v) => Value::Float(*v),
+            FieldValue::Bool(v) => Value::Bool(*v),
+            FieldValue::Str(v) => Value::Str(v.clone()),
+        }
+    }
+}
+
+/// One recorded observation: a sim-time span (`end` set) or an instant
+/// (`end == None`), on a named track.
+///
+/// Tracks group related events into one timeline row in the Perfetto
+/// export — `phase/collection`, `host/15`, `watchdog`, `collector` — and
+/// `seq` preserves emission order for ties in sim-time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Emission sequence number (0-based, unique within one trace).
+    pub seq: u64,
+    /// Timeline row this event belongs to.
+    pub track: String,
+    /// Event name (`step`, `job-run`, `attempt`, `incident-open`, …).
+    pub name: String,
+    /// Span start, or the instant itself.
+    pub start: SimTime,
+    /// Span end; `None` marks an instant event.
+    pub end: Option<SimTime>,
+    /// Structured fields, in emission order.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl TraceEvent {
+    /// Span length in seconds (zero for instants).
+    pub fn duration_secs(&self) -> i64 {
+        match self.end {
+            Some(end) => (end - self.start).as_secs(),
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frostlab_simkern::time::SimDuration;
+
+    #[test]
+    fn field_values_convert_to_json_values() {
+        assert_eq!(FieldValue::U64(7).to_value(), Value::UInt(7));
+        assert_eq!(FieldValue::I64(-3).to_value(), Value::Int(-3));
+        assert_eq!(FieldValue::F64(1.5).to_value(), Value::Float(1.5));
+        assert_eq!(FieldValue::Bool(true).to_value(), Value::Bool(true));
+        assert_eq!(
+            FieldValue::Str("ok".into()).to_value(),
+            Value::Str("ok".into())
+        );
+    }
+
+    #[test]
+    fn duration_is_zero_for_instants() {
+        let at = SimTime::from_secs(100);
+        let instant = TraceEvent {
+            seq: 0,
+            track: "watchdog".into(),
+            name: "incident-open".into(),
+            start: at,
+            end: None,
+            fields: Vec::new(),
+        };
+        assert_eq!(instant.duration_secs(), 0);
+        let span = TraceEvent {
+            end: Some(at + SimDuration::secs(60)),
+            ..instant
+        };
+        assert_eq!(span.duration_secs(), 60);
+    }
+}

@@ -1,0 +1,283 @@
+//! Exporters: JSONL event log, Chrome trace-event (Perfetto) JSON, and
+//! Prometheus text metrics.
+//!
+//! All three are pure functions of a frozen trace/snapshot and are part
+//! of the byte-identical determinism contract: same campaign, same bytes,
+//! regardless of run count or ensemble thread count. Nothing here reads
+//! the wall clock.
+
+use serde::Value;
+
+use crate::event::TraceEvent;
+use crate::metrics::MetricsSnapshot;
+use crate::tracer::CampaignTrace;
+
+/// JSONL schema tag written in the header line.
+pub const JSONL_SCHEMA: &str = "frostlab-trace/v1";
+
+fn fields_object(event: &TraceEvent) -> Value {
+    Value::Object(
+        event
+            .fields
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect(),
+    )
+}
+
+/// Export the event stream as JSON Lines: one header object, then one
+/// compact object per event in emission order.
+///
+/// Event keys, in fixed order: `seq`, `track`, `name`, `at` (civil
+/// datetime of the start), `start_s`/`end_s`/`dur_s` (sim-seconds since
+/// the epoch; `end_s`/`dur_s` only for spans), and `fields` (omitted when
+/// empty).
+pub fn to_jsonl(trace: &CampaignTrace) -> Result<String, serde_json::Error> {
+    let mut out = String::new();
+    let header = Value::Object(vec![
+        ("schema".to_string(), Value::Str(JSONL_SCHEMA.to_string())),
+        ("base_s".to_string(), Value::Int(trace.base.as_secs())),
+        ("events".to_string(), Value::UInt(trace.events.len() as u64)),
+        ("dropped".to_string(), Value::UInt(trace.dropped_events)),
+    ]);
+    out.push_str(&serde_json::to_string(&header)?);
+    out.push('\n');
+    for event in &trace.events {
+        let mut obj = vec![
+            ("seq".to_string(), Value::UInt(event.seq)),
+            ("track".to_string(), Value::Str(event.track.clone())),
+            ("name".to_string(), Value::Str(event.name.clone())),
+            ("at".to_string(), Value::Str(event.start.to_string())),
+            ("start_s".to_string(), Value::Int(event.start.as_secs())),
+        ];
+        if let Some(end) = event.end {
+            obj.push(("end_s".to_string(), Value::Int(end.as_secs())));
+            obj.push(("dur_s".to_string(), Value::Int(event.duration_secs())));
+        }
+        if !event.fields.is_empty() {
+            obj.push(("fields".to_string(), fields_object(event)));
+        }
+        out.push_str(&serde_json::to_string(&Value::Object(obj))?);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Export as Chrome trace-event JSON, loadable in Perfetto or
+/// `chrome://tracing`.
+///
+/// Every track becomes a named thread under pid 0 (tids assigned by
+/// first-appearance order, announced with `thread_name` metadata
+/// records). Spans are `ph:"X"` complete events and instants `ph:"i"`;
+/// `ts`/`dur` are **microseconds of sim-time** relative to the campaign
+/// start, so one on-screen millisecond is one simulated millisecond.
+pub fn to_chrome_trace(trace: &CampaignTrace) -> Result<String, serde_json::Error> {
+    let mut tids: Vec<&str> = Vec::new();
+    let mut records: Vec<Value> = Vec::new();
+    for event in &trace.events {
+        let tid = match tids.iter().position(|t| *t == event.track) {
+            Some(i) => i,
+            None => {
+                tids.push(&event.track);
+                let i = tids.len() - 1;
+                records.push(Value::Object(vec![
+                    ("ph".to_string(), Value::Str("M".to_string())),
+                    ("pid".to_string(), Value::UInt(0)),
+                    ("tid".to_string(), Value::UInt(i as u64)),
+                    ("name".to_string(), Value::Str("thread_name".to_string())),
+                    (
+                        "args".to_string(),
+                        Value::Object(vec![("name".to_string(), Value::Str(event.track.clone()))]),
+                    ),
+                ]));
+                i
+            }
+        };
+        let ts_us = (event.start - trace.base).as_secs() * 1_000_000;
+        let mut obj = vec![
+            ("name".to_string(), Value::Str(event.name.clone())),
+            ("cat".to_string(), Value::Str("sim".to_string())),
+            (
+                "ph".to_string(),
+                Value::Str(if event.end.is_some() { "X" } else { "i" }.to_string()),
+            ),
+            ("pid".to_string(), Value::UInt(0)),
+            ("tid".to_string(), Value::UInt(tid as u64)),
+            ("ts".to_string(), Value::Int(ts_us)),
+        ];
+        if event.end.is_some() {
+            obj.push((
+                "dur".to_string(),
+                Value::Int(event.duration_secs() * 1_000_000),
+            ));
+        } else {
+            obj.push(("s".to_string(), Value::Str("t".to_string())));
+        }
+        obj.push(("args".to_string(), fields_object(event)));
+        records.push(Value::Object(obj));
+    }
+    let doc = Value::Object(vec![
+        ("traceEvents".to_string(), Value::Array(records)),
+        ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),
+    ]);
+    serde_json::to_string(&doc)
+}
+
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 9);
+    out.push_str("frostlab_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    out
+}
+
+fn fmt_float(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        (if v > 0.0 { "+Inf" } else { "-Inf" }).to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Export a metrics snapshot in the Prometheus text exposition format.
+///
+/// Names are prefixed `frostlab_` with non-alphanumerics mapped to `_`
+/// (`collector.gaps_open` → `frostlab_collector_gaps_open`). Histograms
+/// emit cumulative `_bucket{le="…"}` lines (underflow counts toward every
+/// bucket, `+Inf` equals the observation count), then `_sum` and
+/// `_count`.
+pub fn to_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for c in &snapshot.counters {
+        let name = sanitize(&c.name);
+        out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.value));
+    }
+    for g in &snapshot.gauges {
+        let name = sanitize(&g.name);
+        out.push_str(&format!(
+            "# TYPE {name} gauge\n{name} {}\n",
+            fmt_float(g.value)
+        ));
+    }
+    for h in &snapshot.histograms {
+        let name = sanitize(&h.name);
+        out.push_str(&format!("# TYPE {name} histogram\n"));
+        let mut cum = h.underflow;
+        for (i, bin) in h.counts.iter().enumerate() {
+            cum += bin;
+            let le = h.min + h.width * (i + 1) as f64;
+            out.push_str(&format!(
+                "{name}_bucket{{le=\"{}\"}} {cum}\n",
+                fmt_float(le)
+            ));
+        }
+        cum += h.overflow;
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cum}\n"));
+        out.push_str(&format!("{name}_sum {}\n", fmt_float(h.sum)));
+        out.push_str(&format!("{name}_count {}\n", h.count));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::FieldValue;
+    use crate::metrics::MetricsRegistry;
+    use crate::tracer::{TraceConfig, Tracer};
+    use frostlab_simkern::time::{SimDuration, SimTime};
+
+    fn sample_trace() -> CampaignTrace {
+        let base = SimTime::ZERO;
+        let mut t = Tracer::enabled(TraceConfig::default(), base);
+        t.span(
+            "phase/weather",
+            "step",
+            base,
+            base + SimDuration::secs(60),
+            &[("tick", FieldValue::U64(0))],
+        );
+        t.instant(
+            "watchdog",
+            "incident-open",
+            base + SimDuration::secs(30),
+            &[("kind", FieldValue::Str("switch".into()))],
+        );
+        t.span(
+            "phase/weather",
+            "step",
+            base + SimDuration::secs(60),
+            base + SimDuration::secs(120),
+            &[],
+        );
+        t.finish().expect("enabled")
+    }
+
+    #[test]
+    fn jsonl_has_header_and_one_line_per_event() {
+        let jsonl = to_jsonl(&sample_trace()).expect("plain data");
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("\"schema\":\"frostlab-trace/v1\""));
+        assert!(lines[0].contains("\"events\":3"));
+        assert!(lines[1].contains("\"track\":\"phase/weather\""));
+        assert!(lines[1].contains("\"at\":\"2010-01-01 00:00:00\""));
+        assert!(lines[1].contains("\"dur_s\":60"));
+        // Instant events carry no end/duration and keep their fields.
+        assert!(lines[2].contains("\"name\":\"incident-open\""));
+        assert!(!lines[2].contains("dur_s"));
+        assert!(lines[2].contains("\"kind\":\"switch\""));
+        // Spans without fields omit the fields object entirely.
+        assert!(!lines[3].contains("fields"));
+    }
+
+    #[test]
+    fn chrome_trace_names_tracks_and_scales_to_microseconds() {
+        let json = to_chrome_trace(&sample_trace()).expect("plain data");
+        assert!(json.contains("\"displayTimeUnit\":\"ms\""));
+        // Two tracks, first-appearance order: phase/weather = 0, watchdog = 1.
+        assert!(json.contains("\"thread_name\",\"args\":{\"name\":\"phase/weather\"}"));
+        assert!(json.contains("\"thread_name\",\"args\":{\"name\":\"watchdog\"}"));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":0,\"dur\":60000000"));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"ts\":30000000,\"s\":\"t\""));
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let a = sample_trace();
+        let b = sample_trace();
+        assert_eq!(to_jsonl(&a).unwrap(), to_jsonl(&b).unwrap());
+        assert_eq!(to_chrome_trace(&a).unwrap(), to_chrome_trace(&b).unwrap());
+    }
+
+    #[test]
+    fn prometheus_text_renders_all_metric_kinds() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("collector.attempts_total", 7);
+        reg.gauge_set("tent.temp_c", -12.5);
+        reg.register_histogram("tent.temp_c_dist", -2.0, 1.0, 3);
+        reg.observe("tent.temp_c_dist", -5.0); // underflow
+        reg.observe("tent.temp_c_dist", -1.5); // bin 0
+        reg.observe("tent.temp_c_dist", 0.5); // bin 2
+        reg.observe("tent.temp_c_dist", 9.0); // overflow
+        let text = to_prometheus(&reg.snapshot());
+        assert!(text.contains(
+            "# TYPE frostlab_collector_attempts_total counter\nfrostlab_collector_attempts_total 7\n"
+        ));
+        assert!(text.contains("# TYPE frostlab_tent_temp_c gauge\nfrostlab_tent_temp_c -12.5\n"));
+        // Cumulative buckets: underflow=1, then +1 at le=-1, +0, +1, +Inf adds overflow.
+        assert!(text.contains("frostlab_tent_temp_c_dist_bucket{le=\"-1.0\"} 2\n"));
+        assert!(text.contains("frostlab_tent_temp_c_dist_bucket{le=\"0.0\"} 2\n"));
+        assert!(text.contains("frostlab_tent_temp_c_dist_bucket{le=\"1.0\"} 3\n"));
+        assert!(text.contains("frostlab_tent_temp_c_dist_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("frostlab_tent_temp_c_dist_sum 3.0\n"));
+        assert!(text.contains("frostlab_tent_temp_c_dist_count 4\n"));
+    }
+}

@@ -1,0 +1,267 @@
+//! The metrics registry: counters, gauges, fixed-bin histograms.
+//!
+//! Metric names are dotted lowercase paths (`collector.gaps_open`,
+//! `tent.temp_c`); the Prometheus exporter sanitizes them. Everything is
+//! stored in `BTreeMap`s so a [`MetricsSnapshot`] always lists metrics in
+//! name order — part of the byte-identical export contract.
+
+use std::collections::BTreeMap;
+
+use frostlab_analysis::stats::Histogram;
+
+/// Live metric state while a campaign runs.
+///
+/// Counters are monotonic `u64`s, gauges are last-write-wins `f64`s, and
+/// histograms must be registered (geometry up front) before
+/// [`MetricsRegistry::observe`] feeds them — an observation against an
+/// unregistered name is silently dropped, so optional instrumentation
+/// can't poison a run with an implicit geometry.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, HistState>,
+}
+
+#[derive(Debug, Clone)]
+struct HistState {
+    hist: Histogram,
+    sum: f64,
+    count: u64,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Add `delta` to a (monotonic) counter, creating it at zero.
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Set a gauge to its latest value, creating it on first write.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Register a fixed-bin histogram over `[min, min + width·bins)`.
+    /// Re-registering an existing name keeps the original state.
+    ///
+    /// # Panics
+    /// Panics if `width <= 0` or `bins == 0` (bad geometry is a
+    /// scenario-definition bug).
+    pub fn register_histogram(&mut self, name: &str, min: f64, width: f64, bins: usize) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| HistState {
+                hist: Histogram::new(min, width, bins),
+                sum: 0.0,
+                count: 0,
+            });
+    }
+
+    /// Feed one sample into a registered histogram. Unregistered names
+    /// and NaN samples are ignored.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        if let Some(state) = self.histograms.get_mut(name) {
+            state.hist.push(value);
+            state.sum += value;
+            state.count += 1;
+        }
+    }
+
+    /// Current value of a counter (`None` until first increment).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Current value of a gauge (`None` until first write).
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Freeze the registry into a serializable, name-ordered snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(name, &value)| CounterSample {
+                    name: name.clone(),
+                    value,
+                })
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(name, &value)| GaugeSample {
+                    name: name.clone(),
+                    value,
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(name, state)| HistogramSample {
+                    name: name.clone(),
+                    min: state.hist.min,
+                    width: state.hist.width,
+                    counts: state.hist.counts.clone(),
+                    underflow: state.hist.underflow,
+                    overflow: state.hist.overflow,
+                    sum: state.sum,
+                    count: state.count,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One counter's frozen value.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CounterSample {
+    /// Metric name.
+    pub name: String,
+    /// Monotonic count.
+    pub value: u64,
+}
+
+/// One gauge's frozen value.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GaugeSample {
+    /// Metric name.
+    pub name: String,
+    /// Last value written.
+    pub value: f64,
+}
+
+/// One histogram's frozen state (geometry + counts + sum).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HistogramSample {
+    /// Metric name.
+    pub name: String,
+    /// Left edge of the first bin.
+    pub min: f64,
+    /// Bin width.
+    pub width: f64,
+    /// Per-bin counts.
+    pub counts: Vec<u64>,
+    /// Samples below `min`.
+    pub underflow: u64,
+    /// Samples at or above the last edge.
+    pub overflow: u64,
+    /// Sum of all observed samples.
+    pub sum: f64,
+    /// Number of observed samples.
+    pub count: u64,
+}
+
+impl HistogramSample {
+    /// Rehydrate the [`Histogram`] for merging or percentile queries.
+    pub fn to_histogram(&self) -> Histogram {
+        Histogram {
+            min: self.min,
+            width: self.width,
+            counts: self.counts.clone(),
+            underflow: self.underflow,
+            overflow: self.overflow,
+        }
+    }
+}
+
+/// Name-ordered, serializable snapshot of a [`MetricsRegistry`].
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct MetricsSnapshot {
+    /// All counters, by name.
+    pub counters: Vec<CounterSample>,
+    /// All gauges, by name.
+    pub gauges: Vec<GaugeSample>,
+    /// All histograms, by name.
+    pub histograms: Vec<HistogramSample>,
+}
+
+impl MetricsSnapshot {
+    /// Look up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Look up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// Pretty JSON of the snapshot.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("collector.attempts_total", 3);
+        reg.counter_add("collector.attempts_total", 2);
+        reg.gauge_set("tent.temp_c", -12.0);
+        reg.gauge_set("tent.temp_c", -9.5);
+        assert_eq!(reg.counter("collector.attempts_total"), Some(5));
+        assert_eq!(reg.gauge("tent.temp_c"), Some(-9.5));
+        assert_eq!(reg.counter("nope"), None);
+        assert_eq!(reg.gauge("nope"), None);
+    }
+
+    #[test]
+    fn histograms_require_registration() {
+        let mut reg = MetricsRegistry::new();
+        reg.observe("tent.temp_c_dist", -5.0); // dropped: not registered
+        reg.register_histogram("tent.temp_c_dist", -40.0, 1.0, 80);
+        reg.observe("tent.temp_c_dist", -5.0);
+        reg.observe("tent.temp_c_dist", -5.5);
+        reg.observe("tent.temp_c_dist", f64::NAN); // ignored
+        let snap = reg.snapshot();
+        let h = &snap.histograms[0];
+        assert_eq!(h.count, 2);
+        assert!((h.sum + 10.5).abs() < 1e-12);
+        assert_eq!(h.counts.iter().sum::<u64>(), 2);
+        assert_eq!(h.to_histogram().total(), 2);
+    }
+
+    #[test]
+    fn reregistering_keeps_state() {
+        let mut reg = MetricsRegistry::new();
+        reg.register_histogram("d", 0.0, 1.0, 4);
+        reg.observe("d", 2.5);
+        reg.register_histogram("d", 0.0, 10.0, 2); // ignored
+        let snap = reg.snapshot();
+        assert_eq!(snap.histograms[0].width, 1.0);
+        assert_eq!(snap.histograms[0].count, 1);
+    }
+
+    #[test]
+    fn snapshot_is_name_ordered_and_roundtrips() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("zeta", 1);
+        reg.counter_add("alpha", 2);
+        reg.gauge_set("mid", 0.5);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+        assert_eq!(snap.counter("alpha"), Some(2));
+        assert_eq!(snap.gauge("mid"), Some(0.5));
+        let json = snap.to_json().expect("plain data");
+        let back: MetricsSnapshot = serde_json::from_str(&json).expect("valid");
+        assert_eq!(back, snap);
+    }
+}

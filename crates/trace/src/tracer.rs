@@ -1,0 +1,320 @@
+//! The [`Tracer`] handle and its configuration.
+//!
+//! ## Ownership rules
+//!
+//! Exactly one `Tracer` exists per campaign, owned by the campaign
+//! context. Phases and context methods record through `&mut` access; at
+//! campaign end the context calls [`Tracer::finish`], which yields the
+//! frozen [`CampaignTrace`] (or `None` for the default disabled tracer).
+//! The ensemble engine builds and runs each seed's scenario on one worker
+//! thread, so per-seed buffers never need locks.
+//!
+//! ## Zero cost when disabled
+//!
+//! [`Tracer::disabled`] holds no buffer; every record method starts with
+//! a `None` check and returns. Call sites that would allocate to build an
+//! event (e.g. `format!` a track name) guard on [`Tracer::is_enabled`] or
+//! one of the per-category accessors first.
+
+use frostlab_simkern::time::SimTime;
+
+use crate::event::{FieldValue, TraceEvent};
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+
+/// Which event categories a tracer records. Metrics are always collected
+/// when the tracer is enabled; the flags gate only the (much bulkier)
+/// event stream, so an ensemble sweep can run metrics-only buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Record one span per phase per tick (`phase/<name>` tracks).
+    pub phase_spans: bool,
+    /// Record host job-run spans (`host/<id>` tracks).
+    pub host_spans: bool,
+    /// Record collection attempts and healed-gap spans.
+    pub collection_events: bool,
+    /// Record watchdog incident open/resolve and fault instants.
+    pub incident_events: bool,
+    /// Hard cap on buffered events; once reached, further events are
+    /// counted in [`CampaignTrace::dropped_events`] instead of stored.
+    /// The cap is part of the determinism contract (same cap, same
+    /// drops), never a race.
+    pub max_events: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig {
+            phase_spans: true,
+            host_spans: true,
+            collection_events: true,
+            incident_events: true,
+            max_events: 1 << 22,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Metrics only: no event stream at all. The right shape for large
+    /// ensemble sweeps, where per-seed event buffers would dominate
+    /// memory but aggregated metric snapshots are wanted.
+    pub fn metrics_only() -> TraceConfig {
+        TraceConfig {
+            phase_spans: false,
+            host_spans: false,
+            collection_events: false,
+            incident_events: false,
+            max_events: 0,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct TraceBuffer {
+    cfg: TraceConfig,
+    base: SimTime,
+    events: Vec<TraceEvent>,
+    seq: u64,
+    dropped: u64,
+    metrics: MetricsRegistry,
+}
+
+impl TraceBuffer {
+    fn record(
+        &mut self,
+        track: &str,
+        name: &str,
+        start: SimTime,
+        end: Option<SimTime>,
+        fields: &[(&str, FieldValue)],
+    ) {
+        if self.events.len() >= self.cfg.max_events {
+            self.dropped += 1;
+            return;
+        }
+        self.events.push(TraceEvent {
+            seq: self.seq,
+            track: track.to_string(),
+            name: name.to_string(),
+            start,
+            end,
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        });
+        self.seq += 1;
+    }
+}
+
+/// The per-campaign trace handle. See the module docs for ownership and
+/// cost rules.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    inner: Option<Box<TraceBuffer>>,
+}
+
+impl Tracer {
+    /// The no-op tracer — the campaign default. Records nothing, costs a
+    /// `None` check per call, and [`Tracer::finish`]es to `None`.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// A live tracer. `base` anchors exported timestamps (the campaign
+    /// start); every event is stamped with absolute sim-time regardless.
+    pub fn enabled(cfg: TraceConfig, base: SimTime) -> Tracer {
+        Tracer {
+            inner: Some(Box::new(TraceBuffer {
+                cfg,
+                base,
+                events: Vec::new(),
+                seq: 0,
+                dropped: 0,
+                metrics: MetricsRegistry::new(),
+            })),
+        }
+    }
+
+    /// Is this tracer recording at all?
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Should callers emit per-phase step spans?
+    pub fn phase_spans_enabled(&self) -> bool {
+        self.inner.as_ref().is_some_and(|b| b.cfg.phase_spans)
+    }
+
+    /// Should callers emit host job-run spans?
+    pub fn host_spans_enabled(&self) -> bool {
+        self.inner.as_ref().is_some_and(|b| b.cfg.host_spans)
+    }
+
+    /// Should callers emit collection attempt/gap events?
+    pub fn collection_events_enabled(&self) -> bool {
+        self.inner.as_ref().is_some_and(|b| b.cfg.collection_events)
+    }
+
+    /// Should callers emit incident and fault instants?
+    pub fn incident_events_enabled(&self) -> bool {
+        self.inner.as_ref().is_some_and(|b| b.cfg.incident_events)
+    }
+
+    /// Record a completed sim-time span on `track`.
+    pub fn span(
+        &mut self,
+        track: &str,
+        name: &str,
+        start: SimTime,
+        end: SimTime,
+        fields: &[(&str, FieldValue)],
+    ) {
+        if let Some(buf) = self.inner.as_mut() {
+            buf.record(track, name, start, Some(end), fields);
+        }
+    }
+
+    /// Record an instant event on `track`.
+    pub fn instant(&mut self, track: &str, name: &str, at: SimTime, fields: &[(&str, FieldValue)]) {
+        if let Some(buf) = self.inner.as_mut() {
+            buf.record(track, name, at, None, fields);
+        }
+    }
+
+    /// Add to a counter metric (no-op when disabled or `delta == 0`).
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        if delta == 0 {
+            return;
+        }
+        if let Some(buf) = self.inner.as_mut() {
+            buf.metrics.counter_add(name, delta);
+        }
+    }
+
+    /// Set a gauge metric (no-op when disabled).
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        if let Some(buf) = self.inner.as_mut() {
+            buf.metrics.gauge_set(name, value);
+        }
+    }
+
+    /// Register a histogram metric (no-op when disabled).
+    pub fn register_histogram(&mut self, name: &str, min: f64, width: f64, bins: usize) {
+        if let Some(buf) = self.inner.as_mut() {
+            buf.metrics.register_histogram(name, min, width, bins);
+        }
+    }
+
+    /// Feed a registered histogram (no-op when disabled or unregistered).
+    pub fn observe(&mut self, name: &str, value: f64) {
+        if let Some(buf) = self.inner.as_mut() {
+            buf.metrics.observe(name, value);
+        }
+    }
+
+    /// Events buffered so far (0 when disabled).
+    pub fn events_recorded(&self) -> usize {
+        self.inner.as_ref().map_or(0, |b| b.events.len())
+    }
+
+    /// Freeze into the campaign's trace. `None` for the disabled tracer.
+    pub fn finish(self) -> Option<CampaignTrace> {
+        self.inner.map(|buf| CampaignTrace {
+            base: buf.base,
+            metrics: buf.metrics.snapshot(),
+            dropped_events: buf.dropped,
+            events: buf.events,
+        })
+    }
+}
+
+/// A finished campaign's frozen trace: the event stream plus the final
+/// metrics snapshot, all in sim-time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignTrace {
+    /// Timestamp anchor (the campaign start) for relative exports.
+    pub base: SimTime,
+    /// Every recorded event, in emission (`seq`) order.
+    pub events: Vec<TraceEvent>,
+    /// Events discarded after [`TraceConfig::max_events`] was reached.
+    pub dropped_events: u64,
+    /// The metrics registry's end-of-campaign snapshot.
+    pub metrics: MetricsSnapshot,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frostlab_simkern::time::SimDuration;
+
+    const T0: SimTime = SimTime::ZERO;
+
+    #[test]
+    fn disabled_tracer_records_nothing_and_finishes_to_none() {
+        let mut t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        assert!(!t.phase_spans_enabled());
+        t.span("phase/weather", "step", T0, T0 + SimDuration::secs(60), &[]);
+        t.instant("watchdog", "incident-open", T0, &[]);
+        t.counter_add("c", 1);
+        t.gauge_set("g", 1.0);
+        t.register_histogram("h", 0.0, 1.0, 4);
+        t.observe("h", 0.5);
+        assert_eq!(t.events_recorded(), 0);
+        assert!(t.finish().is_none());
+    }
+
+    #[test]
+    fn enabled_tracer_buffers_events_in_sequence() {
+        let mut t = Tracer::enabled(TraceConfig::default(), T0);
+        assert!(t.is_enabled() && t.phase_spans_enabled());
+        t.span(
+            "phase/weather",
+            "step",
+            T0,
+            T0 + SimDuration::secs(60),
+            &[("tick", FieldValue::U64(0))],
+        );
+        t.instant("watchdog", "incident-open", T0, &[]);
+        let trace = t.finish().expect("enabled");
+        assert_eq!(trace.events.len(), 2);
+        assert_eq!(trace.events[0].seq, 0);
+        assert_eq!(trace.events[1].seq, 1);
+        assert_eq!(trace.events[1].end, None);
+        assert_eq!(trace.dropped_events, 0);
+        assert_eq!(trace.base, T0);
+    }
+
+    #[test]
+    fn metrics_only_config_gates_all_event_categories() {
+        let cfg = TraceConfig::metrics_only();
+        let mut t = Tracer::enabled(cfg, T0);
+        assert!(t.is_enabled());
+        assert!(!t.phase_spans_enabled());
+        assert!(!t.host_spans_enabled());
+        assert!(!t.collection_events_enabled());
+        assert!(!t.incident_events_enabled());
+        // max_events = 0: even direct records are counted as dropped.
+        t.instant("x", "y", T0, &[]);
+        t.counter_add("c", 2);
+        let trace = t.finish().expect("enabled");
+        assert!(trace.events.is_empty());
+        assert_eq!(trace.dropped_events, 1);
+        assert_eq!(trace.metrics.counter("c"), Some(2));
+    }
+
+    #[test]
+    fn event_cap_drops_deterministically() {
+        let cfg = TraceConfig {
+            max_events: 2,
+            ..TraceConfig::default()
+        };
+        let mut t = Tracer::enabled(cfg, T0);
+        for i in 0..5 {
+            t.instant("x", "y", T0 + SimDuration::secs(i), &[]);
+        }
+        let trace = t.finish().expect("enabled");
+        assert_eq!(trace.events.len(), 2);
+        assert_eq!(trace.dropped_events, 3);
+    }
+}

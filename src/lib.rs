@@ -23,6 +23,7 @@
 //! | [`telemetry`] | Lascar logger, Technoline meter, outlier removal |
 //! | [`energy`] | CRAC/HVAC plant, PUE, air-economizer comparison |
 //! | [`analysis`] | Wilson intervals, exposure estimates, report tables |
+//! | [`trace`] | deterministic sim-time tracing, metrics registry, Perfetto/JSONL/Prometheus export |
 //! | [`core`] | the orchestrated campaign (scripted + stochastic modes) |
 //! | [`ensemble`] | deterministic parallel campaign sweeps with streaming aggregation |
 //!
@@ -57,4 +58,5 @@ pub use frostlab_netsim as netsim;
 pub use frostlab_simkern as simkern;
 pub use frostlab_telemetry as telemetry;
 pub use frostlab_thermal as thermal;
+pub use frostlab_trace as trace;
 pub use frostlab_workload as workload;

@@ -169,6 +169,29 @@ fn main() {
             baseline_metric(&baseline, name)
                 .unwrap_or_else(|| panic!("baseline {baseline_path} has no numeric {name:?}"))
         };
+        // A baseline recorded at a different thread count measures a
+        // different machine shape: its parallel wall-clock (and therefore
+        // speedup) is not comparable with this run's. Warn loudly rather
+        // than fail — the serial metrics are still meaningful — but any
+        // parallel-metric verdict below should be read with suspicion.
+        match baseline_metric(&baseline, "threads") {
+            Some(base_threads) if base_threads as usize != report.threads => {
+                eprintln!(
+                    "bench_report: WARNING: baseline {baseline_path} was recorded with \
+                     {base_threads:.0} thread(s) but this run used {}; \
+                     ensemble_parallel_ms and speedup are not comparable — \
+                     re-record the baseline at the current thread count",
+                    report.threads
+                );
+            }
+            None => {
+                eprintln!(
+                    "bench_report: WARNING: baseline {baseline_path} records no thread \
+                     count; cannot verify parallel metrics are comparable"
+                );
+            }
+            _ => {}
+        }
         let mut regressed = false;
         for (metric, fresh, base) in [
             (

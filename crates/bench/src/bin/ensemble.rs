@@ -11,21 +11,28 @@
 //! report carries no execution metadata, so it too must be byte-identical
 //! across `--threads` values — the `trace-determinism` CI job diffs it.
 //!
+//! `--matrix FILE` switches to matrix mode: FILE is a `MatrixSpec` JSON
+//! manifest (the same format `farm submit` writes) and the sweep runs
+//! every job of the matrix in its canonical scenario-major, seed-minor
+//! order — the single-process reference a farm run of the same matrix is
+//! byte-compared against in the crash-resume CI gate.
+//!
 //! ```sh
 //! ensemble [--seeds N] [--start-seed S] [--threads T] [--days D]
-//!          [--invariant] [--traced]
+//!          [--matrix FILE] [--invariant] [--traced]
 //! ```
 //!
 //! `--days 0` (default 7) runs the full Feb 12 – May 13 campaign.
 
 use frostlab_core::config::{ExperimentConfig, FaultMode};
-use frostlab_ensemble::{run_summary_sweep, run_traced_sweep};
+use frostlab_core::MatrixSpec;
+use frostlab_ensemble::{run_matrix_sweep, run_summary_sweep, run_traced_sweep};
 use frostlab_trace::TraceConfig;
 
 fn usage() -> ! {
     eprintln!(
         "usage: ensemble [--seeds N] [--start-seed S] [--threads T] [--days D] \
-         [--invariant] [--traced]"
+         [--matrix FILE] [--invariant] [--traced]"
     );
     std::process::exit(2);
 }
@@ -35,6 +42,7 @@ fn main() {
     let mut start_seed: u64 = 0;
     let mut threads: usize = 0;
     let mut days: i64 = 7;
+    let mut matrix_file: Option<String> = None;
     let mut invariant = false;
     let mut traced = false;
 
@@ -49,10 +57,31 @@ fn main() {
             "--start-seed" => start_seed = val("--start-seed").parse().unwrap_or_else(|_| usage()),
             "--threads" => threads = val("--threads").parse().unwrap_or_else(|_| usage()),
             "--days" => days = val("--days").parse().unwrap_or_else(|_| usage()),
+            "--matrix" => matrix_file = Some(val("--matrix")),
             "--invariant" => invariant = true,
             "--traced" => traced = true,
             _ => usage(),
         }
+    }
+
+    if let Some(path) = matrix_file {
+        if traced {
+            eprintln!("--matrix and --traced are mutually exclusive");
+            std::process::exit(2);
+        }
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read matrix manifest {path}: {e}"));
+        let matrix = MatrixSpec::from_json(&text)
+            .unwrap_or_else(|e| panic!("invalid matrix manifest {path}: {e}"));
+        let summary = run_matrix_sweep(&matrix, threads)
+            .unwrap_or_else(|e| panic!("invalid matrix {path}: {e}"));
+        let json = if invariant {
+            summary.invariant_json()
+        } else {
+            summary.to_json()
+        };
+        println!("{}", json.expect("summary serializes"));
+        return;
     }
 
     let make_config = |seed: u64| {

@@ -28,6 +28,9 @@
 //!   supports **scripted** mode (replays the history; figures match the
 //!   paper) and **stochastic** mode (all faults drawn from the hazard
 //!   models; for Monte-Carlo and sensitivity studies);
+//! * [`spec`] — declarative, serializable scenario/matrix specs with
+//!   stable content hashes: the job currency of `frostlab-farm`'s durable
+//!   work queue and result cache;
 //! * [`observe`] — tracing instrumentation for the pipeline: per-phase
 //!   span probes and the per-tick metrics sampler installed by
 //!   [`scenario::ScenarioBuilder::with_tracing`] (see `frostlab-trace`);
@@ -64,6 +67,7 @@ pub mod prototype;
 pub mod results;
 pub mod scenario;
 pub mod scripted;
+pub mod spec;
 pub mod tables;
 pub mod watchdog;
 
@@ -73,3 +77,4 @@ pub use experiment::Experiment;
 pub use phases::TickPhase;
 pub use results::ExperimentResults;
 pub use scenario::{Scenario, ScenarioBuilder};
+pub use spec::{JobSpec, MatrixSpec, ScenarioSpec, SpecError};

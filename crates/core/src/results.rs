@@ -210,6 +210,13 @@ impl ExperimentResults {
     pub fn summary(&self) -> CampaignSummary {
         let cmp = self.failure_comparison();
         let finite = |x: Option<f64>| x.unwrap_or(f64::NAN);
+        // Empty min-folds yield +inf; normalize to NaN so "no sample" has
+        // one canonical encoding. JSON maps every non-finite float to
+        // null, so a summary that round-trips through a result store
+        // (frostlab-farm) must decode null to a value downstream
+        // aggregation treats exactly like the in-process one — and
+        // min/max trackers ignore NaN but would absorb ±inf.
+        let or_nan = |x: f64| if x.is_finite() { x } else { f64::NAN };
         CampaignSummary {
             seed: self.seed,
             start: self.window.0.to_string(),
@@ -224,15 +231,16 @@ impl ExperimentResults {
             host_resets: self.hosts.values().map(|h| u64::from(h.resets)).sum(),
             fleet_failure_rate: cmp.fleet().rate,
             comparable_with_intel: cmp.comparable_with_intel(),
-            outside_min_c: self
-                .outside
-                .iter()
-                .map(|o| o.temp_c)
-                .fold(f64::INFINITY, f64::min),
+            outside_min_c: or_nan(
+                self.outside
+                    .iter()
+                    .map(|o| o.temp_c)
+                    .fold(f64::INFINITY, f64::min),
+            ),
             tent_temp_min_c: finite(self.tent_temp_truth.min()),
             tent_temp_max_c: finite(self.tent_temp_truth.max()),
             tent_rh_max_pct: finite(self.tent_rh_truth.max()),
-            fleet_min_cpu_c: self.fleet_min_cpu_c(),
+            fleet_min_cpu_c: or_nan(self.fleet_min_cpu_c()),
             collection_availability: self.collection_availability(),
             tent_energy_kwh: self.tent_energy_true_kwh,
             lascar_outliers_removed: self.lascar_outliers_removed,

@@ -30,6 +30,9 @@ pub enum IncidentKind {
     /// A host's mirror went stale past the watchdog threshold without a
     /// matching infrastructure incident — the catch-all alarm.
     CollectionStale,
+    /// A farm job exhausted its retry budget and was quarantined
+    /// (`frostlab-farm`'s poison-job policy; never raised in-campaign).
+    JobQuarantine,
 }
 
 impl IncidentKind {
@@ -40,6 +43,7 @@ impl IncidentKind {
             IncidentKind::HostHang => "host-hang",
             IncidentKind::SensorFault => "sensor-fault",
             IncidentKind::CollectionStale => "collection-stale",
+            IncidentKind::JobQuarantine => "job-quarantine",
         }
     }
 }

@@ -127,9 +127,12 @@ impl CampaignAggregate {
         self.comparable_with_intel += other.comparable_with_intel;
     }
 
-    /// Freeze into the serializable summary. All floats are finite (0.0
-    /// stands in for undefined moments of an empty/singleton aggregate)
-    /// so the JSON is always valid and diffable.
+    /// Freeze into the serializable summary. 0.0 stands in for undefined
+    /// moments of an empty/singleton aggregate, except
+    /// `fleet_min_cpu_c`: a sweep in which no host ever truthfully
+    /// reported has no coldest reading, and 0.0 °C would be a plausible
+    /// temperature — NaN (rendered `null` in JSON) keeps "no sample"
+    /// distinguishable there.
     pub fn finish(&self, seed_start: u64, threads: usize) -> EnsembleSummary {
         let f = |x: Option<f64>| x.unwrap_or(0.0);
         let hist = self.rate_hist.as_ref();
@@ -158,7 +161,7 @@ impl CampaignAggregate {
             tent_temp_min_c: f(self.tent_temp.min()),
             tent_temp_max_c: f(self.tent_temp.max()),
             tent_rh_max_pct: f(self.tent_rh_max.max()),
-            fleet_min_cpu_c: f(self.fleet_min_cpu_c.min()),
+            fleet_min_cpu_c: self.fleet_min_cpu_c.min().unwrap_or(f64::NAN),
             total_runs: self.total_runs,
             total_page_ops: self.total_page_ops,
             campaigns_like_paper: self.like_paper,

@@ -42,6 +42,7 @@ pub use metrics::{EnsembleMetrics, GaugeAggregate, MetricsAggregate};
 use frostlab_core::config::ExperimentConfig;
 use frostlab_core::results::CampaignSummary;
 use frostlab_core::scenario::ScenarioBuilder;
+use frostlab_core::spec::{MatrixSpec, SpecError};
 use frostlab_trace::TraceConfig;
 
 /// Run `campaigns` experiments for the contiguous seed range starting at
@@ -66,6 +67,36 @@ where
         |_, s: CampaignSummary| agg.absorb(&s),
     );
     agg.finish(seed_start, used)
+}
+
+/// Run every job of a [`MatrixSpec`] — scenario-major, seed-minor, the
+/// matrix's canonical expansion order — in one deterministic ensemble and
+/// fold the summaries in job order.
+///
+/// This is the single-process reference a `frostlab-farm` sweep of the
+/// same matrix is byte-compared against: the farm's merge folds the same
+/// per-job summaries in the same order, so the two
+/// [`EnsembleSummary::invariant_json`] renderings must be identical at
+/// any thread/worker count and across any number of kill/resume cycles.
+pub fn run_matrix_sweep(matrix: &MatrixSpec, threads: usize) -> Result<EnsembleSummary, SpecError> {
+    matrix.validate()?;
+    let jobs = matrix.expand();
+    let ensemble = Ensemble::new(jobs.len() as u64).threads(threads);
+    let used = ensemble.effective_threads();
+    let mut agg = CampaignAggregate::new();
+    ensemble.run_scenarios(
+        // validate() proved every scenario buildable; seeds come from the
+        // same contiguous range it checked.
+        |i| {
+            let job = &jobs[i as usize];
+            job.scenario
+                .build(job.seed)
+                .expect("matrix validated before expansion")
+        },
+        |r| r.summary(),
+        |_, s: CampaignSummary| agg.absorb(&s),
+    );
+    Ok(agg.finish(matrix.seed_start, used))
 }
 
 /// Like [`run_summary_sweep`], but every campaign runs with its tracer

@@ -1,0 +1,80 @@
+//! Typed farm errors.
+
+use std::path::PathBuf;
+
+use frostlab_core::spec::SpecError;
+
+/// Anything that can go wrong operating a farm directory.
+#[derive(Debug)]
+pub enum FarmError {
+    /// Filesystem trouble (WAL, store, manifest).
+    Io(std::io::Error),
+    /// A JSON artifact failed to serialize or parse.
+    Json(serde_json::Error),
+    /// A submitted scenario cannot be built.
+    Spec(SpecError),
+    /// A farm artifact exists but is not what it claims to be (bad WAL
+    /// magic, unreadable manifest) — unlike a torn WAL tail, this is not
+    /// a crash artifact and is never silently repaired.
+    Corrupt(String),
+    /// The directory has no submitted matrix yet.
+    NotSubmitted(PathBuf),
+    /// The directory already holds a submitted matrix.
+    AlreadySubmitted(PathBuf),
+    /// A job is marked complete but its result is gone from the store and
+    /// could not be requeued (internal invariant breach).
+    MissingResult(String),
+}
+
+impl std::fmt::Display for FarmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FarmError::Io(e) => write!(f, "farm I/O error: {e}"),
+            FarmError::Json(e) => write!(f, "farm JSON error: {e}"),
+            FarmError::Spec(e) => write!(f, "invalid scenario spec: {e}"),
+            FarmError::Corrupt(what) => write!(f, "corrupt farm artifact: {what}"),
+            FarmError::NotSubmitted(dir) => {
+                write!(
+                    f,
+                    "no matrix submitted in {} (run `farm submit` first)",
+                    dir.display()
+                )
+            }
+            FarmError::AlreadySubmitted(dir) => {
+                write!(f, "{} already holds a submitted matrix", dir.display())
+            }
+            FarmError::MissingResult(key) => {
+                write!(f, "completed job {key} has no result in the store")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FarmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FarmError::Io(e) => Some(e),
+            FarmError::Json(e) => Some(e),
+            FarmError::Spec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FarmError {
+    fn from(e: std::io::Error) -> Self {
+        FarmError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for FarmError {
+    fn from(e: serde_json::Error) -> Self {
+        FarmError::Json(e)
+    }
+}
+
+impl From<SpecError> for FarmError {
+    fn from(e: SpecError) -> Self {
+        FarmError::Spec(e)
+    }
+}

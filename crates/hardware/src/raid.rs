@@ -318,120 +318,128 @@ mod tests {
     }
 
     #[test]
-    fn raid1_roundtrip_and_degraded_read() {
+    fn raid1_roundtrip_and_degraded_read() -> Result<(), RaidError> {
         let mut arr = Raid1::new(Disk::new(16), Disk::new(16));
         for i in 0..16 {
-            arr.write_block(i, &pattern_block(i)).unwrap();
+            arr.write_block(i, &pattern_block(i))?;
         }
         arr.member_mut(0).fail();
         assert_eq!(arr.healthy_members(), 1);
         for i in 0..16 {
-            assert_eq!(arr.read_block(i).unwrap(), pattern_block(i), "block {i}");
+            assert_eq!(arr.read_block(i)?, pattern_block(i), "block {i}");
         }
+        Ok(())
     }
 
     #[test]
-    fn raid1_rebuild() {
+    fn raid1_rebuild() -> Result<(), RaidError> {
         let mut arr = Raid1::new(Disk::new(8), Disk::new(8));
         for i in 0..8 {
-            arr.write_block(i, &pattern_block(i + 100)).unwrap();
+            arr.write_block(i, &pattern_block(i + 100))?;
         }
         // Replace member 1 with a blank disk and rebuild.
         *arr.member_mut(1) = Disk::new(8);
-        arr.rebuild(1).unwrap();
+        arr.rebuild(1)?;
         arr.member_mut(0).fail();
         for i in 0..8 {
-            assert_eq!(arr.read_block(i).unwrap(), pattern_block(i + 100));
+            assert_eq!(arr.read_block(i)?, pattern_block(i + 100));
         }
+        Ok(())
     }
 
     #[test]
-    fn raid1_double_failure_is_fatal() {
+    fn raid1_double_failure_is_fatal() -> Result<(), RaidError> {
         let mut arr = Raid1::new(Disk::new(4), Disk::new(4));
-        arr.write_block(0, &pattern_block(0)).unwrap();
+        arr.write_block(0, &pattern_block(0))?;
         arr.member_mut(0).fail();
         arr.member_mut(1).fail();
-        assert_eq!(arr.read_block(0).unwrap_err(), RaidError::ArrayFailed);
+        assert_eq!(arr.read_block(0), Err(RaidError::ArrayFailed));
         assert_eq!(
-            arr.write_block(0, &pattern_block(1)).unwrap_err(),
-            RaidError::ArrayFailed
+            arr.write_block(0, &pattern_block(1)),
+            Err(RaidError::ArrayFailed)
         );
+        Ok(())
     }
 
     #[test]
-    fn raid5_roundtrip() {
+    fn raid5_roundtrip() -> Result<(), RaidError> {
         let mut arr = Raid5::new(vec![Disk::new(12), Disk::new(12), Disk::new(12)]);
         assert_eq!(arr.num_blocks(), 24);
         for i in 0..24 {
-            arr.write_block(i, &pattern_block(i)).unwrap();
+            arr.write_block(i, &pattern_block(i))?;
         }
         for i in 0..24 {
-            assert_eq!(arr.read_block(i).unwrap(), pattern_block(i), "block {i}");
+            assert_eq!(arr.read_block(i)?, pattern_block(i), "block {i}");
         }
-        assert!(arr.scrub().unwrap().is_empty());
+        assert!(arr.scrub()?.is_empty());
+        Ok(())
     }
 
     #[test]
-    fn raid5_survives_any_single_member_loss() {
+    fn raid5_survives_any_single_member_loss() -> Result<(), RaidError> {
         for victim in 0..3 {
             let mut arr = Raid5::new(vec![Disk::new(10), Disk::new(10), Disk::new(10)]);
             for i in 0..arr.num_blocks() {
-                arr.write_block(i, &pattern_block(i * 3 + 1)).unwrap();
+                arr.write_block(i, &pattern_block(i * 3 + 1))?;
             }
             arr.member_mut(victim).fail();
             for i in 0..arr.num_blocks() {
                 assert_eq!(
-                    arr.read_block(i).unwrap(),
+                    arr.read_block(i)?,
                     pattern_block(i * 3 + 1),
                     "victim {victim} block {i}"
                 );
             }
         }
+        Ok(())
     }
 
     #[test]
-    fn raid5_rebuild_after_replacement() {
+    fn raid5_rebuild_after_replacement() -> Result<(), RaidError> {
         let mut arr = Raid5::new(vec![Disk::new(10), Disk::new(10), Disk::new(10)]);
         for i in 0..arr.num_blocks() {
-            arr.write_block(i, &pattern_block(i + 9)).unwrap();
+            arr.write_block(i, &pattern_block(i + 9))?;
         }
         *arr.member_mut(2) = Disk::new(10);
-        arr.rebuild(2).unwrap();
-        assert!(arr.scrub().unwrap().is_empty());
+        arr.rebuild(2)?;
+        assert!(arr.scrub()?.is_empty());
         // Now lose a different member and verify everything still reads.
         arr.member_mut(0).fail();
         for i in 0..arr.num_blocks() {
-            assert_eq!(arr.read_block(i).unwrap(), pattern_block(i + 9));
+            assert_eq!(arr.read_block(i)?, pattern_block(i + 9));
         }
+        Ok(())
     }
 
     #[test]
-    fn raid5_double_failure_is_fatal() {
+    fn raid5_double_failure_is_fatal() -> Result<(), RaidError> {
         let mut arr = Raid5::new(vec![Disk::new(6), Disk::new(6), Disk::new(6)]);
         for i in 0..arr.num_blocks() {
-            arr.write_block(i, &pattern_block(i)).unwrap();
+            arr.write_block(i, &pattern_block(i))?;
         }
         arr.member_mut(0).fail();
         arr.member_mut(1).fail();
         assert!(arr.read_block(0).is_err() || arr.read_block(5).is_err());
+        Ok(())
     }
 
     #[test]
-    fn raid5_pending_sector_reconstruction() {
+    fn raid5_pending_sector_reconstruction() -> Result<(), RaidError> {
         // A single unreadable sector (not a whole-disk failure) must be
         // served via parity.
         let mut arr = Raid5::new(vec![Disk::new(8), Disk::new(8), Disk::new(8)]);
         for i in 0..arr.num_blocks() {
-            arr.write_block(i, &pattern_block(i + 2)).unwrap();
+            arr.write_block(i, &pattern_block(i + 2))?;
         }
         // Find the member holding logical block 5 and break that sector.
         let (row, member) = arr.map(5);
         arr.member_mut(member).inject_pending_sector(row);
-        assert_eq!(arr.read_block(5).unwrap(), pattern_block(7));
+        assert_eq!(arr.read_block(5)?, pattern_block(7));
+        Ok(())
     }
 
     #[test]
-    fn raid5_wider_arrays() {
+    fn raid5_wider_arrays() -> Result<(), RaidError> {
         let mut arr = Raid5::new(vec![
             Disk::new(6),
             Disk::new(6),
@@ -441,12 +449,13 @@ mod tests {
         ]);
         assert_eq!(arr.num_blocks(), 24);
         for i in 0..24 {
-            arr.write_block(i, &pattern_block(i * 11)).unwrap();
+            arr.write_block(i, &pattern_block(i * 11))?;
         }
         arr.member_mut(3).fail();
         for i in 0..24 {
-            assert_eq!(arr.read_block(i).unwrap(), pattern_block(i * 11));
+            assert_eq!(arr.read_block(i)?, pattern_block(i * 11));
         }
+        Ok(())
     }
 
     #[test]

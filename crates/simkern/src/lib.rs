@@ -49,4 +49,4 @@ pub mod time;
 
 pub use event::EventQueue;
 pub use rng::Rng;
-pub use time::{Date, DateTime, SimDuration, SimTime};
+pub use time::{Date, DateTime, SimDuration, SimTime, TimeError};

@@ -19,6 +19,44 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
 
+/// A calendar field combination that names no real instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeError {
+    /// Month or day-of-month out of range for the given year.
+    InvalidDate {
+        /// Calendar year as given.
+        year: i32,
+        /// Month as given (valid: 1–12).
+        month: u32,
+        /// Day of month as given (valid: 1–`days_in_month`).
+        day: u32,
+    },
+    /// Hour, minute or second out of range.
+    InvalidTime {
+        /// Hour as given (valid: 0–23).
+        hour: u32,
+        /// Minute as given (valid: 0–59).
+        min: u32,
+        /// Second as given (valid: 0–59).
+        sec: u32,
+    },
+}
+
+impl fmt::Display for TimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TimeError::InvalidDate { year, month, day } => {
+                write!(f, "invalid calendar date {year:04}-{month:02}-{day:02}")
+            }
+            TimeError::InvalidTime { hour, min, sec } => {
+                write!(f, "invalid time of day {hour:02}:{min:02}:{sec:02}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TimeError {}
+
 /// Seconds since 2010-01-01 00:00:00 local time (the experiment epoch).
 ///
 /// The representation is signed so that times slightly before the epoch (for
@@ -48,17 +86,37 @@ impl SimTime {
     /// Construct from a civil date and time of day.
     ///
     /// # Panics
-    /// Panics if the date or time is invalid (use [`DateTime::new`] for a
-    /// fallible version).
+    /// Panics if the date or time is invalid — convenient for literals in
+    /// scenario code; use [`SimTime::try_from_ymd_hms`] when the fields
+    /// come from data.
     pub fn from_ymd_hms(year: i32, month: u32, day: u32, hour: u32, min: u32, sec: u32) -> Self {
-        DateTime::new(year, month, day, hour, min, sec)
-            .expect("invalid date/time literal")
-            .to_sim_time()
+        Self::try_from_ymd_hms(year, month, day, hour, min, sec).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`SimTime::from_ymd_hms`]: reports *which* field
+    /// combination was invalid instead of panicking.
+    pub fn try_from_ymd_hms(
+        year: i32,
+        month: u32,
+        day: u32,
+        hour: u32,
+        min: u32,
+        sec: u32,
+    ) -> Result<Self, TimeError> {
+        DateTime::try_new(year, month, day, hour, min, sec).map(DateTime::to_sim_time)
     }
 
     /// Construct from a civil date at midnight.
+    ///
+    /// # Panics
+    /// Panics if the date is invalid (see [`SimTime::try_from_date`]).
     pub fn from_date(year: i32, month: u32, day: u32) -> Self {
         Self::from_ymd_hms(year, month, day, 0, 0, 0)
+    }
+
+    /// Fallible [`SimTime::from_date`].
+    pub fn try_from_date(year: i32, month: u32, day: u32) -> Result<Self, TimeError> {
+        Self::try_from_ymd_hms(year, month, day, 0, 0, 0)
     }
 
     /// Raw seconds since the epoch.
@@ -314,10 +372,15 @@ fn epoch_offset_days() -> i64 {
 impl Date {
     /// Construct a date, validating month and day ranges.
     pub fn new(year: i32, month: u32, day: u32) -> Option<Date> {
+        Date::try_new(year, month, day).ok()
+    }
+
+    /// Construct a date, reporting the offending fields on failure.
+    pub fn try_new(year: i32, month: u32, day: u32) -> Result<Date, TimeError> {
         if !(1..=12).contains(&month) || day == 0 || day > days_in_month(year, month) {
-            return None;
+            return Err(TimeError::InvalidDate { year, month, day });
         }
-        Some(Date { year, month, day })
+        Ok(Date { year, month, day })
     }
 
     /// Date from whole days since the experiment epoch.
@@ -338,7 +401,9 @@ impl Date {
 
     /// Day of year, 1-based.
     pub fn day_of_year(self) -> u32 {
-        (self.days_since_epoch() - Date::new(self.year, 1, 1).unwrap().days_since_epoch()) as u32
+        // Jan 1 exists in every year, so go straight to the civil-day
+        // arithmetic rather than through the validating constructor.
+        (days_from_civil(self.year, self.month, self.day) - days_from_civil(self.year, 1, 1)) as u32
             + 1
     }
 
@@ -371,11 +436,23 @@ impl Date {
 impl DateTime {
     /// Construct a date-time, validating all fields.
     pub fn new(year: i32, month: u32, day: u32, hour: u32, min: u32, sec: u32) -> Option<DateTime> {
+        DateTime::try_new(year, month, day, hour, min, sec).ok()
+    }
+
+    /// Construct a date-time, reporting the offending fields on failure.
+    pub fn try_new(
+        year: i32,
+        month: u32,
+        day: u32,
+        hour: u32,
+        min: u32,
+        sec: u32,
+    ) -> Result<DateTime, TimeError> {
         if hour >= 24 || min >= 60 || sec >= 60 {
-            return None;
+            return Err(TimeError::InvalidTime { hour, min, sec });
         }
-        Some(DateTime {
-            date: Date::new(year, month, day)?,
+        Ok(DateTime {
+            date: Date::try_new(year, month, day)?,
             hour,
             min,
             sec,
@@ -412,14 +489,15 @@ mod tests {
     use super::*;
 
     #[test]
-    fn epoch_is_jan_1_2010() {
+    fn epoch_is_jan_1_2010() -> Result<(), TimeError> {
         let d = SimTime::ZERO.date();
-        assert_eq!(d, Date::new(2010, 1, 1).unwrap());
+        assert_eq!(d, Date::try_new(2010, 1, 1)?);
         assert_eq!(d.weekday(), "Fri"); // 2010-01-01 was a Friday.
+        Ok(())
     }
 
     #[test]
-    fn roundtrip_key_paper_dates() {
+    fn roundtrip_key_paper_dates() -> Result<(), TimeError> {
         // Every date mentioned in the paper.
         let cases = [
             (2010, 2, 12, "Fri"), // prototype start
@@ -431,23 +509,25 @@ mod tests {
             (2010, 3, 26, "Fri"), // last Fig. 2 tick
         ];
         for (y, m, d, _wd) in cases {
-            let date = Date::new(y, m, d).unwrap();
+            let date = Date::try_new(y, m, d)?;
             assert_eq!(Date::from_days_since_epoch(date.days_since_epoch()), date);
         }
         // Paper says "Saturday, March 7th"; 2010-03-07 was actually a Sunday.
         // We keep the calendar honest and note the discrepancy in EXPERIMENTS.md.
-        assert_eq!(Date::new(2010, 3, 7).unwrap().weekday(), "Sun");
-        assert_eq!(Date::new(2010, 3, 17).unwrap().weekday(), "Wed");
+        assert_eq!(Date::try_new(2010, 3, 7)?.weekday(), "Sun");
+        assert_eq!(Date::try_new(2010, 3, 17)?.weekday(), "Wed");
+        Ok(())
     }
 
     #[test]
-    fn datetime_roundtrip_exhaustive_day() {
+    fn datetime_roundtrip_exhaustive_day() -> Result<(), TimeError> {
         for hour in [0u32, 4, 12, 23] {
             for min in [0u32, 40, 59] {
-                let dt = DateTime::new(2010, 3, 7, hour, min, 30).unwrap();
+                let dt = DateTime::try_new(2010, 3, 7, hour, min, 30)?;
                 assert_eq!(dt.to_sim_time().datetime(), dt);
             }
         }
+        Ok(())
     }
 
     #[test]
@@ -461,11 +541,12 @@ mod tests {
     }
 
     #[test]
-    fn negative_times_before_epoch() {
-        let t = SimTime::from_date(2009, 12, 31);
+    fn negative_times_before_epoch() -> Result<(), TimeError> {
+        let t = SimTime::try_from_date(2009, 12, 31)?;
         assert!(t.as_secs() < 0);
-        assert_eq!(t.date(), Date::new(2009, 12, 31).unwrap());
+        assert_eq!(t.date(), Date::try_new(2009, 12, 31)?);
         assert_eq!(t.seconds_of_day(), 0);
+        Ok(())
     }
 
     #[test]
@@ -505,6 +586,44 @@ mod tests {
     }
 
     #[test]
+    fn typed_errors_name_the_offending_fields() {
+        assert_eq!(
+            Date::try_new(2010, 2, 29),
+            Err(TimeError::InvalidDate {
+                year: 2010,
+                month: 2,
+                day: 29
+            })
+        );
+        assert_eq!(
+            SimTime::try_from_ymd_hms(2010, 1, 1, 24, 0, 0),
+            Err(TimeError::InvalidTime {
+                hour: 24,
+                min: 0,
+                sec: 0
+            })
+        );
+        assert_eq!(
+            TimeError::InvalidDate {
+                year: 2010,
+                month: 2,
+                day: 29
+            }
+            .to_string(),
+            "invalid calendar date 2010-02-29"
+        );
+        assert_eq!(
+            TimeError::InvalidTime {
+                hour: 24,
+                min: 0,
+                sec: 0
+            }
+            .to_string(),
+            "invalid time of day 24:00:00"
+        );
+    }
+
+    #[test]
     fn duration_since_saturates() {
         let a = SimTime::from_secs(100);
         let b = SimTime::from_secs(50);
@@ -513,20 +632,22 @@ mod tests {
     }
 
     #[test]
-    fn short_label_format() {
-        assert_eq!(Date::new(2010, 3, 7).unwrap().short_label(), "Mar 07");
-        assert_eq!(Date::new(2010, 12, 25).unwrap().short_label(), "Dec 25");
+    fn short_label_format() -> Result<(), TimeError> {
+        assert_eq!(Date::try_new(2010, 3, 7)?.short_label(), "Mar 07");
+        assert_eq!(Date::try_new(2010, 12, 25)?.short_label(), "Dec 25");
+        Ok(())
     }
 
     #[test]
-    fn succ_crosses_month_and_year() {
+    fn succ_crosses_month_and_year() -> Result<(), TimeError> {
         assert_eq!(
-            Date::new(2010, 2, 28).unwrap().succ(),
-            Date::new(2010, 3, 1).unwrap()
+            Date::try_new(2010, 2, 28)?.succ(),
+            Date::try_new(2010, 3, 1)?
         );
         assert_eq!(
-            Date::new(2009, 12, 31).unwrap().succ(),
-            Date::new(2010, 1, 1).unwrap()
+            Date::try_new(2009, 12, 31)?.succ(),
+            Date::try_new(2010, 1, 1)?
         );
+        Ok(())
     }
 }

@@ -26,6 +26,7 @@
 //! | [`trace`] | deterministic sim-time tracing, metrics registry, Perfetto/JSONL/Prometheus export |
 //! | [`core`] | the orchestrated campaign (scripted + stochastic modes) |
 //! | [`ensemble`] | deterministic parallel campaign sweeps with streaming aggregation |
+//! | [`farm`] | crash-resumable durable job farm: WAL queue, result cache, supervised workers |
 //!
 //! ## Quickstart
 //!
@@ -52,6 +53,7 @@ pub use frostlab_compress as compress;
 pub use frostlab_core as core;
 pub use frostlab_energy as energy;
 pub use frostlab_ensemble as ensemble;
+pub use frostlab_farm as farm;
 pub use frostlab_faults as faults;
 pub use frostlab_hardware as hardware;
 pub use frostlab_netsim as netsim;

@@ -156,6 +156,12 @@ impl Serialize for f64 {
 }
 impl Deserialize for f64 {
     fn from_value(v: &Value) -> Result<Self, Error> {
+        // Symmetric with serialization: non-finite floats serialize as
+        // null (JSON has no NaN/Inf), so null deserializes back to NaN.
+        // This keeps float-bearing structs round-trippable.
+        if matches!(v, Value::Null) {
+            return Ok(f64::NAN);
+        }
         v.as_f64()
             .ok_or_else(|| Error::custom(format!("expected number, got {v:?}")))
     }

@@ -1,0 +1,477 @@
+//! Bounded-error fast transcendentals for the weather hot path.
+//!
+//! The stochastic weather kernel evaluates a handful of transcendentals per
+//! sample (Magnus `exp` for the RH path, `erf` for the wind
+//! probability-integral transform, `ln`/`powf` for the Weibull quantile,
+//! `powf` for the cloud attenuation). `std`'s libm calls are both slower
+//! than the simulation needs and — worse for a determinism-first codebase —
+//! not bit-specified across platforms. The routines here are plain IEEE-754
+//! arithmetic (range reduction + fixed polynomial), so they are exactly
+//! reproducible everywhere *and* cheap enough for the per-tick path.
+//!
+//! Error budgets (enforced by the property tests at the bottom of this
+//! file, dense-grid sweeps over the domains the weather model actually
+//! uses):
+//!
+//! | function | domain used by the model | bound vs `std` reference |
+//! |---|---|---|
+//! | [`exp`] | `[-60, 30]` (Magnus, OU decay) | rel ≤ 1e-11 over `[-60, 60]` |
+//! | [`ln`] | `[1e-10, 40]` (Weibull, Magnus⁻¹) | rel ≤ 5e-12 over `[1e-12, 1e6]` |
+//! | [`powf`] | cloud `c^3.4`, Weibull `x^(1/k)` | rel ≤ 1e-10 |
+//! | [`cos`] | `[-10π, 10π]` (seasonal/diurnal phase) | abs ≤ 1e-10 |
+//! | [`sin`] | `[0, π/2]` (solar horizontal projection) | abs ≤ 1e-10 over `[-10π, 10π]` |
+//! | [`erf`] | `[-7, 7]` (wind PIT) | abs ≤ 5e-9 vs A&S/`std` reference |
+//! | [`norm_cdf`] | `[-7, 7]` | abs ≤ 4e-9, monotone on grids |
+//! | [`weibull_quantile`] | `u ∈ [1e-9, 1−1e-9]` | rel ≤ 1e-9, monotone in `u` |
+//!
+//! `erf` keeps the Abramowitz & Stegun 7.1.26 rational form the simulation
+//! has always used (|ε| ≤ 1.5e-7 vs the true function); only its interior
+//! `exp` changes, so the drift against the previous implementation is
+//! ~1e-9 — far below the A&S error that was already accepted.
+
+/// ln(2) split hi/lo so `x − k·ln2` stays exact during range reduction.
+const LN2_HI: f64 = 6.931_471_803_691_238e-1;
+const LN2_LO: f64 = 1.908_214_929_270_587_7e-10;
+/// π/2 split hi/lo for the cosine quadrant reduction. The hi part is the
+/// nearest f64 to π/2 — i.e. `FRAC_PI_2` itself — and lo carries the tail.
+const PIO2_HI: f64 = std::f64::consts::FRAC_PI_2;
+const PIO2_LO: f64 = 6.123_233_995_736_766e-17;
+
+/// e^x. Range-reduced `2^k · e^r` with `|r| ≤ ln2/2` and a degree-9
+/// Taylor kernel (truncation ≤ 8e-12 relative).
+#[inline]
+pub fn exp(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    if x > 709.0 {
+        return f64::INFINITY;
+    }
+    if x < -708.0 {
+        return 0.0;
+    }
+    let k = (x * std::f64::consts::LOG2_E).round();
+    let r = (x - k * LN2_HI) - k * LN2_LO;
+    // e^r = Σ rⁿ/n!, n ≤ 9.
+    let p = 1.0
+        + r * (1.0
+            + r * (0.5
+                + r * (1.0 / 6.0
+                    + r * (1.0 / 24.0
+                        + r * (1.0 / 120.0
+                            + r * (1.0 / 720.0
+                                + r * (1.0 / 5040.0
+                                    + r * (1.0 / 40320.0 + r * (1.0 / 362880.0)))))))));
+    // 2^k by exponent-field construction; k ∈ [-1022, 1023] after the
+    // clamps above.
+    let scale = f64::from_bits(((1023 + k as i64) as u64) << 52);
+    p * scale
+}
+
+/// Natural logarithm. Mantissa reduced to `[√½, √2)`, then
+/// `ln m = 2·atanh((m−1)/(m+1))` by odd polynomial (truncation ≤ 5e-13).
+#[inline]
+pub fn ln(x: f64) -> f64 {
+    if x.is_nan() || x < 0.0 {
+        return f64::NAN;
+    }
+    if x == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if x == f64::INFINITY {
+        return f64::INFINITY;
+    }
+    // Normalize subnormals so the exponent field is meaningful.
+    let (x, sub_adjust) = if x < f64::MIN_POSITIVE {
+        (x * 18_014_398_509_481_984.0, 54.0) // × 2⁵⁴, subtract 54·ln2 later
+    } else {
+        (x, 0.0)
+    };
+    let bits = x.to_bits();
+    let mut e = ((bits >> 52) & 0x7ff) as i64 - 1023;
+    let mut m = f64::from_bits((bits & 0x000f_ffff_ffff_ffff) | (1023u64 << 52));
+    if m > std::f64::consts::SQRT_2 {
+        m *= 0.5;
+        e += 1;
+    }
+    let t = (m - 1.0) / (m + 1.0);
+    let t2 = t * t;
+    let ln_m = 2.0
+        * t
+        * (1.0
+            + t2 * (1.0 / 3.0
+                + t2 * (1.0 / 5.0
+                    + t2 * (1.0 / 7.0
+                        + t2 * (1.0 / 9.0 + t2 * (1.0 / 11.0 + t2 * (1.0 / 13.0)))))));
+    let e = e as f64 - sub_adjust;
+    e * LN2_HI + (e * LN2_LO + ln_m)
+}
+
+/// `x^y` for `x ≥ 0` (the only case the weather model needs): computed as
+/// `exp(y·ln x)`, with the `x = 0` edge handled explicitly.
+#[inline]
+pub fn powf(x: f64, y: f64) -> f64 {
+    if x == 0.0 {
+        return if y > 0.0 {
+            0.0
+        } else if y == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        };
+    }
+    exp(y * ln(x))
+}
+
+#[inline]
+fn cos_kernel(r: f64) -> f64 {
+    // |r| ≤ π/4 + ε; Taylor through r¹²/12! (truncation ≤ 4e-13).
+    let r2 = r * r;
+    1.0 + r2
+        * (-0.5
+            + r2 * (1.0 / 24.0
+                + r2 * (-1.0 / 720.0
+                    + r2 * (1.0 / 40320.0 + r2 * (-1.0 / 3628800.0 + r2 * (1.0 / 479001600.0))))))
+}
+
+#[inline]
+fn sin_kernel(r: f64) -> f64 {
+    // |r| ≤ π/4 + ε; Taylor through r¹¹/11! (truncation ≤ 7e-12).
+    let r2 = r * r;
+    r * (1.0
+        + r2 * (-1.0 / 6.0
+            + r2 * (1.0 / 120.0
+                + r2 * (-1.0 / 5040.0 + r2 * (1.0 / 362880.0 + r2 * (-1.0 / 39916800.0))))))
+}
+
+/// cos(x) by quadrant reduction. Accurate (abs ≤ 1e-10) for the |x| ≲ 10⁶
+/// arguments the seasonal/diurnal phases produce; not intended for huge
+/// arguments where the two-term π/2 reduction itself loses bits.
+#[inline]
+pub fn cos(x: f64) -> f64 {
+    if !x.is_finite() {
+        return f64::NAN;
+    }
+    let q = (x * std::f64::consts::FRAC_2_PI).round();
+    let r = (x - q * PIO2_HI) - q * PIO2_LO;
+    match (q as i64).rem_euclid(4) {
+        0 => cos_kernel(r),
+        1 => -sin_kernel(r),
+        2 => -cos_kernel(r),
+        _ => sin_kernel(r),
+    }
+}
+
+/// sin(x), by the same π/2 quadrant reduction as [`cos`].
+pub fn sin(x: f64) -> f64 {
+    if !x.is_finite() {
+        return f64::NAN;
+    }
+    let q = (x * std::f64::consts::FRAC_2_PI).round();
+    let r = (x - q * PIO2_HI) - q * PIO2_LO;
+    match (q as i64).rem_euclid(4) {
+        0 => sin_kernel(r),
+        1 => cos_kernel(r),
+        2 => -sin_kernel(r),
+        _ => -cos_kernel(r),
+    }
+}
+
+/// Error function, Abramowitz & Stegun 7.1.26 (|ε| ≤ 1.5e-7 vs the true
+/// function) over the fast [`exp`].
+#[inline]
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
+            + 0.254_829_592)
+            * t
+            * exp(-x * x);
+    sign * y
+}
+
+/// Standard normal CDF over the fast [`erf`].
+#[inline]
+pub fn norm_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x * std::f64::consts::FRAC_1_SQRT_2))
+}
+
+/// Weibull quantile (inverse CDF): `scale · (−ln(1−u))^(1/shape)` for
+/// `u ∈ [0, 1)` — the probability-integral transform that gives the wind
+/// process its Weibull marginal.
+#[inline]
+pub fn weibull_quantile(u: f64, scale: f64, shape: f64) -> f64 {
+    scale * powf(-ln(1.0 - u), 1.0 / shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Reference A&S 7.1.26 erf over `std` exp — the implementation the
+    /// simulation used before this module existed.
+    fn erf_reference(x: f64) -> f64 {
+        let sign = if x < 0.0 { -1.0 } else { 1.0 };
+        let x = x.abs();
+        let t = 1.0 / (1.0 + 0.327_591_1 * x);
+        let y = 1.0
+            - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+                * t
+                + 0.254_829_592)
+                * t
+                * (-x * x).exp();
+        sign * y
+    }
+
+    fn rel_err(got: f64, want: f64) -> f64 {
+        if want == 0.0 {
+            got.abs()
+        } else {
+            ((got - want) / want).abs()
+        }
+    }
+
+    // --- dense-grid max-error sweeps over the model's real domains ---
+
+    #[test]
+    fn exp_matches_std_over_model_domain() {
+        // Magnus arguments span ≈[-8, 5]; OU decays ≈[-1, 0); psychro is
+        // exercised down to −60 °C. Sweep far wider.
+        let mut worst = 0.0f64;
+        let mut x = -60.0;
+        while x <= 60.0 {
+            worst = worst.max(rel_err(exp(x), x.exp()));
+            x += 0.001;
+        }
+        assert!(worst < 1e-11, "max rel err {worst:e}");
+    }
+
+    #[test]
+    fn exp_edges() {
+        assert_eq!(exp(f64::NEG_INFINITY), 0.0);
+        assert_eq!(exp(-1000.0), 0.0);
+        assert_eq!(exp(1000.0), f64::INFINITY);
+        assert!(exp(f64::NAN).is_nan());
+        assert_eq!(exp(0.0), 1.0);
+    }
+
+    #[test]
+    fn ln_matches_std_over_model_domain() {
+        // Weibull sees −ln(1−u) arguments down to 1e-9; Magnus inversion
+        // sees vapor pressures ~1e-2..1e3 hPa. Sweep a multiplicative grid.
+        let mut worst = 0.0f64;
+        let mut x = 1e-12f64;
+        while x <= 1e6 {
+            let want = x.ln();
+            let got = ln(x);
+            let err = if want == 0.0 {
+                got.abs()
+            } else {
+                ((got - want) / want).abs()
+            };
+            worst = worst.max(err);
+            x *= 1.0008;
+        }
+        // ln(x) near x=1 crosses zero; also check abs error on [0.9, 1.1].
+        let mut x = 0.9;
+        while x <= 1.1 {
+            worst = worst.max((ln(x) - x.ln()).abs());
+            x += 1e-5;
+        }
+        // The relative bound is dominated by arguments near 1, where the
+        // reference crosses zero and relative error loses meaning; the abs
+        // sweep above pins that region directly.
+        assert!(worst < 5e-12, "max err {worst:e}");
+    }
+
+    #[test]
+    fn ln_edges() {
+        assert_eq!(ln(0.0), f64::NEG_INFINITY);
+        assert!(ln(-1.0).is_nan());
+        assert!(ln(f64::NAN).is_nan());
+        assert_eq!(ln(f64::INFINITY), f64::INFINITY);
+        assert_eq!(ln(1.0), 0.0);
+        // Subnormal inputs stay finite and accurate.
+        let sub = 1e-310;
+        assert!(rel_err(ln(sub), sub.ln()) < 1e-12);
+    }
+
+    #[test]
+    fn powf_matches_std_over_model_domain() {
+        // The two uses: cloud attenuation c^3.4 (c ∈ [0,1]) and Weibull
+        // x^(1/shape) with shape ∈ [1.5, 2.5], x ∈ (0, ~21].
+        let mut worst = 0.0f64;
+        let mut c = 0.0;
+        while c <= 1.0 {
+            worst = worst.max(rel_err(powf(c, 3.4), c.powf(3.4)));
+            c += 0.0001;
+        }
+        for shape in [1.5, 1.8, 1.9, 2.0, 2.5] {
+            let mut x = 1e-9;
+            while x <= 21.0 {
+                worst = worst.max(rel_err(powf(x, 1.0 / shape), x.powf(1.0 / shape)));
+                x *= 1.01;
+            }
+        }
+        assert!(worst < 1e-10, "max rel err {worst:e}");
+        assert_eq!(powf(0.0, 3.4), 0.0);
+        assert_eq!(powf(0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn cos_matches_std_over_model_domain() {
+        // Seasonal phase spans a few ×2π; diurnal phase ±π. Sweep ±10π.
+        let mut worst = 0.0f64;
+        let mut x = -10.0 * std::f64::consts::PI;
+        while x <= 10.0 * std::f64::consts::PI {
+            worst = worst.max((cos(x) - x.cos()).abs());
+            x += 0.0005;
+        }
+        assert!(worst < 1e-10, "max abs err {worst:e}");
+    }
+
+    #[test]
+    fn sin_matches_std_over_model_domain() {
+        // Solar geometry uses sin over [0, π/2]; sweep ±10π like cos.
+        let mut worst = 0.0f64;
+        let mut x = -10.0 * std::f64::consts::PI;
+        while x <= 10.0 * std::f64::consts::PI {
+            worst = worst.max((sin(x) - x.sin()).abs());
+            x += 0.0005;
+        }
+        assert!(worst < 1e-10, "max abs err {worst:e}");
+    }
+
+    #[test]
+    fn erf_matches_reference_over_model_domain() {
+        // The wind PIT clamps u to [1e-9, 1−1e-9] ⇒ |z| ≲ 6; sweep ±7.
+        let mut worst = 0.0f64;
+        let mut x = -7.0;
+        while x <= 7.0 {
+            worst = worst.max((erf(x) - erf_reference(x)).abs());
+            x += 0.0005;
+        }
+        assert!(worst < 5e-9, "max abs err vs std-exp reference {worst:e}");
+    }
+
+    #[test]
+    fn erf_true_reference_points() {
+        // Table values of the true error function: the A&S form must stay
+        // within its documented 1.5e-7.
+        for (x, want) in [
+            (0.0, 0.0),
+            (0.5, 0.520_499_877_8),
+            (1.0, 0.842_700_792_9),
+            (2.0, 0.995_322_265_0),
+            (-1.5, -0.966_105_146_5),
+        ] {
+            assert!((erf(x) - want).abs() < 2e-7, "erf({x}) = {}", erf(x));
+        }
+    }
+
+    #[test]
+    fn norm_cdf_matches_reference_and_is_monotone() {
+        let reference = |x: f64| 0.5 * (1.0 + erf_reference(x * std::f64::consts::FRAC_1_SQRT_2));
+        let mut worst = 0.0f64;
+        let mut prev = f64::NEG_INFINITY;
+        let mut x = -7.0;
+        while x <= 7.0 {
+            let c = norm_cdf(x);
+            worst = worst.max((c - reference(x)).abs());
+            assert!(c >= prev - 1e-12, "norm_cdf non-monotone at {x}");
+            prev = c;
+            x += 0.001;
+        }
+        assert!(worst < 4e-9, "max abs err {worst:e}");
+        assert!((norm_cdf(0.0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weibull_quantile_matches_std_and_is_monotone() {
+        // Preset wind climates: scale ∈ [3.6, 5.5], shape ∈ [1.8, 2.0].
+        for (scale, shape) in [(3.6, 1.8), (4.2, 1.9), (5.5, 2.0)] {
+            let mut prev = f64::NEG_INFINITY;
+            let mut worst = 0.0f64;
+            let mut u = 1e-9f64;
+            while u < 1.0 - 1e-9 {
+                let want = scale * (-(1.0 - u).ln()).powf(1.0 / shape);
+                let got = weibull_quantile(u, scale, shape);
+                worst = worst.max(rel_err(got, want));
+                assert!(got >= prev, "quantile non-monotone at u={u}");
+                prev = got;
+                u += 0.0005;
+            }
+            assert!(
+                worst < 1e-9,
+                "scale {scale} shape {shape}: rel err {worst:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn exp_is_monotone_on_model_grid() {
+        // The reference is strictly monotone; the approximation must be
+        // monotone at any resolution coarser than its error floor.
+        let mut prev = 0.0f64;
+        let mut x = -40.0;
+        while x <= 40.0 {
+            let e = exp(x);
+            assert!(e >= prev, "exp non-monotone at {x}");
+            prev = e;
+            x += 0.001;
+        }
+    }
+
+    #[test]
+    fn ln_is_monotone_on_model_grid() {
+        let mut prev = f64::NEG_INFINITY;
+        let mut x = 1e-9;
+        while x <= 1e3 {
+            let l = ln(x);
+            assert!(l >= prev, "ln non-monotone at {x}");
+            prev = l;
+            x *= 1.001;
+        }
+    }
+
+    // --- proptest: randomized domain coverage on top of the grids ---
+
+    proptest! {
+        #[test]
+        fn prop_exp_rel_error(x in -60.0f64..60.0) {
+            let (got, want) = (exp(x), x.exp());
+            prop_assert!(rel_err(got, want) < 1e-11, "exp({x}) = {got} want {want}");
+        }
+
+        #[test]
+        fn prop_ln_roundtrips_exp(x in -40.0f64..40.0) {
+            // ln is exp's inverse to within the combined error budget.
+            prop_assert!((ln(x.exp()) - x).abs() < 1e-10);
+        }
+
+        #[test]
+        fn prop_cos_abs_error(x in -40.0f64..40.0) {
+            prop_assert!((cos(x) - x.cos()).abs() < 1e-10);
+        }
+
+        #[test]
+        fn prop_norm_cdf_bounds_and_symmetry(x in -8.0f64..8.0) {
+            let c = norm_cdf(x);
+            prop_assert!((0.0..=1.0).contains(&c));
+            prop_assert!((c + norm_cdf(-x) - 1.0).abs() < 1e-8);
+        }
+
+        #[test]
+        fn prop_weibull_quantile_nonnegative(
+            u in 1e-9f64..0.999_999_999,
+            scale in 1.0f64..10.0,
+            shape in 1.2f64..3.0,
+        ) {
+            let q = weibull_quantile(u, scale, shape);
+            prop_assert!(q.is_finite() && q >= 0.0);
+        }
+    }
+}

@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fastmath;
 pub mod math;
 pub mod precip;
 pub mod presets;

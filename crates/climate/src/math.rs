@@ -5,21 +5,16 @@
 //! needs (|ε| < 1.5·10⁻⁷ for `erf`).
 
 /// Error function, Abramowitz & Stegun 7.1.26 (max abs error 1.5e-7).
+///
+/// Delegates to [`crate::fastmath::erf`] — same rational approximation over
+/// the platform-independent fast `exp`.
 pub fn erf(x: f64) -> f64 {
-    let sign = if x < 0.0 { -1.0 } else { 1.0 };
-    let x = x.abs();
-    let t = 1.0 / (1.0 + 0.327_591_1 * x);
-    let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
-            + 0.254_829_592)
-            * t
-            * (-x * x).exp();
-    sign * y
+    crate::fastmath::erf(x)
 }
 
 /// Standard normal cumulative distribution function.
 pub fn norm_cdf(x: f64) -> f64 {
-    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+    crate::fastmath::norm_cdf(x)
 }
 
 /// Clamp helper that also guards against NaN by returning `lo`.

@@ -22,9 +22,13 @@ const MAGNUS_ICE: (f64, f64, f64) = (6.1121, 22.587, 273.86);
 ///
 /// Uses the over-water branch above 0 °C and the over-ice branch below, which
 /// matters in this study: at −20 °C the two differ by ~20 %.
+///
+/// The Magnus exponential runs on [`crate::fastmath::exp`] (relative error
+/// ≤ 1e-11): this function sits on the weather generator's per-sample hot
+/// path and on the tent/condensation paths of every tick.
 pub fn saturation_vapor_pressure_hpa(t_c: f64) -> f64 {
     let (a, b, c) = if t_c >= 0.0 { MAGNUS_WATER } else { MAGNUS_ICE };
-    a * ((b * t_c) / (c + t_c)).exp()
+    a * crate::fastmath::exp((b * t_c) / (c + t_c))
 }
 
 /// Actual vapor pressure in hPa given temperature and relative humidity.
@@ -43,7 +47,7 @@ pub fn dew_point_c(t_c: f64, rh_pct: f64) -> f64 {
     // Try water branch first.
     let inv = |coef: (f64, f64, f64)| {
         let (a, b, c) = coef;
-        let ln = (e / a).ln();
+        let ln = crate::fastmath::ln(e / a);
         c * ln / (b - ln)
     };
     let dp_water = inv(MAGNUS_WATER);
@@ -54,11 +58,58 @@ pub fn dew_point_c(t_c: f64, rh_pct: f64) -> f64 {
     }
 }
 
+/// `ln(a_water / a_ice)`: re-bases a Magnus log term from one branch's `a`
+/// to the other's without a second logarithm.
+const LN_A_WATER_OVER_ICE: f64 = -4.418_442_979_873_290_3e-4;
+
+/// [`dew_point_c`] with the vapor-pressure round trip fused into log space:
+/// `ln(e/a_dst) = ln(rh/100) + ln(a_src/a_dst) + b·t/(c+t)`, so the whole
+/// inversion costs a single logarithm instead of an exponential plus up to
+/// two logarithms. The branch choice matches [`dew_point_c`] (water when
+/// the water-branch dew point lands ≥ 0 °C, ice otherwise): the water dew
+/// point has the sign of its log term, so no trial inversion is needed.
+/// Agrees with [`dew_point_c`] to ~1e-11 K away from the 0 °C branch
+/// boundary; the weather kernel's skeleton build calls this per tick.
+pub fn dew_point_fast_c(t_c: f64, rh_pct: f64) -> f64 {
+    let rh = clamp(rh_pct, 0.1, 100.0);
+    let (_, b_src, c_src) = if t_c >= 0.0 { MAGNUS_WATER } else { MAGNUS_ICE };
+    let g_src = crate::fastmath::ln(rh / 100.0) + (b_src * t_c) / (c_src + t_c);
+    let g_water = if t_c >= 0.0 {
+        g_src
+    } else {
+        g_src - LN_A_WATER_OVER_ICE
+    };
+    if g_water >= 0.0 {
+        let (_, b, c) = MAGNUS_WATER;
+        c * g_water / (b - g_water)
+    } else {
+        let g_ice = if t_c >= 0.0 {
+            g_src + LN_A_WATER_OVER_ICE
+        } else {
+            g_src
+        };
+        let (_, b, c) = MAGNUS_ICE;
+        c * g_ice / (b - g_ice)
+    }
+}
+
 /// Relative humidity (%) of air with dew point `dp_c` at temperature `t_c`.
+///
+/// The ratio of the two Magnus exponentials is taken inside a single
+/// [`crate::fastmath::exp`] (the weather generator calls this per tick):
+/// `100·(a₁/a₂)·exp(b₁·dp/(c₁+dp) − b₂·t/(c₂+t))`, with each branch's
+/// coefficients picked by the sign of its own temperature as in
+/// [`saturation_vapor_pressure_hpa`].
 pub fn rel_humidity_from_dew_point(t_c: f64, dp_c: f64) -> f64 {
-    let e = saturation_vapor_pressure_hpa(dp_c);
-    let es = saturation_vapor_pressure_hpa(t_c);
-    clamp(100.0 * e / es, 0.0, 100.0)
+    let (a1, b1, c1) = if dp_c >= 0.0 {
+        MAGNUS_WATER
+    } else {
+        MAGNUS_ICE
+    };
+    let (a2, b2, c2) = if t_c >= 0.0 { MAGNUS_WATER } else { MAGNUS_ICE };
+    let ratio =
+        (a1 / a2) * crate::fastmath::exp((b1 * dp_c) / (c1 + dp_c) - (b2 * t_c) / (c2 + t_c));
+    clamp(100.0 * ratio, 0.0, 100.0)
 }
 
 /// Absolute humidity in g/m³ (mass of water vapor per volume of moist air).
@@ -209,6 +260,46 @@ mod tests {
     fn mixing_ratio_sane() {
         let w = mixing_ratio_g_kg(20.0, 50.0, 1013.25);
         assert!((7.0..8.0).contains(&w), "{w}"); // ≈ 7.3 g/kg
+    }
+
+    #[test]
+    fn saturation_pressure_tracks_std_exp_reference() {
+        // The fast-exp Magnus must stay within 1e-10 relative of the same
+        // formula over `std::f64::exp`, across every temperature the model
+        // can produce.
+        let mut t = -60.0;
+        while t <= 60.0 {
+            let (a, b, c) = if t >= 0.0 { MAGNUS_WATER } else { MAGNUS_ICE };
+            let want = a * ((b * t) / (c + t)).exp();
+            let got = saturation_vapor_pressure_hpa(t);
+            assert!(
+                ((got - want) / want).abs() < 1e-10,
+                "t={t}: {got} vs {want}"
+            );
+            t += 0.01;
+        }
+    }
+
+    #[test]
+    fn dew_point_fast_matches_dew_point() {
+        // The fused log-space inversion must agree with the two-step
+        // exp-then-ln form everywhere the model samples. Near the 0 °C
+        // branch boundary the two may legitimately pick different Magnus
+        // branches (a ~5 mK discontinuity both share), so allow that zone.
+        let mut t = -40.0;
+        while t <= 30.0 {
+            let mut rh = 5.0;
+            while rh <= 100.0 {
+                let fast = dew_point_fast_c(t, rh);
+                let slow = dew_point_c(t, rh);
+                assert!(
+                    (fast - slow).abs() < 1e-9 || slow.abs() < 0.01,
+                    "t={t} rh={rh}: {fast} vs {slow}"
+                );
+                rh += 0.5;
+            }
+            t += 0.25;
+        }
     }
 
     #[test]

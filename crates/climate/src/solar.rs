@@ -32,15 +32,57 @@ pub fn hour_angle_deg(hour_of_day: f64) -> f64 {
     15.0 * (hour_of_day - 12.0)
 }
 
+/// The pieces of [`elevation_deg`] that depend only on latitude and day of
+/// year, hoisted into a per-day value so the weather kernel's skeleton
+/// build pays one cosine and one arcsine per tick instead of five
+/// trigonometric calls.
+#[derive(Debug, Clone, Copy)]
+pub struct SolarDayGeom {
+    /// `sin(lat)·sin(dec)`.
+    sin_lat_sin_dec: f64,
+    /// `cos(lat)·cos(dec)`.
+    cos_lat_cos_dec: f64,
+}
+
+impl SolarDayGeom {
+    /// Geometry at `latitude_deg` for the given day of year.
+    pub fn new(latitude_deg: f64, day_of_year: u32) -> Self {
+        let lat = latitude_deg.to_radians();
+        let dec = declination_deg(day_of_year).to_radians();
+        SolarDayGeom {
+            sin_lat_sin_dec: lat.sin() * dec.sin(),
+            cos_lat_cos_dec: lat.cos() * dec.cos(),
+        }
+    }
+
+    /// Solar elevation in degrees at local solar hour `hour_of_day`.
+    pub fn elevation_deg(&self, hour_of_day: f64) -> f64 {
+        let ha = hour_angle_deg(hour_of_day).to_radians();
+        (self.sin_lat_sin_dec + self.cos_lat_cos_dec * crate::fastmath::cos(ha))
+            .asin()
+            .to_degrees()
+    }
+
+    /// Clear-sky GHI in W/m² at local solar hour `hour_of_day`.
+    ///
+    /// The sine of the elevation comes straight out of the hour-angle
+    /// formula, so night (the common case at 60 °N in winter) costs one
+    /// cosine and a compare; only daylight entries pay the `asin` and the
+    /// air-mass attenuation.
+    pub fn clear_sky_w_m2(&self, hour_of_day: f64) -> f64 {
+        let ha = hour_angle_deg(hour_of_day).to_radians();
+        let sin_elev = self.sin_lat_sin_dec + self.cos_lat_cos_dec * crate::fastmath::cos(ha);
+        if sin_elev <= 0.0 {
+            return 0.0;
+        }
+        clear_sky_from_sin_elevation(sin_elev, sin_elev.asin().to_degrees())
+    }
+}
+
 /// Solar elevation angle in degrees at `latitude_deg` for the given day of
 /// year and local solar hour. Negative when the sun is below the horizon.
 pub fn elevation_deg(latitude_deg: f64, day_of_year: u32, hour_of_day: f64) -> f64 {
-    let lat = latitude_deg.to_radians();
-    let dec = declination_deg(day_of_year).to_radians();
-    let ha = hour_angle_deg(hour_of_day).to_radians();
-    (lat.sin() * dec.sin() + lat.cos() * dec.cos() * ha.cos())
-        .asin()
-        .to_degrees()
+    SolarDayGeom::new(latitude_deg, day_of_year).elevation_deg(hour_of_day)
 }
 
 /// Clear-sky global horizontal irradiance in W/m².
@@ -51,24 +93,50 @@ pub fn clear_sky_ghi_w_m2(elevation_deg: f64) -> f64 {
     if elevation_deg <= 0.0 {
         return 0.0;
     }
+    clear_sky_from_sin_elevation(
+        crate::fastmath::sin(elevation_deg.to_radians()),
+        elevation_deg,
+    )
+}
+
+/// `ln 0.7` — the bulk-transmittance attenuation exponent, precomputed.
+const LN_0_7: f64 = -0.356_674_943_938_732_45;
+
+/// Core of [`clear_sky_ghi_w_m2`] with `sin(elevation)` already in hand:
+/// it doubles as `cos(zenith)` in the Kasten–Young air-mass denominator
+/// and as the horizontal projection, and the `0.7^(am^0.678)` attenuation
+/// runs fused in log space (one `ln`, two `exp` instead of two `powf`).
+fn clear_sky_from_sin_elevation(sin_elev: f64, elevation_deg: f64) -> f64 {
     let zen = 90.0 - elevation_deg;
-    let zen_r = zen.to_radians();
     // Kasten & Young (1989) relative air mass.
-    let am = 1.0 / (zen_r.cos() + 0.50572 * (96.07995 - zen).powf(-1.6364));
-    let direct = SOLAR_CONSTANT * 0.7f64.powf(am.powf(0.678));
+    let am = 1.0
+        / (sin_elev
+            + 0.50572 * crate::fastmath::exp(-1.6364 * crate::fastmath::ln(96.07995 - zen)));
+    let direct = SOLAR_CONSTANT
+        * crate::fastmath::exp(LN_0_7 * crate::fastmath::exp(0.678 * crate::fastmath::ln(am)));
     // Horizontal projection plus a small diffuse fraction.
-    let ghi = direct * elevation_deg.to_radians().sin() + 0.1 * direct;
+    let ghi = direct * sin_elev + 0.1 * direct;
     ghi.max(0.0)
 }
 
-/// Irradiance at a [`SimTime`], attenuated by fractional cloud cover
-/// `cloud ∈ [0, 1]` (0 = clear). Cloud attenuation follows the common
-/// `1 − 0.75·c³·⁴` fit (Kasten & Czeplak 1980).
-pub fn irradiance_at(latitude_deg: f64, t: SimTime, cloud: f64) -> f64 {
-    let elev = elevation_deg(latitude_deg, t.day_of_year(), t.hour_of_day_f64());
-    let clear = clear_sky_ghi_w_m2(elev);
+/// Clear-sky irradiance at a [`SimTime`] — the deterministic part of
+/// [`irradiance_at`], tabulated per tick by the weather kernel's skeleton.
+pub fn clear_sky_at(latitude_deg: f64, t: SimTime) -> f64 {
+    SolarDayGeom::new(latitude_deg, t.day_of_year()).clear_sky_w_m2(t.hour_of_day_f64())
+}
+
+/// Cloud attenuation factor for fractional cover `cloud ∈ [0, 1]`
+/// (0 = clear). Follows the common `1 − 0.75·c³·⁴` fit (Kasten & Czeplak
+/// 1980). This is the stochastic per-sample half of [`irradiance_at`].
+pub fn cloud_attenuation(cloud: f64) -> f64 {
     let c = cloud.clamp(0.0, 1.0);
-    clear * (1.0 - 0.75 * c.powf(3.4))
+    1.0 - 0.75 * crate::fastmath::powf(c, 3.4)
+}
+
+/// Irradiance at a [`SimTime`], attenuated by fractional cloud cover
+/// `cloud ∈ [0, 1]` (0 = clear).
+pub fn irradiance_at(latitude_deg: f64, t: SimTime, cloud: f64) -> f64 {
+    clear_sky_at(latitude_deg, t) * cloud_attenuation(cloud)
 }
 
 /// Day length in hours (sunrise to sunset) at the given latitude and day.

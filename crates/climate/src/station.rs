@@ -113,6 +113,20 @@ impl WeatherStation {
         Some(obs)
     }
 
+    /// If an observation is due exactly at `truth.t`, observe the given
+    /// sample and advance the schedule. The campaign tick grid aligns with
+    /// the station cadence, so the weather phase can hand the station the
+    /// sample it just produced instead of paying for a second identical
+    /// model sample (same RNG draws, same observation as [`Self::poll`]).
+    pub fn poll_at(&mut self, truth: &WeatherSample) -> Option<WeatherObservation> {
+        if truth.t != self.next_due {
+            return None;
+        }
+        let obs = self.observe(truth);
+        self.next_due += self.config.interval;
+        Some(obs)
+    }
+
     /// Convenience: observe the model over a whole window.
     pub fn record_window(
         &mut self,

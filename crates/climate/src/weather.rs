@@ -25,15 +25,43 @@
 //! The model is advanced on a fixed internal step (60 s) and sampled
 //! monotonically; identical `(params, seed)` always yields the identical
 //! trace.
+//!
+//! # The two-part kernel
+//!
+//! Sampling splits into a **deterministic skeleton** and a **stochastic
+//! residual**, because nothing in the deterministic part depends on the
+//! seed:
+//!
+//! * The skeleton — seasonal mean, diurnal amplitude and phase cosine,
+//!   RH/cloud seasonal means, the dew-point spread target, clear-sky solar
+//!   irradiance, and the anchor blend — is a pure function of `(params, t)`.
+//!   It is tabulated once per simulated day on the 60-s tick grid
+//!   ([`SkeletonEntry`], built lazily in day chunks with a small rolling
+//!   cache so year-long campaigns stay O(1) in memory), so the per-sample
+//!   cost collapses to one table lookup. Off-grid sample times fall back to
+//!   computing the same entry directly — identical values, just not cached.
+//! * The residual advances all five OU processes for a tick in one batched
+//!   pass with the per-tick `exp(−Δt/τ)` decay and `√(1−a²)` noise gain
+//!   precomputed at construction (the internal step is fixed), then
+//!   assembles the sample with [`crate::fastmath`] bounded-error
+//!   approximations for the few remaining per-sample transcendentals
+//!   (Magnus `exp`, `erf`, Weibull `ln`/`powf`, cloud `powf`).
+//!
+//! The split is exact for the OU batching (same arithmetic, same RNG
+//! streams); the fast-math approximations shift low-order bits, which is
+//! why the golden hashes were re-pinned in the same change (cutover
+//! documented in DESIGN.md §“Weather kernel”).
 
 use frostlab_simkern::rng::Rng;
 use frostlab_simkern::time::{SimDuration, SimTime};
 
 use crate::math::{clamp, lerp, smoothstep};
-use crate::solar;
+use crate::{fastmath, solar};
 
 /// Internal state-advancement step for the OU processes.
 const STEP: SimDuration = SimDuration::secs(60);
+/// [`STEP`] in seconds, as the float the OU arithmetic uses.
+const STEP_SECS_F: f64 = 60.0;
 
 /// A window during which the temperature trace is blended toward a target
 /// mean — used to reproduce documented episodes (prototype weekend, the
@@ -110,34 +138,55 @@ impl ClimateParams {
         self.t_annual_mean_c - self.t_seasonal_amplitude_k * phase.cos()
     }
 
-    /// 0 at mid-winter, 1 at mid-summer (smooth seasonal interpolator).
-    fn summerness(&self, doy: f64) -> f64 {
+    /// All deterministic per-tick quantities in one pass — the unit of the
+    /// precomputed skeleton. One seasonal-phase cosine serves the seasonal
+    /// mean and every `summerness`-interpolated field, and the dew-point
+    /// spread target is inverted analytically from the Magnus relation
+    /// instead of bisected.
+    fn skeleton_entry(&self, t: SimTime) -> SkeletonEntry {
+        let day = t.day_of_year();
+        let geom = solar::SolarDayGeom::new(self.latitude_deg, day);
+        self.skeleton_entry_in_day(t, day, &geom)
+    }
+
+    /// [`Self::skeleton_entry`] with the per-day pieces (integer day of
+    /// year, solar geometry) hoisted: a skeleton chunk spans exactly one
+    /// UTC day, so the chunk builder computes them once per 1440 entries.
+    fn skeleton_entry_in_day(
+        &self,
+        t: SimTime,
+        day_of_year: u32,
+        geom: &solar::SolarDayGeom,
+    ) -> SkeletonEntry {
+        let h = t.hour_of_day_f64();
+        let doy = day_of_year as f64 + h / 24.0;
         let phase = 2.0 * std::f64::consts::PI * (doy - self.coldest_day_of_year) / 365.25;
-        0.5 * (1.0 - phase.cos())
-    }
-
-    fn diurnal_amp(&self, doy: f64) -> f64 {
-        lerp(
-            self.diurnal_amp_winter_k,
-            self.diurnal_amp_summer_k,
-            self.summerness(doy),
-        )
-    }
-
-    fn rh_mean(&self, doy: f64) -> f64 {
-        lerp(
-            self.rh_mean_winter,
-            self.rh_mean_summer,
-            self.summerness(doy),
-        )
-    }
-
-    fn cloud_mean(&self, doy: f64) -> f64 {
-        lerp(
-            self.cloud_mean_winter,
-            self.cloud_mean_summer,
-            self.summerness(doy),
-        )
+        let cphase = fastmath::cos(phase);
+        let seasonal_c = self.t_annual_mean_c - self.t_seasonal_amplitude_k * cphase;
+        let summerness = 0.5 * (1.0 - cphase);
+        let rh_mean = lerp(self.rh_mean_winter, self.rh_mean_summer, summerness);
+        // Dew-point spread (K) that yields the seasonal-mean RH at the
+        // seasonal-mean temperature: the exact inverse of
+        // `rel_humidity_from_dew_point(t, t − spread) = rh`, replacing the
+        // 40-step bisection the pre-kernel generator ran per sample.
+        let rh_target = clamp(rh_mean, 5.0, 100.0);
+        let spread_target_k =
+            (seasonal_c - crate::psychro::dew_point_fast_c(seasonal_c, rh_target)).clamp(0.0, 40.0);
+        let (anchor_target_c, anchor_weight) = self.anchor_at(t).unwrap_or((0.0, 0.0));
+        SkeletonEntry {
+            seasonal_c,
+            diurnal_amp_k: lerp(
+                self.diurnal_amp_winter_k,
+                self.diurnal_amp_summer_k,
+                summerness,
+            ),
+            cloud_mean: lerp(self.cloud_mean_winter, self.cloud_mean_summer, summerness),
+            spread_target_k,
+            diurnal_cos: fastmath::cos(2.0 * std::f64::consts::PI * (h - 15.0) / 24.0),
+            clear_sky_w_m2: geom.clear_sky_w_m2(h),
+            anchor_target_c,
+            anchor_weight,
+        }
     }
 
     /// Anchor adjustment at `t`: `(target_offset, weight)` where weight
@@ -181,39 +230,160 @@ pub struct WeatherSample {
     pub cloud: f64,
 }
 
-/// Dew-point spread (K) that yields the target RH at temperature `t_c`,
-/// found by bisection on the Magnus relation.
-fn spread_for_rh(t_c: f64, rh_target: f64) -> f64 {
-    let rh_target = clamp(rh_target, 5.0, 100.0);
-    let (mut lo, mut hi) = (0.0f64, 40.0f64);
-    for _ in 0..40 {
-        let mid = 0.5 * (lo + hi);
-        let rh = crate::psychro::rel_humidity_from_dew_point(t_c, t_c - mid);
-        if rh > rh_target {
-            lo = mid;
-        } else {
-            hi = mid;
-        }
-    }
-    0.5 * (lo + hi)
+/// One row of the precomputed deterministic skeleton: everything about a
+/// sample instant that does not depend on the seed.
+#[derive(Debug, Clone, Copy)]
+struct SkeletonEntry {
+    /// Seasonal-mean temperature, °C.
+    seasonal_c: f64,
+    /// Diurnal half-swing before cloud damping, K.
+    diurnal_amp_k: f64,
+    /// Seasonal-mean fractional cloud cover.
+    cloud_mean: f64,
+    /// Dew-point spread matching the seasonal RH target, K.
+    spread_target_k: f64,
+    /// `cos(2π(h − 15)/24)` — the diurnal phase factor.
+    diurnal_cos: f64,
+    /// Clear-sky global horizontal irradiance, W/m².
+    clear_sky_w_m2: f64,
+    /// Anchor target mean, °C (meaningful when `anchor_weight > 0`).
+    anchor_target_c: f64,
+    /// Anchor blend weight; 0 ⇒ no anchor active at this instant.
+    anchor_weight: f64,
 }
 
-/// Ornstein–Uhlenbeck state in standard-normal units.
+/// Ticks per skeleton chunk: one simulated day on the 60-s grid.
+const CHUNK_TICKS: i64 = 1440;
+/// Chunks kept resident when building lazily. Sampling is monotone, so a
+/// small rolling window keeps even year-long campaigns at O(1) skeleton
+/// memory.
+const MIN_CHUNKS: usize = 4;
+/// Upper bound on chunks built eagerly by [`Skeleton::prewarm`] (~3 MB);
+/// campaigns longer than this fall back to rolling lazy builds past the
+/// prewarmed window.
+const PREWARM_MAX_CHUNKS: usize = 32;
+
+/// Day-chunked table of [`SkeletonEntry`] on the tick grid: prewarmed for
+/// the campaign window at construction, built lazily past it.
+#[derive(Debug, Clone)]
+struct Skeleton {
+    /// `(chunk index, entries)` in build order; oldest evicted first.
+    chunks: Vec<(i64, Box<[SkeletonEntry]>)>,
+    /// Resident-chunk cap; [`Skeleton::prewarm`] raises it so an eagerly
+    /// built campaign window is not evicted by its own construction.
+    capacity: usize,
+}
+
+impl Default for Skeleton {
+    fn default() -> Self {
+        Skeleton {
+            chunks: Vec::new(),
+            capacity: MIN_CHUNKS,
+        }
+    }
+}
+
+impl Skeleton {
+    /// Build one day chunk. A chunk spans exactly one UTC day (1440
+    /// one-minute ticks from midnight), so the day of year and solar
+    /// geometry are loop invariants of the build.
+    fn build_chunk(params: &ClimateParams, chunk_idx: i64) -> Box<[SkeletonEntry]> {
+        let base_tick = chunk_idx * CHUNK_TICKS;
+        let day = SimTime::from_secs(base_tick * 60).day_of_year();
+        let geom = solar::SolarDayGeom::new(params.latitude_deg, day);
+        (0..CHUNK_TICKS)
+            .map(|i| {
+                params.skeleton_entry_in_day(SimTime::from_secs((base_tick + i) * 60), day, &geom)
+            })
+            .collect()
+    }
+
+    /// Insert a chunk, evicting the oldest beyond capacity.
+    fn insert(&mut self, chunk_idx: i64, entries: Box<[SkeletonEntry]>) {
+        if self.chunks.len() >= self.capacity {
+            self.chunks.remove(0);
+        }
+        self.chunks.push((chunk_idx, entries));
+    }
+
+    /// Eagerly tabulate every chunk covering `[start, end]` (bounded by
+    /// [`PREWARM_MAX_CHUNKS`]) so the sampling hot loop pays table lookups
+    /// only. Idempotent; already-resident chunks are kept.
+    fn prewarm(&mut self, params: &ClimateParams, start: SimTime, end: SimTime) {
+        if end < start {
+            return;
+        }
+        let first = start.as_secs().div_euclid(60 * CHUNK_TICKS);
+        let last = end.as_secs().div_euclid(60 * CHUNK_TICKS);
+        let count = ((last - first + 1) as usize).min(PREWARM_MAX_CHUNKS);
+        self.capacity = self.capacity.max(count);
+        for chunk_idx in first..first + count as i64 {
+            if self.chunks.iter().any(|(idx, _)| *idx == chunk_idx) {
+                continue;
+            }
+            let entries = Skeleton::build_chunk(params, chunk_idx);
+            self.insert(chunk_idx, entries);
+        }
+    }
+
+    /// Entry for `t`: cached when `t` lies on the 60-s tick grid, computed
+    /// directly (same arithmetic) otherwise.
+    fn entry(&mut self, params: &ClimateParams, t: SimTime) -> SkeletonEntry {
+        let secs = t.as_secs();
+        if secs % 60 != 0 {
+            return params.skeleton_entry(t);
+        }
+        let tick = secs / 60;
+        let chunk_idx = tick.div_euclid(CHUNK_TICKS);
+        let offset = tick.rem_euclid(CHUNK_TICKS) as usize;
+        if let Some((_, entries)) = self.chunks.iter().find(|(idx, _)| *idx == chunk_idx) {
+            return entries[offset];
+        }
+        let entries = Skeleton::build_chunk(params, chunk_idx);
+        let entry = entries[offset];
+        self.insert(chunk_idx, entries);
+        entry
+    }
+}
+
+/// Ornstein–Uhlenbeck state in standard-normal units, with the whole-step
+/// decay/noise coefficients precomputed (the internal step is fixed at
+/// [`STEP`], so `exp(−Δt/τ)` is a per-process constant).
 #[derive(Debug, Clone, Copy)]
 struct Ou {
     z: f64,
     tau_secs: f64,
+    /// `exp(−STEP/τ)`.
+    step_decay: f64,
+    /// `√(1 − step_decay²)`.
+    step_noise: f64,
 }
 
 impl Ou {
     fn new(tau_hours: f64) -> Self {
+        let tau_secs = tau_hours * 3600.0;
+        let step_decay = (-STEP_SECS_F / tau_secs).exp();
         Ou {
             z: 0.0,
-            tau_secs: tau_hours * 3600.0,
+            tau_secs,
+            step_decay,
+            step_noise: (1.0 - step_decay * step_decay).sqrt(),
         }
     }
 
-    fn step(&mut self, dt_secs: f64, rng: &mut Rng) {
+    /// Advance `n` whole internal steps in one batched pass.
+    fn advance(&mut self, n: i64, rng: &mut Rng) {
+        let (a, b) = (self.step_decay, self.step_noise);
+        let mut z = self.z;
+        for _ in 0..n {
+            z = a * z + b * rng.standard_normal();
+        }
+        self.z = z;
+    }
+
+    /// Advance one partial step of `dt_secs < STEP` (grid-unaligned sample
+    /// times only).
+    fn step_partial(&mut self, dt_secs: f64, rng: &mut Rng) {
         let a = (-dt_secs / self.tau_secs).exp();
         self.z = a * self.z + (1.0 - a * a).sqrt() * rng.standard_normal();
     }
@@ -224,6 +394,7 @@ impl Ou {
 pub struct WeatherModel {
     params: ClimateParams,
     now: SimTime,
+    skeleton: Skeleton,
     synoptic: Ou,
     meso: Ou,
     rh: Ou,
@@ -243,6 +414,7 @@ impl WeatherModel {
     pub fn new(params: ClimateParams, seed: u64) -> Self {
         let root = Rng::new(seed).derive("climate");
         let mut m = WeatherModel {
+            skeleton: Skeleton::default(),
             synoptic: Ou::new(params.synoptic_tau_hours),
             meso: Ou::new(params.meso_tau_hours),
             rh: Ou::new(params.rh_tau_hours),
@@ -266,21 +438,48 @@ impl WeatherModel {
         &self.params
     }
 
+    /// Precompute the per-campaign state so the sampling hot loop runs pure
+    /// table lookups plus one OU tick: tabulates the deterministic skeleton
+    /// for `[start, end]` and advances the OU residuals from the epoch to
+    /// `start` (otherwise the first sample pays the whole epoch→start
+    /// catch-up). Draw-for-draw identical to sampling without it — the
+    /// catch-up consumes exactly the draws the first sample would have —
+    /// just not charged to the hot phase. Optional and idempotent.
+    pub fn prewarm(&mut self, start: SimTime, end: SimTime) {
+        self.skeleton.prewarm(&self.params, start, end);
+        self.advance_to(start);
+    }
+
     /// Internal-state clock (last advanced instant).
     pub fn now(&self) -> SimTime {
         self.now
     }
 
+    /// Advance the OU residuals to `t`: all whole internal steps for each
+    /// process in one batched pass (precomputed decay, no per-step
+    /// transcendentals), then at most one partial step. Each process owns
+    /// its RNG stream, so batching per process draws the exact sequence the
+    /// old per-substep interleaving did.
     fn advance_to(&mut self, t: SimTime) {
-        while self.now < t {
-            let dt = STEP.as_secs().min((t - self.now).as_secs()) as f64;
-            self.synoptic.step(dt, &mut self.rng_synoptic);
-            self.meso.step(dt, &mut self.rng_meso);
-            self.rh.step(dt, &mut self.rng_rh);
-            self.wind.step(dt, &mut self.rng_wind);
-            self.cloud.step(dt, &mut self.rng_cloud);
-            self.now += SimDuration::secs(dt as i64);
+        if t <= self.now {
+            return;
         }
+        let total_secs = (t - self.now).as_secs();
+        let whole = total_secs / STEP.as_secs();
+        let rem = (total_secs % STEP.as_secs()) as f64;
+        self.synoptic.advance(whole, &mut self.rng_synoptic);
+        self.meso.advance(whole, &mut self.rng_meso);
+        self.rh.advance(whole, &mut self.rng_rh);
+        self.wind.advance(whole, &mut self.rng_wind);
+        self.cloud.advance(whole, &mut self.rng_cloud);
+        if rem > 0.0 {
+            self.synoptic.step_partial(rem, &mut self.rng_synoptic);
+            self.meso.step_partial(rem, &mut self.rng_meso);
+            self.rh.step_partial(rem, &mut self.rng_rh);
+            self.wind.step_partial(rem, &mut self.rng_wind);
+            self.cloud.step_partial(rem, &mut self.rng_cloud);
+        }
+        self.now = t;
     }
 
     /// Sample the weather at `t`.
@@ -295,25 +494,55 @@ impl WeatherModel {
             self.now
         );
         self.advance_to(t);
+        self.assemble(t)
+    }
+
+    /// Batched equivalent of `n` successive [`Self::sample_at`] calls at
+    /// `start, start + 60 s, …` — draw-for-draw and bit-for-bit identical
+    /// (it runs the same advance and assembly per tick). The point is
+    /// locality: one call per simulated day keeps the whole weather working
+    /// set (skeleton chunk, OU and RNG state) hot instead of re-faulting it
+    /// from cache every campaign tick.
+    ///
+    /// # Panics
+    /// Panics if `start` is earlier than a previously sampled instant.
+    pub fn sample_ticks(&mut self, start: SimTime, n: usize) -> Vec<WeatherSample> {
+        assert!(
+            start >= self.now,
+            "weather sampled backwards: {start:?} < {:?}",
+            self.now
+        );
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n as i64 {
+            let t = start + SimDuration::secs(i * STEP.as_secs());
+            self.advance_to(t);
+            out.push(self.assemble(t));
+        }
+        out
+    }
+
+    /// Assemble the sample at `t` from the skeleton entry and the current
+    /// OU residual states. Caller must have advanced the residuals to `t`.
+    fn assemble(&mut self, t: SimTime) -> WeatherSample {
         let p = &self.params;
-        let doy = t.day_of_year() as f64 + t.hour_of_day_f64() / 24.0;
+        // All deterministic per-instant quantities come from the skeleton
+        // table (one lookup on the tick grid); only the OU residual
+        // assembly below runs per sample.
+        let e = self.skeleton.entry(&self.params, t);
 
         // --- cloud ---
-        let cloud = clamp(p.cloud_mean(doy) + 0.35 * self.cloud.z, 0.0, 1.0);
+        let cloud = clamp(e.cloud_mean + 0.35 * self.cloud.z, 0.0, 1.0);
 
         // --- temperature ---
-        let seasonal = p.seasonal_mean_c(doy);
         let synoptic_k = p.synoptic_sd_k * self.synoptic.z;
         let meso_k = p.meso_sd_k * self.meso.z;
-        let mut base = seasonal + synoptic_k;
-        if let Some((target, w)) = p.anchor_at(t) {
-            base = lerp(base, target, w);
+        let mut base = e.seasonal_c + synoptic_k;
+        if e.anchor_weight > 0.0 {
+            base = lerp(base, e.anchor_target_c, e.anchor_weight);
         }
         // Diurnal cycle peaks mid-afternoon (≈ 15:00 local); clear skies
         // amplify it, overcast damps it.
-        let amp = p.diurnal_amp(doy) * (1.0 - 0.6 * cloud);
-        let diurnal =
-            amp * (2.0 * std::f64::consts::PI * (t.hour_of_day_f64() - 15.0) / 24.0).cos();
+        let diurnal = e.diurnal_amp_k * (1.0 - 0.6 * cloud) * e.diurnal_cos;
         let temp_c = base + meso_k + diurnal;
 
         // --- relative humidity, via the dew-point spread ---
@@ -324,10 +553,10 @@ impl WeatherModel {
         // wiggles then anticorrelate with RH automatically, exactly as in
         // real traces, and downstream consumers (the tent) see a smooth
         // vapor-pressure signal.
-        let spread_target = spread_for_rh(seasonal, p.rh_mean(doy));
+        //
         // Map the configured RH variability (pp) into spread units (K):
         // d(RH)/d(spread) ≈ −6 pp/K in the relevant range.
-        let spread = (spread_target + (p.rh_sd / 6.0) * self.rh.z
+        let spread = (e.spread_target_k + (p.rh_sd / 6.0) * self.rh.z
             - (p.rh_temp_coupling / 6.0) * synoptic_k)
             .max(0.05);
         // Dew point rides the *slow* temperature components only (seasonal
@@ -342,11 +571,17 @@ impl WeatherModel {
         );
 
         // --- wind ---
-        let u = crate::math::norm_cdf(self.wind.z).clamp(1e-9, 1.0 - 1e-9);
-        let wind_ms = p.wind_weibull_scale * (-(1.0 - u).ln()).powf(1.0 / p.wind_weibull_shape);
+        let u = fastmath::norm_cdf(self.wind.z).clamp(1e-9, 1.0 - 1e-9);
+        let wind_ms = fastmath::weibull_quantile(u, p.wind_weibull_scale, p.wind_weibull_shape);
 
         // --- solar ---
-        let solar_w_m2 = solar::irradiance_at(p.latitude_deg, t, cloud);
+        // Night (most winter ticks at 60 °N) skips the attenuation powf:
+        // zero stays zero under any cloud factor.
+        let solar_w_m2 = if e.clear_sky_w_m2 > 0.0 {
+            e.clear_sky_w_m2 * solar::cloud_attenuation(cloud)
+        } else {
+            0.0
+        };
 
         WeatherSample {
             t,

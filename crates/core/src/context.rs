@@ -202,7 +202,10 @@ impl CampaignCtx {
     /// streams, so keep it stable.
     pub fn new(cfg: ExperimentConfig) -> CampaignCtx {
         let root = Rng::new(cfg.seed);
-        let wx = WeatherModel::new(cfg.climate.clone(), cfg.seed);
+        let mut wx = WeatherModel::new(cfg.climate.clone(), cfg.seed);
+        // Tabulate the deterministic weather skeleton for the campaign
+        // window up front, so the weather phase pays table lookups only.
+        wx.prewarm(cfg.start, cfg.end);
         let station = WeatherStation::new(StationConfig::default(), cfg.start, &root);
         let boot_weather = WeatherSample {
             t: cfg.start,

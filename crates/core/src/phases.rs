@@ -117,14 +117,33 @@ impl TickPhase for TimingProbe {
     }
 }
 
+/// Ticks per weather batch: one simulated day on the model's 60-s grid,
+/// matching the skeleton chunk size. The final refill of a campaign may
+/// generate up to a day past the end — the surplus samples are discarded
+/// and the surplus RNG draws are private to the model.
+const WEATHER_BATCH_TICKS: usize = 1440;
+
 /// Step 1: advance the weather model and poll the station.
+///
+/// When the campaign tick, the campaign start, and the station cadence all
+/// lie on the weather model's 60-s grid (the stock configuration), samples
+/// are served from a day-sized batch produced by
+/// [`WeatherModel::sample_ticks`] — bit-identical to per-tick sampling, but
+/// the weather working set is traversed once per simulated day instead of
+/// being re-faulted from cache on every tick. Unaligned configurations keep
+/// the per-tick path.
 #[derive(Debug, Default)]
-pub struct WeatherPhase;
+pub struct WeatherPhase {
+    /// Batched samples; `buf[i]` is the sample at `buf_t0 + i·60 s`.
+    buf: Vec<frostlab_climate::weather::WeatherSample>,
+    /// Instant of `buf[0]`.
+    buf_t0: SimTime,
+}
 
 impl WeatherPhase {
     /// Stock weather phase.
     pub fn new() -> WeatherPhase {
-        WeatherPhase
+        WeatherPhase::default()
     }
 }
 
@@ -135,10 +154,40 @@ impl TickPhase for WeatherPhase {
 
     fn step(&mut self, ctx: &mut CampaignCtx) {
         let t = ctx.now;
-        while let Some(obs) = ctx.station.poll(&mut ctx.wx, t) {
+        // The batched path requires every instant the model gets sampled at
+        // to land on its 60-s grid. All three inputs are campaign constants
+        // (the station schedule steps by a fixed interval), so the predicate
+        // is tick-invariant: a campaign is either always batched or never.
+        let aligned = t.as_secs() % 60 == 0
+            && ctx.station.next_due().as_secs() % 60 == 0
+            && ctx.station.config().interval.as_secs() % 60 == 0;
+        let sample = if aligned {
+            let idx = (t.as_secs() - self.buf_t0.as_secs()) / 60;
+            if self.buf.is_empty() || idx < 0 || idx as usize >= self.buf.len() {
+                self.buf = ctx.wx.sample_ticks(t, WEATHER_BATCH_TICKS);
+                self.buf_t0 = t;
+                self.buf[0]
+            } else {
+                self.buf[idx as usize]
+            }
+        } else {
+            // Catch up any observations due strictly before this tick (only
+            // possible with a station cadence unaligned to the tick grid).
+            while ctx.station.next_due() < t {
+                match ctx.station.poll(&mut ctx.wx, t) {
+                    Some(obs) => ctx.outside.push(obs),
+                    None => break,
+                }
+            }
+            ctx.wx.sample_at(t)
+        };
+        // One model sample serves both the tick and, when the 10-minute
+        // station cadence lands on this tick, the station observation —
+        // the pre-kernel phase sampled the model twice at those instants.
+        if let Some(obs) = ctx.station.poll_at(&sample) {
             ctx.outside.push(obs);
         }
-        ctx.weather = ctx.wx.sample_at(t);
+        ctx.weather = sample;
     }
 }
 

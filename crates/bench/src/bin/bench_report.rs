@@ -6,7 +6,10 @@
 //!    same workload as the `campaign_week` criterion bench);
 //! 2. `ensemble_serial_ms` — N one-week stochastic campaigns on 1 thread;
 //! 3. `ensemble_parallel_ms` — the same seed range on all cores (or
-//!    `--threads`), plus the resulting `speedup`.
+//!    `--threads`), plus the resulting `speedup`;
+//! 4. `hosts_scaling` — one-day stochastic campaigns at 19, 1,000 and
+//!    10,000 hosts (informational: reported, never checked against the
+//!    baseline — fleet-size scaling is a trajectory to watch, not a gate).
 //!
 //! While it's at it, it asserts the serial and parallel sweeps produced
 //! byte-identical invariant summaries — a free determinism check on every
@@ -38,6 +41,7 @@
 use std::time::Instant;
 
 use frostlab_core::config::{ExperimentConfig, FaultMode};
+use frostlab_core::fleet::FleetSpec;
 use frostlab_core::phases::PhaseTiming;
 use frostlab_core::ScenarioBuilder;
 use frostlab_ensemble::run_summary_sweep;
@@ -69,6 +73,21 @@ struct BenchReport {
     /// (pipeline order). Checked against the baseline's `phase_budget_ms`
     /// map when one is present.
     phase_breakdown: Vec<PhaseTiming>,
+    /// One-day stochastic campaigns at growing fleet sizes (informational;
+    /// never compared against the baseline).
+    hosts_scaling: Vec<HostsScaling>,
+}
+
+/// One row of the fleet-size scaling sweep.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+struct HostsScaling {
+    /// Fleet size (19 = the paper's own fleet).
+    hosts: u32,
+    /// Wall-clock of one simulated day, ms (single run — at 10,000 hosts
+    /// a rep loop would dominate the whole report's runtime).
+    campaign_day_ms: f64,
+    /// Pack-verify runs the fleet completed in that day.
+    total_runs: u64,
 }
 
 fn ms(t: Instant) -> f64 {
@@ -272,6 +291,29 @@ fn main() {
         "thread-count invariance violated: serial and parallel sweeps disagree"
     );
 
+    eprintln!("bench_report: hosts_scaling (one-day campaigns at 19 / 1,000 / 10,000 hosts) …");
+    let hosts_scaling = [0u32, 1_000, 10_000]
+        .iter()
+        .map(|&hosts| {
+            let fleet = match hosts {
+                0 => FleetSpec::Paper,
+                n => FleetSpec::VendorMix { hosts: n },
+            };
+            let cfg = ExperimentConfig {
+                fault_mode: FaultMode::Stochastic,
+                fleet,
+                ..ExperimentConfig::short(42, 1)
+            };
+            let t = Instant::now();
+            let results = ScenarioBuilder::paper(cfg).build().run();
+            HostsScaling {
+                hosts: if hosts == 0 { 19 } else { hosts },
+                campaign_day_ms: ms(t),
+                total_runs: results.workload.total_runs(),
+            }
+        })
+        .collect();
+
     let report = BenchReport {
         schema: SCHEMA.to_string(),
         jobs,
@@ -283,6 +325,7 @@ fn main() {
         per_campaign_ms: ensemble_serial_ms / jobs.max(1) as f64,
         speedup: ensemble_serial_ms / ensemble_parallel_ms.max(1e-9),
         phase_breakdown,
+        hosts_scaling,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out, format!("{json}\n")).expect("write benchmark JSON");

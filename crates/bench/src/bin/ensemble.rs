@@ -19,12 +19,17 @@
 //!
 //! ```sh
 //! ensemble [--seeds N] [--start-seed S] [--threads T] [--days D]
-//!          [--matrix FILE] [--invariant] [--traced]
+//!          [--hosts H] [--matrix FILE] [--invariant] [--traced]
 //! ```
 //!
 //! `--days 0` (default 7) runs the full Feb 12 – May 13 campaign.
+//! `--hosts 0` (default) runs the paper's 19 machines; any other value
+//! runs a generated vendor-mix fleet of that size (the CI `fleet-scale`
+//! job sweeps a 1,000-host campaign at 1 and 4 threads and diffs the
+//! invariant output).
 
 use frostlab_core::config::{ExperimentConfig, FaultMode};
+use frostlab_core::fleet::FleetSpec;
 use frostlab_core::MatrixSpec;
 use frostlab_ensemble::{run_matrix_sweep, run_summary_sweep, run_traced_sweep};
 use frostlab_trace::TraceConfig;
@@ -32,7 +37,7 @@ use frostlab_trace::TraceConfig;
 fn usage() -> ! {
     eprintln!(
         "usage: ensemble [--seeds N] [--start-seed S] [--threads T] [--days D] \
-         [--matrix FILE] [--invariant] [--traced]"
+         [--hosts H] [--matrix FILE] [--invariant] [--traced]"
     );
     std::process::exit(2);
 }
@@ -42,6 +47,7 @@ fn main() {
     let mut start_seed: u64 = 0;
     let mut threads: usize = 0;
     let mut days: i64 = 7;
+    let mut hosts: u32 = 0;
     let mut matrix_file: Option<String> = None;
     let mut invariant = false;
     let mut traced = false;
@@ -57,6 +63,7 @@ fn main() {
             "--start-seed" => start_seed = val("--start-seed").parse().unwrap_or_else(|_| usage()),
             "--threads" => threads = val("--threads").parse().unwrap_or_else(|_| usage()),
             "--days" => days = val("--days").parse().unwrap_or_else(|_| usage()),
+            "--hosts" => hosts = val("--hosts").parse().unwrap_or_else(|_| usage()),
             "--matrix" => matrix_file = Some(val("--matrix")),
             "--invariant" => invariant = true,
             "--traced" => traced = true,
@@ -84,14 +91,22 @@ fn main() {
         return;
     }
 
-    let make_config = |seed: u64| {
+    let fleet = match hosts {
+        0 => FleetSpec::Paper,
+        n => FleetSpec::VendorMix { hosts: n },
+    };
+    let make_config = move |seed: u64| {
         if days > 0 {
             ExperimentConfig {
                 fault_mode: FaultMode::Stochastic,
+                fleet,
                 ..ExperimentConfig::short(seed, days)
             }
         } else {
-            ExperimentConfig::paper_stochastic(seed)
+            ExperimentConfig {
+                fleet,
+                ..ExperimentConfig::paper_stochastic(seed)
+            }
         }
     };
 

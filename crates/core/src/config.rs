@@ -7,6 +7,8 @@ use frostlab_simkern::time::{SimDuration, SimTime};
 use frostlab_thermal::tent::TentParams;
 use frostlab_workload::job::JobConfig;
 
+use crate::fleet::FleetSpec;
+
 /// How faults enter the run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultMode {
@@ -51,6 +53,9 @@ pub struct ExperimentConfig {
     /// Chaos injection for resilience studies (`None` = off). Ignored in
     /// scripted mode — the paper's history is replayed verbatim there.
     pub chaos: Option<ChaosConfig>,
+    /// Which fleet to simulate (the paper's 19 machines by default; a
+    /// generated vendor-mix fleet for datacenter-scale studies).
+    pub fleet: FleetSpec,
 }
 
 impl ExperimentConfig {
@@ -71,6 +76,7 @@ impl ExperimentConfig {
             sensor_log_interval: SimDuration::minutes(20),
             force_ecc: false,
             chaos: None,
+            fleet: FleetSpec::Paper,
         }
     }
 

@@ -10,6 +10,14 @@
 //! [`CampaignCtx::tent_state`] and [`CampaignCtx::tent_power_w`], the power
 //! phase integrates what the enclosure phase computed, and so on.
 //!
+//! Per-host state lives in [`FleetState`] — struct-of-arrays columns the
+//! host-step phase walks in bulk. The paper's fleet shares one tent and
+//! one basement; generated fleets spread over many nine-host *zones*, each
+//! with its own enclosure RC network ([`CampaignCtx::extra_tents`] /
+//! [`CampaignCtx::extra_basements`]), so the thermal model stays physical
+//! at 10,000 hosts. Zone 0 is always the instrumented primary pair — the
+//! Lascar, the truth series and the power meter keep watching it.
+//!
 //! Cross-cutting fault plumbing (hangs, scripted events, chaos events, the
 //! indoor-diagnosis workflow) lives here as methods so that any phase —
 //! stock or user-written — can trigger them consistently.
@@ -19,10 +27,9 @@ use std::collections::BTreeMap;
 use frostlab_climate::station::{StationConfig, WeatherObservation, WeatherStation};
 use frostlab_climate::weather::{WeatherModel, WeatherSample};
 use frostlab_faults::chaos::{ChaosEngine, ChaosEvent};
-use frostlab_faults::injector::{FaultInjector, HostFaults};
+use frostlab_faults::injector::FaultInjector;
 use frostlab_faults::repair::{Disposition, HostRecord, RepairPolicy};
 use frostlab_faults::types::{FaultEvent, FaultKind, HostId};
-use frostlab_hardware::server::{Server, ServerSpec, Vendor};
 use frostlab_netsim::collector::{Collector, MonitoredHost};
 use frostlab_simkern::rng::Rng;
 use frostlab_simkern::time::{SimDuration, SimTime};
@@ -32,7 +39,6 @@ use frostlab_telemetry::series::TimeSeries;
 use frostlab_telemetry::technoline::CostControlMeter;
 use frostlab_thermal::basement::Basement;
 use frostlab_thermal::enclosure::{Enclosure, EnclosureState};
-use frostlab_thermal::server_case::{ServerCaseThermal, ServerThermalParams};
 use frostlab_thermal::tent::{Tent, TentConfig};
 use frostlab_trace::Tracer;
 use frostlab_workload::job::{JobRunner, JobTemplate};
@@ -40,73 +46,11 @@ use frostlab_workload::schedule::LoadSchedule;
 use frostlab_workload::stats::{Placement, WorkloadStats};
 
 use crate::config::{ExperimentConfig, FaultMode};
-use crate::fleet::{paper_fleet, switch_assignment, HostPlan, SwitchFailoverPolicy};
+use crate::fleet::{switch_assignment, FleetBuilder, SwitchFailoverPolicy};
+use crate::fleet_state::{spec_for, FleetState};
 use crate::results::{ExperimentResults, HostSummary, StoredArchive};
 use crate::scripted::ScriptedEvent;
 use crate::watchdog::{IncidentKind, Watchdog};
-
-/// One live machine in the campaign.
-pub struct HostSim {
-    /// Fleet-plan entry (id, vendor, placement, install date).
-    pub plan: HostPlan,
-    /// The machine itself.
-    pub server: Server,
-    /// Chassis thermal chain.
-    pub thermal: ServerCaseThermal,
-    /// The pack-verify job runner.
-    pub job: JobRunner,
-    /// The jittered 10-minute schedule.
-    pub schedule: LoadSchedule,
-    /// Stochastic fault models for this host.
-    pub faults: HostFaults,
-    /// Repair-workflow history.
-    pub record: HostRecord,
-    /// The host's collectable log store.
-    pub store: MonitoredHost,
-    /// Bit flips queued for the next pack-verify run.
-    pub pending_flips: u32,
-    /// End of the current run's CPU-busy window.
-    pub busy_until: SimTime,
-    /// Next scheduled run start.
-    pub next_run_at: SimTime,
-    /// Pending staff inspection after a hang.
-    pub inspection_due: Option<SimTime>,
-    /// Wall power drawn during the previous tick, W.
-    pub last_wall_w: f64,
-    /// Physical CPU temperature, °C.
-    pub cpu_temp_c: f64,
-    /// Page ops accumulated since the last fault poll.
-    pub page_ops_since_poll: u64,
-    /// Permanently withdrawn (taken indoors)?
-    pub withdrawn: bool,
-    /// Outcome of the indoor Memtest diagnosis, if one ran.
-    pub memtest_failed: Option<bool>,
-    /// Next sensor-log append.
-    pub next_sensor_log: SimTime,
-}
-
-impl HostSim {
-    /// Is the host on site and not withdrawn at time `t`?
-    pub fn installed(&self, t: SimTime) -> bool {
-        t >= self.plan.install_at && !self.withdrawn
-    }
-
-    pub(crate) fn thermal_params(vendor: Vendor) -> ServerThermalParams {
-        match vendor {
-            Vendor::A => ServerThermalParams::vendor_a_tower(),
-            Vendor::B => ServerThermalParams::vendor_b_sff(),
-            Vendor::C => ServerThermalParams::vendor_c_2u(),
-        }
-    }
-
-    pub(crate) fn spec_for(plan: &HostPlan) -> ServerSpec {
-        match plan.vendor {
-            Vendor::A => ServerSpec::vendor_a(),
-            Vendor::B => ServerSpec::vendor_b(plan.defective),
-            Vendor::C => ServerSpec::vendor_c(),
-        }
-    }
-}
 
 /// Live chaos-injection state (stochastic mode with `cfg.chaos` set).
 pub struct ChaosState {
@@ -139,18 +83,28 @@ pub struct CampaignCtx {
     pub station: WeatherStation,
     /// Current-tick weather sample (written by the weather phase).
     pub weather: WeatherSample,
-    /// The tent on the roof terrace.
+    /// The tent on the roof terrace (zone 0, the instrumented one).
     pub tent: Tent,
-    /// The basement control-group enclosure.
+    /// The basement control-group enclosure (zone 0).
     pub basement: Basement,
+    /// Additional tent zones (generated fleets; empty for the paper).
+    pub extra_tents: Vec<Tent>,
+    /// Additional basement rooms (generated fleets; empty for the paper).
+    pub extra_basements: Vec<Basement>,
     /// Tent air state this tick (written by the enclosure phase).
     pub tent_state: EnclosureState,
     /// Basement air state this tick (written by the enclosure phase).
     pub basement_state: EnclosureState,
-    /// Tent-group wall power this tick, W (written by the enclosure phase
-    /// from the *previous* tick's per-host draw, read by the power phase).
+    /// Per-zone tent air states; index 0 mirrors [`CampaignCtx::tent_state`].
+    pub tent_zone_states: Vec<EnclosureState>,
+    /// Per-zone basement air states; index 0 mirrors
+    /// [`CampaignCtx::basement_state`].
+    pub basement_zone_states: Vec<EnclosureState>,
+    /// Zone-0 tent-group wall power this tick, W (written by the enclosure
+    /// phase from the *previous* tick's per-host draw, read by the power
+    /// phase — the meter hangs off the instrumented tent's feed).
     pub tent_power_w: f64,
-    /// Basement-group wall power this tick, W.
+    /// Zone-0 basement-group wall power this tick, W.
     pub basement_power_w: f64,
     /// The Lascar USB logger in the tent.
     pub lascar: LascarLogger,
@@ -158,8 +112,8 @@ pub struct CampaignCtx {
     pub meter: CostControlMeter,
     /// The monitoring host's collection pipeline.
     pub collector: Collector,
-    /// The fleet.
-    pub hosts: Vec<HostSim>,
+    /// The fleet, as struct-of-arrays columns.
+    pub fleet: FleetState,
     /// Which of the two tent switches are up.
     pub switch_up: [bool; 2],
     /// Incident bookkeeping.
@@ -221,35 +175,20 @@ impl CampaignCtx {
         let mut collector_rng = root.derive("collector");
         let collector = Collector::new(&mut collector_rng);
 
-        let mut hosts = Vec::new();
-        for plan in paper_fleet() {
+        let plans = FleetBuilder::from_spec(cfg.fleet).plans(cfg.start);
+        let mut fleet = FleetState::with_capacity(plans.len());
+        for plan in plans {
             let host_rng = root.derive(&format!("host/{}", plan.id));
             let mut store_rng = host_rng.derive("store");
             let store = MonitoredHost::new(plan.id, &mut store_rng, vec![collector.key.public]);
-            let mut spec = HostSim::spec_for(&plan);
+            let mut spec = spec_for(&plan);
             if cfg.force_ecc {
                 spec.ecc = true;
             }
-            hosts.push(HostSim {
-                server: Server::new(spec),
-                thermal: ServerCaseThermal::new(HostSim::thermal_params(plan.vendor), 18.0),
-                job: JobRunner::from_template(&template, &host_rng),
-                schedule: LoadSchedule::new(plan.install_at, &host_rng),
-                faults: injector.host(HostId(plan.id), plan.defective),
-                record: HostRecord::new(HostId(plan.id)),
-                store,
-                pending_flips: 0,
-                busy_until: plan.install_at,
-                next_run_at: plan.install_at,
-                inspection_due: None,
-                last_wall_w: 0.0,
-                cpu_temp_c: 18.0,
-                page_ops_since_poll: 0,
-                withdrawn: false,
-                memtest_failed: None,
-                next_sensor_log: plan.install_at,
-                plan,
-            });
+            let job = JobRunner::from_template(&template, &host_rng);
+            let schedule = LoadSchedule::new(plan.install_at, &host_rng);
+            let faults = injector.host(HostId(plan.id), plan.defective);
+            fleet.push_host(plan, &spec, job, schedule, faults, store);
         }
 
         let lascar = LascarLogger::new(LascarConfig::default(), cfg.lascar_deployed_at, &root);
@@ -261,7 +200,7 @@ impl CampaignCtx {
         // shifts any other consumer's randomness.
         let chaos = match (&cfg.fault_mode, &cfg.chaos) {
             (FaultMode::Stochastic, Some(chaos_cfg)) => {
-                let host_ids: Vec<u32> = hosts.iter().map(|h| h.plan.id).collect();
+                let host_ids: Vec<u32> = fleet.plans.iter().map(|p| p.id).collect();
                 Some(ChaosState {
                     engine: ChaosEngine::generate(
                         chaos_cfg,
@@ -279,8 +218,26 @@ impl CampaignCtx {
         };
 
         let basement = Basement::new();
+        // Zone enclosures beyond the primary pair. `Tent::new` and
+        // `Basement::new` draw no randomness, so building them here is
+        // RNG-neutral; the paper fleet (all zone 0) builds none.
+        let (mut tent_zones, mut basement_zones) = (1usize, 1usize);
+        for (i, p) in fleet.plans.iter().enumerate() {
+            let z = fleet.zone[i] as usize + 1;
+            match p.placement {
+                Placement::Tent => tent_zones = tent_zones.max(z),
+                Placement::Basement => basement_zones = basement_zones.max(z),
+            }
+        }
+        let extra_tents: Vec<Tent> = (1..tent_zones)
+            .map(|_| Tent::new(cfg.tent.clone(), TentConfig::initial(), &boot_weather))
+            .collect();
+        let extra_basements: Vec<Basement> = (1..basement_zones).map(|_| Basement::new()).collect();
+
         let tent_state = tent.state();
         let basement_state = basement.state();
+        let tent_zone_states = vec![tent_state; tent_zones];
+        let basement_zone_states = vec![basement_state; basement_zones];
         let dt_secs = cfg.tick.as_secs() as f64;
         CampaignCtx {
             now: cfg.start,
@@ -292,14 +249,18 @@ impl CampaignCtx {
             weather: boot_weather,
             tent,
             basement,
+            extra_tents,
+            extra_basements,
             tent_state,
             basement_state,
+            tent_zone_states,
+            basement_zone_states,
             tent_power_w: 0.0,
             basement_power_w: 0.0,
             lascar,
             meter,
             collector,
-            hosts,
+            fleet,
             switch_up: [true, true],
             watchdog: Watchdog::new(),
             failover: SwitchFailoverPolicy::default(),
@@ -319,14 +280,14 @@ impl CampaignCtx {
         }
     }
 
-    /// Is this host's collection path up?
-    pub fn reachable(&self, host: &HostSim) -> bool {
-        if !host.server.is_running() {
+    /// Is host `idx`'s collection path up?
+    pub fn reachable(&self, idx: usize) -> bool {
+        if !self.fleet.hw.is_running(idx) {
             return false;
         }
-        match host.plan.placement {
+        match self.fleet.placement[idx] {
             Placement::Basement => true,
-            Placement::Tent => self.switch_up[switch_assignment(host.plan.id)],
+            Placement::Tent => self.switch_up[switch_assignment(self.fleet.plans[idx].id)],
         }
     }
 
@@ -343,14 +304,13 @@ impl CampaignCtx {
     /// staff inspection.
     pub fn apply_hang(&mut self, idx: usize, at: SimTime) {
         let due = HostRecord::next_inspection(at);
-        let host = &mut self.hosts[idx];
-        if !host.server.is_running() {
+        if !self.fleet.hw.is_running(idx) {
             return;
         }
-        host.server.hang();
-        host.record.record_failure(at);
-        host.inspection_due = Some(due);
-        let id = host.plan.id;
+        self.fleet.hw.hang(idx);
+        self.fleet.records[idx].record_failure(at);
+        self.fleet.inspection_due[idx] = Some(due);
+        let id = self.fleet.plans[idx].id;
         self.watchdog
             .open(IncidentKind::HostHang, &format!("host-{id}"), at);
         self.record_fault(at, id, FaultKind::TransientSystemFailure);
@@ -359,15 +319,22 @@ impl CampaignCtx {
     /// Apply one scripted event.
     pub fn handle_scripted(&mut self, at: SimTime, ev: ScriptedEvent) {
         match ev {
-            ScriptedEvent::TentReconfig { config, .. } => self.tent.set_config(config),
+            ScriptedEvent::TentReconfig { config, .. } => {
+                self.tent.set_config(config);
+                // Operators reconfigure every tent the same way — zone 0's
+                // airflow mods applied fleet-wide.
+                for tent in &mut self.extra_tents {
+                    tent.set_config(config);
+                }
+            }
             ScriptedEvent::HostHang { host } => {
-                if let Some(idx) = self.hosts.iter().position(|h| h.plan.id == host) {
+                if let Some(idx) = self.fleet.index_of(host) {
                     self.apply_hang(idx, at);
                 }
             }
             ScriptedEvent::SensorColdFault { host } => {
-                if let Some(h) = self.hosts.iter_mut().find(|h| h.plan.id == host) {
-                    h.server.sensors.inject_cold_fault();
+                if let Some(idx) = self.fleet.index_of(host) {
+                    self.fleet.hw.sensor_inject_cold_fault(idx);
                 }
                 self.watchdog.open(
                     IncidentKind::SensorFault,
@@ -377,13 +344,13 @@ impl CampaignCtx {
                 self.record_fault(at, host, FaultKind::SensorChipErratic);
             }
             ScriptedEvent::SensorRedetect { host } => {
-                if let Some(h) = self.hosts.iter_mut().find(|h| h.plan.id == host) {
-                    h.server.sensors.attempt_redetect();
+                if let Some(idx) = self.fleet.index_of(host) {
+                    self.fleet.hw.sensor_attempt_redetect(idx);
                 }
             }
             ScriptedEvent::SensorWarmReboot { host } => {
-                if let Some(h) = self.hosts.iter_mut().find(|h| h.plan.id == host) {
-                    h.server.sensors.warm_reboot();
+                if let Some(idx) = self.fleet.index_of(host) {
+                    self.fleet.hw.sensor_warm_reboot(idx);
                 }
                 self.watchdog.resolve(
                     &format!("host-{host}/sensor"),
@@ -403,9 +370,9 @@ impl CampaignCtx {
                     .resolve(&format!("switch-{switch}"), at, "spare switch swapped in");
             }
             ScriptedEvent::FlipNextRun { host } => {
-                if let Some(h) = self.hosts.iter_mut().find(|h| h.plan.id == host) {
-                    h.pending_flips += 1;
-                    h.server.memory.apply_bit_flip();
+                if let Some(idx) = self.fleet.index_of(host) {
+                    self.fleet.pending_flips[idx] += 1;
+                    self.fleet.hw.memory_apply_bit_flip(idx);
                 }
                 self.record_fault(at, host, FaultKind::MemoryBitFlip);
             }
@@ -418,22 +385,21 @@ impl CampaignCtx {
     /// a repeatedly-hanging machine plausibly has), and stays out of the
     /// campaign — the paper's host #15 path.
     pub fn take_indoors(&mut self, idx: usize) {
-        let host = &mut self.hosts[idx];
-        host.record.replace(); // replaced-in-slot bookkeeping happens via #19
-        host.withdrawn = true;
-        host.server.power_off();
+        self.fleet.records[idx].replace(); // replaced-in-slot bookkeeping happens via #19
+        self.fleet.withdrawn[idx] = true;
+        self.fleet.hw.power_off(idx);
+        let id = self.fleet.plans[idx].id;
         // Indoor diagnosis: a machine that hung repeatedly gets a marginal
         // DIMM model — an intermittent cell whose period comes from the
         // host's own RNG stream — and the real tester runs over it.
         let mut dram = frostlab_hardware::memtest::DramArray::new(2048);
-        let mut diag_rng = Rng::new(self.cfg.seed).derive(&format!("memtest/{}", host.plan.id));
+        let mut diag_rng = Rng::new(self.cfg.seed).derive(&format!("memtest/{id}"));
         let word = diag_rng.below(2048) as usize;
         let bit = diag_rng.below(64) as u8;
         let period = 3 + diag_rng.below(40) as u32;
         dram.inject_intermittent(word, 1u64 << bit, period);
         let report = frostlab_hardware::memtest::run_memtest(&mut dram, 8, self.cfg.seed);
-        host.memtest_failed = Some(!report.passed());
-        let id = host.plan.id;
+        self.fleet.memtest_failed[idx] = Some(!report.passed());
         self.collector.abandon(id);
     }
 
@@ -465,8 +431,8 @@ impl CampaignCtx {
                 }
             }
             ChaosEvent::HostHang { host } => {
-                if let Some(idx) = self.hosts.iter().position(|h| h.plan.id == host) {
-                    if self.hosts[idx].installed(at) {
+                if let Some(idx) = self.fleet.index_of(host) {
+                    if self.fleet.installed(idx, at) {
                         self.apply_hang(idx, at);
                     }
                 }
@@ -474,32 +440,26 @@ impl CampaignCtx {
             ChaosEvent::HostReboot { host } => {
                 // Transient: the box comes straight back without operator
                 // attention; only the in-flight run is lost.
-                if let Some(h) = self
-                    .hosts
-                    .iter_mut()
-                    .find(|h| h.plan.id == host && h.installed(at))
-                {
-                    if h.server.is_running() {
-                        h.server.reset();
-                        h.schedule.resume_at(at);
-                        h.next_run_at = h.schedule.next_run();
+                if let Some(idx) = self.fleet.index_of(host) {
+                    if self.fleet.installed(idx, at) && self.fleet.hw.is_running(idx) {
+                        self.fleet.hw.reset(idx);
+                        self.fleet.schedules[idx].resume_at(at);
+                        self.fleet.next_run_at[idx] = self.fleet.schedules[idx].next_run();
                         self.record_fault(at, host, FaultKind::TransientSystemFailure);
                     }
                 }
             }
             ChaosEvent::SensorFreeze { host } => {
-                if let Some(h) = self
-                    .hosts
-                    .iter_mut()
-                    .find(|h| h.plan.id == host && h.installed(at))
-                {
-                    h.server.sensors.inject_cold_fault();
-                    self.watchdog.open(
-                        IncidentKind::SensorFault,
-                        &format!("host-{host}/sensor"),
-                        at,
-                    );
-                    self.record_fault(at, host, FaultKind::SensorChipErratic);
+                if let Some(idx) = self.fleet.index_of(host) {
+                    if self.fleet.installed(idx, at) {
+                        self.fleet.hw.sensor_inject_cold_fault(idx);
+                        self.watchdog.open(
+                            IncidentKind::SensorFault,
+                            &format!("host-{host}/sensor"),
+                            at,
+                        );
+                        self.record_fault(at, host, FaultKind::SensorChipErratic);
+                    }
                 }
             }
         }
@@ -520,30 +480,31 @@ impl CampaignCtx {
         let (lascar_temp, removed_t) = filter.clean(self.lascar.temperature());
         let (lascar_rh, removed_rh) = filter.clean(self.lascar.humidity());
 
+        let fleet = &self.fleet;
         let mut hosts = BTreeMap::new();
-        for mut h in self.hosts {
-            let disposition = h.record.disposition();
+        for (i, plan) in fleet.plans.iter().enumerate() {
+            let disposition = fleet.records[i].disposition();
             hosts.insert(
-                h.plan.id,
+                plan.id,
                 HostSummary {
-                    id: h.plan.id,
-                    vendor: h.plan.vendor,
-                    placement: h.plan.placement,
-                    defective: h.plan.defective,
-                    installed_at: h.plan.install_at,
-                    failures: h.record.failures().to_vec(),
-                    resets: h.record.reset_count(),
-                    disposition: if h.withdrawn {
+                    id: plan.id,
+                    vendor: plan.vendor,
+                    placement: plan.placement,
+                    defective: plan.defective,
+                    installed_at: plan.install_at,
+                    failures: fleet.records[i].failures().to_vec(),
+                    resets: fleet.records[i].reset_count(),
+                    disposition: if fleet.withdrawn[i] {
                         Disposition::TakenIndoors
                     } else {
                         disposition
                     },
-                    min_cpu_c: h.server.sensors.min_seen_c(),
-                    sensor_erratic_reads: h.server.sensors.erratic_count(),
-                    page_ops: h.server.memory.page_ops(),
-                    silent_corruptions: h.server.memory.silent_corruptions(),
-                    disks_pass_long_test: h.server.storage.all_long_tests_pass(),
-                    memtest_failed: h.memtest_failed,
+                    min_cpu_c: fleet.hw.sensor_min_seen_c(i),
+                    sensor_erratic_reads: fleet.hw.sensor_erratic_count(i),
+                    page_ops: fleet.hw.memory_page_ops(i),
+                    silent_corruptions: fleet.hw.memory_silent_corruptions(i),
+                    disks_pass_long_test: fleet.hw.disks_all_long_tests_pass(i),
+                    memtest_failed: fleet.memtest_failed[i],
                 },
             );
         }
@@ -599,6 +560,7 @@ pub(crate) fn next_monday_morning(t: SimTime) -> SimTime {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fleet::{paper_fleet, FleetSpec};
 
     #[test]
     fn next_monday_morning_lands_on_monday_ten_am() {
@@ -630,8 +592,26 @@ mod tests {
     fn fresh_ctx_matches_config_window() {
         let ctx = CampaignCtx::new(ExperimentConfig::short(1, 3));
         assert_eq!(ctx.now, ctx.cfg.start);
-        assert_eq!(ctx.hosts.len(), paper_fleet().len());
+        assert_eq!(ctx.fleet.len(), paper_fleet().len());
         assert!(ctx.switch_up.iter().all(|&up| up));
         assert!(ctx.chaos.is_none(), "scripted mode never builds chaos");
+        // The paper fleet shares one tent and one basement: no extras.
+        assert!(ctx.extra_tents.is_empty());
+        assert!(ctx.extra_basements.is_empty());
+        assert_eq!(ctx.tent_zone_states.len(), 1);
+        assert_eq!(ctx.basement_zone_states.len(), 1);
+    }
+
+    #[test]
+    fn generated_fleet_builds_zone_enclosures() {
+        let mut cfg = ExperimentConfig::short(1, 1);
+        cfg.fleet = FleetSpec::VendorMix { hosts: 100 };
+        let ctx = CampaignCtx::new(cfg);
+        assert_eq!(ctx.fleet.len(), 100);
+        // 50 tent hosts over 9-host zones ⇒ 6 zones, 5 of them extra.
+        assert_eq!(ctx.tent_zone_states.len(), 6);
+        assert_eq!(ctx.extra_tents.len(), 5);
+        assert_eq!(ctx.basement_zone_states.len(), 6);
+        assert_eq!(ctx.extra_basements.len(), 5);
     }
 }

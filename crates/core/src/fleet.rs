@@ -35,6 +35,11 @@ pub struct HostPlan {
     pub pair: u32,
     /// True for machine #19, the spare that replaced #15.
     pub is_replacement: bool,
+    /// Enclosure zone index within the placement kind. The paper's fleet
+    /// shares one tent and one basement room, so every host is zone 0;
+    /// generated fleets spread over many tents/rooms so the thermal model
+    /// stays physical at scale.
+    pub zone: u32,
 }
 
 /// The paper's fleet. Tent hosts carry the Fig. 2 numbers
@@ -67,6 +72,7 @@ pub fn paper_fleet() -> Vec<HostPlan> {
             install_at: at,
             pair: twin_id,
             is_replacement: false,
+            zone: 0,
         });
         fleet.push(HostPlan {
             id: twin_id,
@@ -76,6 +82,7 @@ pub fn paper_fleet() -> Vec<HostPlan> {
             install_at: at,
             pair: tent_id,
             is_replacement: false,
+            zone: 0,
         });
     }
     // #19: the spare that replaced #15 in the tent (same vendor-B series).
@@ -87,9 +94,133 @@ pub fn paper_fleet() -> Vec<HostPlan> {
         install_at: d(2010, 3, 26),
         pair: 16,
         is_replacement: true,
+        zone: 0,
     });
     fleet.sort_by_key(|h| h.id);
     fleet
+}
+
+/// Which fleet a campaign simulates.
+///
+/// This is the determinism boundary for scale: per-host randomness is
+/// derived from the label `host/{id}` off the experiment seed, so host #3's
+/// fault train, job-corruption stream and store keys are identical whether
+/// the fleet has 19 hosts or 10,000 — growing a fleet appends streams, it
+/// never reshuffles existing ones.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FleetSpec {
+    /// The paper's 19 machines with the Fig. 2 install timeline.
+    #[default]
+    Paper,
+    /// A generated vendor-mix fleet of `hosts` machines, installed at
+    /// campaign start and spread over many tent/basement zones.
+    VendorMix {
+        /// Total number of machines.
+        hosts: u32,
+    },
+}
+
+/// Hosts per enclosure zone in generated fleets — the paper's tent held
+/// nine machines, so generated tents and basement rooms do too.
+pub const HOSTS_PER_ZONE: u32 = 9;
+
+/// Emits host plans for a [`FleetSpec`].
+///
+/// The paper preset delegates to [`paper_fleet`] unchanged; the vendor-mix
+/// generator repeats the paper's 19-host composition (ten vendor A, five
+/// vendor B — the defective SFF series — and four vendor C) across the
+/// fleet, installs everything at campaign start, places odd ids in tents
+/// and even ids in basement rooms (pairwise twins like the paper), and
+/// assigns [`HOSTS_PER_ZONE`] machines per thermal zone. No randomness is
+/// drawn: the roster is a pure function of the spec.
+#[derive(Debug, Clone)]
+pub struct FleetBuilder {
+    spec: FleetSpec,
+}
+
+impl FleetBuilder {
+    /// The paper's 19-host roster.
+    pub fn paper() -> Self {
+        FleetBuilder {
+            spec: FleetSpec::Paper,
+        }
+    }
+
+    /// A generated vendor-mix fleet of `hosts` machines.
+    pub fn vendor_mix(hosts: u32) -> Self {
+        FleetBuilder {
+            spec: FleetSpec::VendorMix { hosts },
+        }
+    }
+
+    /// Builder for an arbitrary spec.
+    pub fn from_spec(spec: FleetSpec) -> Self {
+        FleetBuilder { spec }
+    }
+
+    /// The spec this builder emits.
+    pub fn spec(&self) -> FleetSpec {
+        self.spec
+    }
+
+    /// Emit the host plans. `start` is the campaign start (generated
+    /// fleets power on at start; the paper preset keeps its Fig. 2 dates).
+    pub fn plans(&self, start: SimTime) -> Vec<HostPlan> {
+        match self.spec {
+            FleetSpec::Paper => paper_fleet(),
+            FleetSpec::VendorMix { hosts } => {
+                let mut fleet = Vec::with_capacity(hosts as usize);
+                let mut tent_seq = 0u32;
+                let mut basement_seq = 0u32;
+                for id in 1..=hosts {
+                    // Repeat the paper's 19-host vendor composition.
+                    let r = (id - 1) % 19;
+                    let vendor = if r < 10 {
+                        Vendor::A
+                    } else if r < 15 {
+                        Vendor::B
+                    } else {
+                        Vendor::C
+                    };
+                    let placement = if id % 2 == 1 {
+                        Placement::Tent
+                    } else {
+                        Placement::Basement
+                    };
+                    let zone = match placement {
+                        Placement::Tent => {
+                            tent_seq += 1;
+                            (tent_seq - 1) / HOSTS_PER_ZONE
+                        }
+                        Placement::Basement => {
+                            basement_seq += 1;
+                            (basement_seq - 1) / HOSTS_PER_ZONE
+                        }
+                    };
+                    // Pairwise twins: 1↔2, 3↔4, …; a trailing odd host
+                    // without a twin pairs with itself.
+                    let pair = if id % 2 == 1 {
+                        (id + 1).min(hosts)
+                    } else {
+                        id - 1
+                    };
+                    fleet.push(HostPlan {
+                        id,
+                        vendor,
+                        // The paper's vendor-B series was the unreliable
+                        // one; generated fleets model every B unit that way.
+                        defective: vendor == Vendor::B,
+                        placement,
+                        install_at: start,
+                        pair,
+                        is_replacement: false,
+                        zone,
+                    });
+                }
+                fleet
+            }
+        }
+    }
 }
 
 /// Host ids assigned to each of the two tent switches (daisy-chained
@@ -262,5 +393,148 @@ mod tests {
         let mut ids: Vec<u32> = fleet.iter().map(|h| h.id).collect();
         ids.dedup();
         assert_eq!(ids.len(), 19);
+    }
+
+    /// Pin every install date host-by-host so the `FleetBuilder` refactor
+    /// (or any future one) can't silently drift the Fig. 2 timeline.
+    #[test]
+    fn install_dates_pinned_per_host() {
+        let fleet = paper_fleet();
+        let date_of = |id: u32| {
+            fleet
+                .iter()
+                .find(|h| h.id == id)
+                .expect("id present")
+                .install_at
+                .date()
+        };
+        let d = |m: u32, day: u32| Date::new(2010, m, day).unwrap();
+        let expected: [(u32, u32, u32); 19] = [
+            (1, 2, 19),
+            (2, 2, 19),
+            (3, 2, 19),
+            (4, 2, 19),
+            (5, 2, 19),
+            (6, 2, 24),
+            (7, 2, 19),
+            (8, 2, 24),
+            (9, 2, 25),
+            (10, 2, 25),
+            (11, 3, 5),
+            (12, 3, 5),
+            (13, 3, 10),
+            (14, 3, 10),
+            (15, 3, 5),
+            (16, 3, 5),
+            (17, 3, 13),
+            (18, 3, 13),
+            (19, 3, 26),
+        ];
+        for (id, m, day) in expected {
+            assert_eq!(date_of(id), d(m, day), "host {id} install date");
+        }
+        // All installs land at the 11:00 site visit.
+        for h in &fleet {
+            assert_eq!(h.install_at.datetime().hour, 11, "host {} hour", h.id);
+        }
+    }
+
+    /// The #15 → #19 spare-swap semantics: #19 is the only replacement, a
+    /// *sound* vendor-B unit, in the tent, paired with #15's twin (#16),
+    /// and the last machine to arrive.
+    #[test]
+    fn spare_swap_replacement_semantics() {
+        let fleet = paper_fleet();
+        let replacements: Vec<&HostPlan> = fleet.iter().filter(|h| h.is_replacement).collect();
+        assert_eq!(replacements.len(), 1, "exactly one spare swap");
+        let h19 = replacements[0];
+        assert_eq!(h19.id, 19);
+        assert_eq!(h19.vendor, Vendor::B);
+        assert!(!h19.defective, "the spare had not failed — a sound unit");
+        assert_eq!(h19.placement, Placement::Tent);
+        assert_eq!(h19.pair, 16, "inherits #15's basement twin");
+        let latest = fleet.iter().map(|h| h.install_at).max().unwrap();
+        assert_eq!(h19.install_at, latest, "the final Fig. 2 event");
+        // #15 itself stays in the roster (it ran until withdrawn).
+        assert!(fleet.iter().any(|h| h.id == 15 && !h.is_replacement));
+    }
+
+    /// Vendor-B defective flags, unit by unit: the four original SFF
+    /// machines carry the flag, the spare does not, nobody else does.
+    #[test]
+    fn vendor_b_defective_flags_pinned() {
+        let fleet = paper_fleet();
+        for h in &fleet {
+            let expected = matches!(h.id, 11 | 12 | 15 | 16);
+            assert_eq!(h.defective, expected, "host {} defective flag", h.id);
+            if h.defective {
+                assert_eq!(h.vendor, Vendor::B, "only B units are defective");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_builder_is_byte_identical_to_paper_fleet() {
+        let via_builder = FleetBuilder::paper().plans(SimTime::from_date(2010, 2, 12));
+        let direct = paper_fleet();
+        assert_eq!(via_builder.len(), direct.len());
+        for (a, b) in via_builder.iter().zip(&direct) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.vendor, b.vendor);
+            assert_eq!(a.defective, b.defective);
+            assert_eq!(a.placement, b.placement);
+            assert_eq!(a.install_at, b.install_at);
+            assert_eq!(a.pair, b.pair);
+            assert_eq!(a.is_replacement, b.is_replacement);
+            assert_eq!(a.zone, 0, "the paper fleet shares one tent/basement");
+        }
+    }
+
+    #[test]
+    fn vendor_mix_fleet_shape() {
+        let start = SimTime::from_date(2010, 2, 12);
+        let fleet = FleetBuilder::vendor_mix(1000).plans(start);
+        assert_eq!(fleet.len(), 1000);
+        // Composition repeats the paper's 10:5:4 vendor split.
+        let count = |v: Vendor| fleet.iter().filter(|h| h.vendor == v).count();
+        assert!(count(Vendor::A) >= 500 && count(Vendor::A) <= 540);
+        assert!(count(Vendor::B) >= 240 && count(Vendor::B) <= 280);
+        assert!(count(Vendor::C) >= 190 && count(Vendor::C) <= 230);
+        for h in &fleet {
+            assert_eq!(h.install_at, start, "generated fleets power on at start");
+            assert!(!h.is_replacement);
+            assert_eq!(h.defective, h.vendor == Vendor::B);
+            // Twins straddle the groups (except a trailing self-pair).
+            if h.pair != h.id {
+                let twin = fleet.iter().find(|t| t.id == h.pair).unwrap();
+                assert_ne!(twin.placement, h.placement, "pair {}/{}", h.id, h.pair);
+            }
+        }
+        // Zones fill in nine-host rooms, densely from zero.
+        let tent_zones: Vec<u32> = fleet
+            .iter()
+            .filter(|h| h.placement == Placement::Tent)
+            .map(|h| h.zone)
+            .collect();
+        assert_eq!(tent_zones.iter().filter(|&&z| z == 0).count(), 9);
+        let max_zone = *tent_zones.iter().max().unwrap();
+        assert_eq!(max_zone, (500 - 1) / HOSTS_PER_ZONE, "500 tent hosts");
+    }
+
+    #[test]
+    fn vendor_mix_is_deterministic_and_prefix_stable() {
+        let start = SimTime::from_date(2010, 2, 12);
+        let small = FleetBuilder::vendor_mix(100).plans(start);
+        let large = FleetBuilder::vendor_mix(200).plans(start);
+        for (a, b) in small.iter().zip(&large) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.vendor, b.vendor);
+            assert_eq!(a.placement, b.placement);
+            assert_eq!(a.zone, b.zone);
+            // Only the trailing self-pair may differ between sizes.
+            if a.pair != a.id {
+                assert_eq!(a.pair, b.pair);
+            }
+        }
     }
 }

@@ -20,6 +20,9 @@
 //! * [`context`] — [`context::CampaignCtx`], the shared per-tick campaign
 //!   state (clock, RNG lanes, weather, enclosures, fleet, instruments,
 //!   accumulators);
+//! * [`fleet_state`] — [`fleet_state::FleetState`], the struct-of-arrays
+//!   per-host columns (hot scalars, thermal/hardware kernel banks, cold
+//!   event-cadence objects) the phases step in bulk;
 //! * [`phases`] — the seven per-tick substrate phases
 //!   (weather → enclosure-thermal → logger-poll → script → host-step →
 //!   collection → power-integration), each a [`phases::TickPhase`];
@@ -61,6 +64,7 @@ pub mod context;
 pub mod experiment;
 pub mod figures;
 pub mod fleet;
+pub mod fleet_state;
 pub mod observe;
 pub mod phases;
 pub mod prototype;

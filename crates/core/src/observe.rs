@@ -140,10 +140,8 @@ impl TickPhase for TraceSamplePhase {
             .gauge_set("collector.gaps_open", ctx.collector.open_retries() as f64);
         ctx.tracer
             .gauge_set("watchdog.open_incidents", ctx.watchdog.open_count() as f64);
-        let hosts_up = ctx
-            .hosts
-            .iter()
-            .filter(|h| h.installed(t) && h.server.is_running())
+        let hosts_up = (0..ctx.fleet.len())
+            .filter(|&i| ctx.fleet.installed(i, t) && ctx.fleet.hw.is_running(i))
             .count();
         ctx.tracer.gauge_set("fleet.hosts_up", hosts_up as f64);
         ctx.tracer

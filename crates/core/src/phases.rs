@@ -191,17 +191,26 @@ impl TickPhase for WeatherPhase {
     }
 }
 
-/// Step 2: step the tent and basement enclosures, driven by the previous
-/// tick's per-host wall power. Publishes the groups' power draw for the
+/// Step 2: step every tent and basement zone, driven by the previous
+/// tick's per-host wall power. Publishes zone 0's power draw for the
 /// power-integration phase — the meter sees the same watts that heated
-/// the tent.
+/// the instrumented tent.
+///
+/// Per-zone power accumulates in one pass over the fleet in host-index
+/// order; for the paper's single-zone fleet each accumulator receives its
+/// adds in exactly the order the old filtered sums did, so the result is
+/// byte-identical. The scratch vectors are phase-owned and sized once —
+/// no per-tick allocation.
 #[derive(Debug, Default)]
-pub struct EnclosureThermalPhase;
+pub struct EnclosureThermalPhase {
+    tent_power: Vec<f64>,
+    basement_power: Vec<f64>,
+}
 
 impl EnclosureThermalPhase {
     /// Stock enclosure phase.
     pub fn new() -> EnclosureThermalPhase {
-        EnclosureThermalPhase
+        EnclosureThermalPhase::default()
     }
 }
 
@@ -213,24 +222,39 @@ impl TickPhase for EnclosureThermalPhase {
     fn step(&mut self, ctx: &mut CampaignCtx) {
         use frostlab_thermal::enclosure::Enclosure;
         let t = ctx.now;
-        let tent_power: f64 = ctx
-            .hosts
-            .iter()
-            .filter(|h| h.plan.placement == Placement::Tent && h.installed(t))
-            .map(|h| h.last_wall_w)
-            .sum();
-        let basement_power: f64 = ctx
-            .hosts
-            .iter()
-            .filter(|h| h.plan.placement == Placement::Basement && h.installed(t))
-            .map(|h| h.last_wall_w)
-            .sum();
-        ctx.tent.step(ctx.dt_secs, &ctx.weather, tent_power);
-        ctx.basement.step(ctx.dt_secs, &ctx.weather, basement_power);
+        self.tent_power.resize(ctx.tent_zone_states.len(), 0.0);
+        self.tent_power.fill(0.0);
+        self.basement_power
+            .resize(ctx.basement_zone_states.len(), 0.0);
+        self.basement_power.fill(0.0);
+        let fleet = &ctx.fleet;
+        for i in 0..fleet.len() {
+            if !fleet.installed(i, t) {
+                continue;
+            }
+            let z = fleet.zone[i] as usize;
+            match fleet.placement[i] {
+                Placement::Tent => self.tent_power[z] += fleet.last_wall_w[i],
+                Placement::Basement => self.basement_power[z] += fleet.last_wall_w[i],
+            }
+        }
+        ctx.tent.step(ctx.dt_secs, &ctx.weather, self.tent_power[0]);
+        ctx.basement
+            .step(ctx.dt_secs, &ctx.weather, self.basement_power[0]);
         ctx.tent_state = ctx.tent.state();
         ctx.basement_state = ctx.basement.state();
-        ctx.tent_power_w = tent_power;
-        ctx.basement_power_w = basement_power;
+        ctx.tent_zone_states[0] = ctx.tent_state;
+        ctx.basement_zone_states[0] = ctx.basement_state;
+        for (k, tent) in ctx.extra_tents.iter_mut().enumerate() {
+            tent.step(ctx.dt_secs, &ctx.weather, self.tent_power[k + 1]);
+            ctx.tent_zone_states[k + 1] = tent.state();
+        }
+        for (k, room) in ctx.extra_basements.iter_mut().enumerate() {
+            room.step(ctx.dt_secs, &ctx.weather, self.basement_power[k + 1]);
+            ctx.basement_zone_states[k + 1] = room.state();
+        }
+        ctx.tent_power_w = self.tent_power[0];
+        ctx.basement_power_w = self.basement_power[0];
     }
 }
 
@@ -353,9 +377,22 @@ impl TickPhase for ScriptPhase {
 /// S.M.A.R.T. ticks, stochastic fault polls, the jittered 10-minute
 /// synthetic load, and repair-workflow visits. Hangs and withdrawals are
 /// applied after the fleet loop, matching the monolith's ordering.
+///
+/// The loop destructures [`CampaignCtx`] and
+/// [`crate::fleet_state::FleetState`] once into disjoint column borrows and
+/// walks the flat arrays — O(hosts) per tick, no indexed re-borrow per
+/// field access. All scratch (the deferred hang/withdrawal lists, the log
+/// line buffer, the day-cached log file names) is phase-owned and reused,
+/// so the hot loop performs zero heap allocations per tick.
 #[derive(Debug)]
 pub struct HostStepPhase {
     next_fault_poll: SimTime,
+    hangs: Vec<(usize, SimTime)>,
+    withdrawals: Vec<usize>,
+    line_buf: String,
+    sensors_log: String,
+    md5sums_log: String,
+    log_day: (u32, u32),
 }
 
 impl HostStepPhase {
@@ -363,6 +400,12 @@ impl HostStepPhase {
     pub fn new(cfg: &ExperimentConfig) -> HostStepPhase {
         HostStepPhase {
             next_fault_poll: cfg.start + cfg.fault_poll_interval,
+            hangs: Vec::new(),
+            withdrawals: Vec::new(),
+            line_buf: String::new(),
+            sensors_log: String::new(),
+            md5sums_log: String::new(),
+            log_day: (0, 0),
         }
     }
 }
@@ -373,93 +416,144 @@ impl TickPhase for HostStepPhase {
     }
 
     fn step(&mut self, ctx: &mut CampaignCtx) {
+        use std::fmt::Write as _;
         let t = ctx.now;
+        let dt_secs = ctx.dt_secs;
+        let dt_hours = ctx.dt_hours;
         let fault_poll_due = t >= self.next_fault_poll;
         let stochastic = ctx.cfg.fault_mode == FaultMode::Stochastic;
-        let mut hangs: Vec<(usize, SimTime)> = Vec::new();
-        let mut withdrawals: Vec<usize> = Vec::new();
-        for idx in 0..ctx.hosts.len() {
-            // Split-borrow dance: disjoint fields of `ctx` borrow
-            // independently, exactly as they did through the monolith's
-            // `self`.
-            let host = &mut ctx.hosts[idx];
-            if !host.installed(t) {
+        let sensor_log_interval = ctx.cfg.sensor_log_interval;
+        let poll_hours = ctx.cfg.fault_poll_interval.as_secs() as f64 / 3600.0;
+
+        // Daily-rotated log names, recomputed only when the date rolls.
+        let d = t.date();
+        if self.log_day != (d.month, d.day) {
+            self.log_day = (d.month, d.day);
+            self.sensors_log = daily_log("sensors", t);
+            self.md5sums_log = daily_log("md5sums", t);
+        }
+
+        // Borrow the context once into disjoint pieces; the fleet columns
+        // split again so every per-host field is a flat slice access.
+        let CampaignCtx {
+            fleet,
+            tent_zone_states,
+            basement_zone_states,
+            fault_events,
+            workload,
+            stored_archives,
+            tracer,
+            watchdog,
+            repair_policy,
+            ..
+        } = ctx;
+        let crate::fleet_state::FleetState {
+            plans,
+            install_at,
+            placement,
+            zone,
+            withdrawn,
+            busy_until,
+            next_run_at,
+            next_sensor_log,
+            inspection_due,
+            pending_flips,
+            page_ops_since_poll,
+            last_wall_w,
+            cpu_temp_c,
+            thermal,
+            hw,
+            jobs,
+            schedules,
+            faults,
+            records,
+            stores,
+            ..
+        } = fleet;
+
+        for i in 0..plans.len() {
+            if t < install_at[i] || withdrawn[i] {
                 continue;
             }
-            let encl = match host.plan.placement {
-                Placement::Tent => ctx.tent_state,
-                Placement::Basement => ctx.basement_state,
+            let encl = match placement[i] {
+                Placement::Tent => tent_zone_states[zone[i] as usize],
+                Placement::Basement => basement_zone_states[zone[i] as usize],
             };
-            let util = if host.server.is_running() && t < host.busy_until {
+            let util = if hw.is_running(i) && t < busy_until[i] {
                 1.0
             } else {
                 0.0
             };
-            let cpu_w = host.server.spec.cpu_power_w(util);
-            let dc_w = host.server.spec.dc_power_w(util);
-            host.thermal.step(ctx.dt_secs, encl.air_temp_c, cpu_w, dc_w);
-            host.cpu_temp_c = host.thermal.cpu_temp_c();
-            host.last_wall_w = host.server.wall_power_w(util);
-            host.server.tick(ctx.dt_hours, host.thermal.hdd_temp_c());
-            let sensor_reading = host.server.sensors.read_cpu_temp(host.cpu_temp_c);
+            let cpu_w = hw.cpu_power_w(i, util);
+            let dc_w = hw.dc_power_w(i, util);
+            thermal.step_one(i, dt_secs, encl.air_temp_c, cpu_w, dc_w);
+            cpu_temp_c[i] = thermal.cpu_temp_c(i);
+            last_wall_w[i] = hw.wall_power_w(i, util);
+            hw.tick(i, dt_hours, thermal.hdd_temp_c(i));
+            let sensor_reading = hw.sensor_read_cpu_temp(i, cpu_temp_c[i]);
 
             // Sensor log.
-            if t >= host.next_sensor_log {
-                let line = match sensor_reading {
-                    Some(v) => {
-                        format!("{} cpu={:.1} rh={:.0}\n", t.datetime(), v, encl.air_rh_pct)
-                    }
-                    None => format!("{} cpu=n/a rh={:.0}\n", t.datetime(), encl.air_rh_pct),
+            if t >= next_sensor_log[i] {
+                self.line_buf.clear();
+                let _ = match sensor_reading {
+                    Some(v) => writeln!(
+                        self.line_buf,
+                        "{} cpu={:.1} rh={:.0}",
+                        t.datetime(),
+                        v,
+                        encl.air_rh_pct
+                    ),
+                    None => writeln!(
+                        self.line_buf,
+                        "{} cpu=n/a rh={:.0}",
+                        t.datetime(),
+                        encl.air_rh_pct
+                    ),
                 };
-                host.store.append(&daily_log("sensors", t), line.as_bytes());
-                host.next_sensor_log = t + ctx.cfg.sensor_log_interval;
+                stores[i].append(&self.sensors_log, self.line_buf.as_bytes());
+                next_sensor_log[i] = t + sensor_log_interval;
             }
 
             // Stochastic faults.
-            if stochastic && fault_poll_due && host.server.is_running() {
-                let poll_hours = ctx.cfg.fault_poll_interval.as_secs() as f64 / 3600.0;
-                let page_ops = std::mem::take(&mut host.page_ops_since_poll);
-                let outcome =
-                    host.faults
-                        .poll(poll_hours, host.cpu_temp_c, encl.air_rh_pct, page_ops);
+            if stochastic && fault_poll_due && hw.is_running(i) {
+                let page_ops = std::mem::take(&mut page_ops_since_poll[i]);
+                let outcome = faults[i].poll(poll_hours, cpu_temp_c[i], encl.air_rh_pct, page_ops);
                 for kind in &outcome.faults {
                     match kind {
-                        FaultKind::TransientSystemFailure => hangs.push((idx, t)),
+                        FaultKind::TransientSystemFailure => self.hangs.push((i, t)),
                         FaultKind::SensorChipErratic => {
-                            host.server.sensors.inject_cold_fault();
-                            ctx.fault_events.push(FaultEvent {
+                            hw.sensor_inject_cold_fault(i);
+                            fault_events.push(FaultEvent {
                                 at: t,
-                                host: HostId(host.plan.id),
+                                host: HostId(plans[i].id),
                                 kind: *kind,
                             });
                         }
                         FaultKind::DiskPendingSector => {
-                            host.server
-                                .storage
-                                .for_each_disk_mut(|d| d.inject_pending_sector(0));
-                            ctx.fault_events.push(FaultEvent {
+                            hw.disks_inject_pending_sector0(i);
+                            fault_events.push(FaultEvent {
                                 at: t,
-                                host: HostId(host.plan.id),
+                                host: HostId(plans[i].id),
                                 kind: *kind,
                             });
                         }
                         FaultKind::PsuFailure => {
-                            host.server.psu.fail();
-                            hangs.push((idx, t));
+                            hw.psu_fail(i);
+                            self.hangs.push((i, t));
                         }
                         _ => {}
                     }
                 }
                 if outcome.memory_flips > 0 {
                     for _ in 0..outcome.memory_flips {
-                        if host.server.memory.apply_bit_flip()
+                        if hw.memory_apply_bit_flip(i)
                             == frostlab_hardware::memory::FlipOutcome::SilentCorruption
                         {
-                            host.pending_flips += 1;
+                            pending_flips[i] += 1;
                         }
-                        ctx.fault_events.push(FaultEvent {
+                        fault_events.push(FaultEvent {
                             at: t,
-                            host: HostId(host.plan.id),
+                            host: HostId(plans[i].id),
                             kind: FaultKind::MemoryBitFlip,
                         });
                     }
@@ -467,19 +561,19 @@ impl TickPhase for HostStepPhase {
             }
 
             // Workload.
-            if host.server.is_running() && t >= host.next_run_at {
-                let flips = std::mem::take(&mut host.pending_flips);
-                let outcome = host.job.run(flips);
-                host.busy_until = t + SimDuration::secs(outcome.duration_secs as i64);
-                host.page_ops_since_poll += outcome.page_ops;
-                host.server.memory.record_page_ops(outcome.page_ops);
-                ctx.workload.record_run(host.plan.id, outcome.page_ops);
-                if ctx.tracer.host_spans_enabled() {
-                    ctx.tracer.span(
-                        &format!("host/{}", host.plan.id),
+            if hw.is_running(i) && t >= next_run_at[i] {
+                let flips = std::mem::take(&mut pending_flips[i]);
+                let outcome = jobs[i].run(flips);
+                busy_until[i] = t + SimDuration::secs(outcome.duration_secs as i64);
+                page_ops_since_poll[i] += outcome.page_ops;
+                hw.memory_record_page_ops(i, outcome.page_ops);
+                workload.record_run(plans[i].id, outcome.page_ops);
+                if tracer.host_spans_enabled() {
+                    tracer.span(
+                        &format!("host/{}", plans[i].id),
                         "job-run",
                         t,
-                        host.busy_until,
+                        busy_until[i],
                         &[
                             ("page_ops", FieldValue::U64(outcome.page_ops)),
                             ("hash_ok", FieldValue::Bool(outcome.hash_ok)),
@@ -487,48 +581,44 @@ impl TickPhase for HostStepPhase {
                         ],
                     );
                 }
-                let line = format!("{} {} run\n", t.datetime(), outcome.hash);
-                host.store.append(&daily_log("md5sums", t), line.as_bytes());
+                self.line_buf.clear();
+                let _ = writeln!(self.line_buf, "{} {} run", t.datetime(), outcome.hash);
+                stores[i].append(&self.md5sums_log, self.line_buf.as_bytes());
                 if !outcome.hash_ok {
-                    ctx.workload
-                        .record_hash_error(host.plan.id, host.plan.placement, t);
+                    workload.record_hash_error(plans[i].id, placement[i], t);
                     if let Some(bytes) = outcome.stored_archive {
-                        ctx.stored_archives.push(StoredArchive {
-                            host: host.plan.id,
+                        stored_archives.push(StoredArchive {
+                            host: plans[i].id,
                             at: t,
                             bytes,
                         });
                     }
                 }
-                host.schedule.resume_at(t);
-                host.next_run_at = host.schedule.next_run();
+                schedules[i].resume_at(t);
+                next_run_at[i] = schedules[i].next_run();
             }
 
             // Repair visit.
-            if let Some(due) = host.inspection_due {
+            if let Some(due) = inspection_due[i] {
                 if t >= due {
-                    host.inspection_due = None;
-                    match host.record.inspect(&ctx.repair_policy) {
+                    inspection_due[i] = None;
+                    match records[i].inspect(repair_policy) {
                         RepairAction::ResetInPlace => {
-                            host.server.reset();
-                            host.schedule.resume_at(t);
-                            host.next_run_at = host.schedule.next_run();
-                            ctx.watchdog.resolve(
-                                &format!("host-{}", host.plan.id),
-                                t,
-                                "reset in place",
-                            );
+                            hw.reset(i);
+                            schedules[i].resume_at(t);
+                            next_run_at[i] = schedules[i].next_run();
+                            watchdog.resolve(&format!("host-{}", plans[i].id), t, "reset in place");
                         }
-                        RepairAction::TakeIndoors => withdrawals.push(idx),
+                        RepairAction::TakeIndoors => self.withdrawals.push(i),
                     }
                 }
             }
         }
-        for (idx, at) in hangs {
+        for (idx, at) in self.hangs.drain(..) {
             ctx.apply_hang(idx, at);
         }
-        for idx in withdrawals {
-            let id = ctx.hosts[idx].plan.id;
+        for idx in self.withdrawals.drain(..) {
+            let id = ctx.fleet.plans[idx].id;
             ctx.take_indoors(idx);
             ctx.watchdog
                 .resolve(&format!("host-{id}"), t, "taken indoors (memtest)");
@@ -564,18 +654,20 @@ impl TickPhase for CollectionPhase {
     fn step(&mut self, ctx: &mut CampaignCtx) {
         let t = ctx.now;
         if t >= self.next_round {
-            for idx in 0..ctx.hosts.len() {
-                if !ctx.hosts[idx].installed(t) {
+            for idx in 0..ctx.fleet.len() {
+                if !ctx.fleet.installed(idx, t) {
                     continue;
                 }
-                let reachable = ctx.reachable(&ctx.hosts[idx]) && !ctx.chaos_drops_attempt(t);
-                let host = &mut ctx.hosts[idx];
-                ctx.collector.collect(&mut host.store, reachable, t);
+                // `&&` short-circuits: the chaos draw is only consumed for
+                // hosts that are reachable in the first place.
+                let reachable = ctx.reachable(idx) && !ctx.chaos_drops_attempt(t);
+                ctx.collector
+                    .collect(&mut ctx.fleet.stores[idx], reachable, t);
                 // Staleness check: alarm only when nothing else (an open
                 // switch or host incident) already explains the gap.
-                let id = host.plan.id;
+                let id = ctx.fleet.plans[idx].id;
                 let explained = ctx.watchdog.is_open(&format!("host-{id}"))
-                    || (host.plan.placement == Placement::Tent
+                    || (ctx.fleet.placement[idx] == Placement::Tent
                         && ctx
                             .watchdog
                             .is_open(&format!("switch-{}", switch_assignment(id))));
@@ -590,15 +682,15 @@ impl TickPhase for CollectionPhase {
         // next attempt into the future, so a host is never tried twice in
         // one tick.
         for id in ctx.collector.due_retries(t) {
-            let Some(idx) = ctx.hosts.iter().position(|h| h.plan.id == id) else {
+            let Some(idx) = ctx.fleet.index_of(id) else {
                 continue;
             };
-            if !ctx.hosts[idx].installed(t) {
+            if !ctx.fleet.installed(idx, t) {
                 continue;
             }
-            let reachable = ctx.reachable(&ctx.hosts[idx]) && !ctx.chaos_drops_attempt(t);
-            let host = &mut ctx.hosts[idx];
-            ctx.collector.retry_collect(&mut host.store, reachable, t);
+            let reachable = ctx.reachable(idx) && !ctx.chaos_drops_attempt(t);
+            ctx.collector
+                .retry_collect(&mut ctx.fleet.stores[idx], reachable, t);
         }
     }
 }

@@ -25,6 +25,7 @@ use frostlab_faults::chaos::ChaosConfig;
 
 use crate::config::{ExperimentConfig, FaultMode};
 use crate::context::CampaignCtx;
+use crate::fleet::FleetSpec;
 use crate::phases::TickPhase;
 use crate::scenario::{Scenario, ScenarioBuilder};
 
@@ -95,6 +96,19 @@ pub struct ScenarioSpec {
     /// Test rig: insert a phase that panics mid-campaign — the poison job
     /// the farm's quarantine machinery is exercised with.
     pub poison: bool,
+    /// Fleet size: `0` runs the paper's 19 machines; `n > 0` runs a
+    /// generated vendor-mix fleet of `n` hosts (see
+    /// [`crate::fleet::FleetBuilder::vendor_mix`]). Skipped from the
+    /// canonical JSON when zero so every pre-existing spec keeps its
+    /// content hash.
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub hosts: u32,
+}
+
+/// `skip_serializing_if` helper: the paper-fleet default stays out of the
+/// canonical JSON.
+fn is_zero(n: &u32) -> bool {
+    *n == 0
 }
 
 impl ScenarioSpec {
@@ -107,6 +121,7 @@ impl ScenarioSpec {
             chaos: false,
             force_ecc: false,
             poison: false,
+            hosts: 0,
         }
     }
 
@@ -132,6 +147,10 @@ impl ScenarioSpec {
                 Some(ChaosConfig::paper_like())
             } else {
                 None
+            },
+            fleet: match self.hosts {
+                0 => FleetSpec::Paper,
+                n => FleetSpec::VendorMix { hosts: n },
             },
             ..base
         })
@@ -402,6 +421,48 @@ mod tests {
         let scenario = spec.build(1).expect("valid spec");
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| scenario.run()));
         assert!(result.is_err(), "poison phase must detonate");
+    }
+
+    #[test]
+    fn zero_hosts_keeps_legacy_content_hashes_and_parses_legacy_json() {
+        // A paper-fleet job must hash exactly as it did before the `hosts`
+        // knob existed: the field is skipped from canonical JSON at 0.
+        let job = JobSpec {
+            scenario: ScenarioSpec::new("helsinki", 2, "helsinki"),
+            seed: 10,
+        };
+        let json = serde_json::to_string(&job).expect("serializes");
+        assert!(!json.contains("hosts"), "zero fleet stays out of JSON");
+        // And a manifest written before the knob existed still parses.
+        let legacy = r#"{"scenario":{"name":"x","days":2,"climate":"helsinki",
+            "chaos":false,"force_ecc":false,"poison":false},"seed":1}"#;
+        let back: JobSpec = serde_json::from_str(legacy).expect("legacy parses");
+        assert_eq!(back.scenario.hosts, 0);
+        assert_eq!(
+            back.scenario.to_config(1).expect("valid").fleet,
+            FleetSpec::Paper
+        );
+    }
+
+    #[test]
+    fn hosts_knob_selects_a_vendor_mix_fleet_and_changes_the_hash() {
+        let mut spec = ScenarioSpec::new("big", 2, "helsinki");
+        spec.hosts = 1000;
+        let cfg = spec.to_config(1).expect("valid");
+        assert_eq!(cfg.fleet, FleetSpec::VendorMix { hosts: 1000 });
+        let small = JobSpec {
+            scenario: ScenarioSpec::new("big", 2, "helsinki"),
+            seed: 1,
+        };
+        let big = JobSpec {
+            scenario: spec,
+            seed: 1,
+        };
+        assert_ne!(
+            small.content_hash().expect("hashes"),
+            big.content_hash().expect("hashes"),
+            "fleet size is part of the job identity"
+        );
     }
 
     #[test]

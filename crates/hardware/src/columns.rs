@@ -1,0 +1,495 @@
+//! Struct-of-arrays host hardware for fleet-scale campaigns.
+//!
+//! [`HostBank`] flattens the campaign-relevant state of [`Server`] — power
+//! state, the linear power model, PSU, motherboard sensor chip, memory
+//! exposure counters, and per-drive S.M.A.R.T. state — into parallel flat
+//! arrays indexed by a dense host index. Each method is a column kernel
+//! with **exactly** the semantics of the corresponding object-model method
+//! (same guards, same float-operation order), so a campaign stepped
+//! through the bank produces byte-identical results.
+//!
+//! Deliberately *not* carried over: the in-memory disk block stores. A
+//! campaign only ticks S.M.A.R.T., injects pending sectors, and runs long
+//! self-tests — it never reads or writes blocks — and at 10,000 hosts the
+//! block arrays alone would cost gigabytes. The block-level model stays in
+//! [`crate::disk::Disk`] for component tests and the prototype rig.
+//!
+//! Column ownership: the bank owns everything whose per-tick update is a
+//! pure function of (own row, scalar inputs). State machines with
+//! cross-host coupling (job runners, schedules, fault samplers, repair
+//! records, monitored file stores) stay as per-host objects in the fleet
+//! layer.
+
+use crate::memory::FlipOutcome;
+use crate::sensors::{SensorState, ERRATIC_READING_C};
+use crate::server::{PowerState, ServerSpec};
+
+/// Dense-index struct-of-arrays state for every host's hardware.
+#[derive(Debug, Clone, Default)]
+pub struct HostBank {
+    // --- server run state ---
+    power_state: Vec<PowerState>,
+    uptime_hours: Vec<f64>,
+    reset_count: Vec<u32>,
+    // --- linear power model constants ---
+    dc_idle_w: Vec<f64>,
+    dc_load_w: Vec<f64>,
+    cpu_idle_w: Vec<f64>,
+    cpu_load_w: Vec<f64>,
+    // --- PSU ---
+    psu_rated_w: Vec<f64>,
+    psu_efficiency: Vec<f64>,
+    psu_failed: Vec<bool>,
+    // --- motherboard sensor chip ---
+    sensor_state: Vec<SensorState>,
+    sensor_min_seen_c: Vec<f64>,
+    sensor_erratic_count: Vec<u64>,
+    // --- memory exposure counters ---
+    ecc: Vec<bool>,
+    page_ops: Vec<u64>,
+    silent_corruptions: Vec<u64>,
+    corrected_errors: Vec<u64>,
+    // --- per-drive S.M.A.R.T. columns, flat in `for_each_disk_mut` order ---
+    disk_range: Vec<(u32, u32)>,
+    disk_power_on_hours: Vec<f64>,
+    disk_temperature_c: Vec<f64>,
+    disk_min_temperature_c: Vec<f64>,
+    disk_max_temperature_c: Vec<f64>,
+    disk_pending_sectors: Vec<u32>,
+    disk_sector0_bad: Vec<bool>,
+    disk_failed: Vec<bool>,
+}
+
+impl HostBank {
+    /// An empty bank.
+    pub fn new() -> Self {
+        HostBank::default()
+    }
+
+    /// Number of hosts.
+    pub fn len(&self) -> usize {
+        self.power_state.len()
+    }
+
+    /// Whether the bank holds no hosts.
+    pub fn is_empty(&self) -> bool {
+        self.power_state.is_empty()
+    }
+
+    /// Add one host assembled from `spec`, returning its dense index.
+    /// Mirrors `Server::new`: running, zero uptime, pristine sensors and
+    /// counters, drives at 20 °C with no history.
+    pub fn push_host(&mut self, spec: &ServerSpec) -> usize {
+        let idx = self.power_state.len();
+        self.power_state.push(PowerState::Running);
+        self.uptime_hours.push(0.0);
+        self.reset_count.push(0);
+        self.dc_idle_w.push(spec.idle_power_w);
+        self.dc_load_w.push(spec.load_power_w);
+        self.cpu_idle_w.push(spec.cpu_idle_w);
+        self.cpu_load_w.push(spec.cpu_load_w);
+        self.psu_rated_w.push(spec.psu_rated_w);
+        self.psu_efficiency.push(spec.psu_efficiency);
+        self.psu_failed.push(false);
+        self.sensor_state.push(SensorState::Ok);
+        self.sensor_min_seen_c.push(f64::INFINITY);
+        self.sensor_erratic_count.push(0);
+        self.ecc.push(spec.ecc);
+        self.page_ops.push(0);
+        self.silent_corruptions.push(0);
+        self.corrected_errors.push(0);
+        // Drive layout per vendor, in `Storage::for_each_disk_mut` order:
+        // mirror members first, then parity stripe members.
+        let drives = match spec.vendor {
+            crate::server::Vendor::A => 2,
+            crate::server::Vendor::B => 1,
+            crate::server::Vendor::C => 5,
+        };
+        let start = self.disk_power_on_hours.len() as u32;
+        self.disk_range.push((start, drives));
+        for _ in 0..drives {
+            self.disk_power_on_hours.push(0.0);
+            self.disk_temperature_c.push(20.0);
+            self.disk_min_temperature_c.push(20.0);
+            self.disk_max_temperature_c.push(20.0);
+            self.disk_pending_sectors.push(0);
+            self.disk_sector0_bad.push(false);
+            self.disk_failed.push(false);
+        }
+        idx
+    }
+
+    // --- run state (Server) ---
+
+    /// Current power state of host `i`.
+    pub fn power_state(&self, i: usize) -> PowerState {
+        self.power_state[i]
+    }
+
+    /// True if host `i` is executing its workload.
+    pub fn is_running(&self, i: usize) -> bool {
+        self.power_state[i] == PowerState::Running
+    }
+
+    /// Hang host `i` (transient system failure); only a running machine
+    /// can hang.
+    pub fn hang(&mut self, i: usize) {
+        if self.power_state[i] == PowerState::Running {
+            self.power_state[i] = PowerState::Hung;
+        }
+    }
+
+    /// Reset host `i`: resume running, warm-reboot the sensor chip,
+    /// restart the uptime clock (semantics of `Server::reset`).
+    pub fn reset(&mut self, i: usize) {
+        self.power_state[i] = PowerState::Running;
+        self.sensor_warm_reboot(i);
+        self.uptime_hours[i] = 0.0;
+        self.reset_count[i] += 1;
+    }
+
+    /// Power host `i` down (taken indoors / decommissioned).
+    pub fn power_off(&mut self, i: usize) {
+        self.power_state[i] = PowerState::Off;
+    }
+
+    /// Number of resets host `i` has needed.
+    pub fn reset_count(&self, i: usize) -> u32 {
+        self.reset_count[i]
+    }
+
+    /// Continuous uptime of host `i` since its last reset, hours.
+    pub fn uptime_hours(&self, i: usize) -> f64 {
+        self.uptime_hours[i]
+    }
+
+    /// Advance operating time for host `i` and feed S.M.A.R.T. with the
+    /// drive temperature (semantics of `Server::tick`: off machines are
+    /// frozen, hung machines age their drives but not their uptime).
+    pub fn tick(&mut self, i: usize, dt_hours: f64, hdd_temp_c: f64) {
+        if self.power_state[i] == PowerState::Off {
+            return;
+        }
+        if self.power_state[i] == PowerState::Running {
+            self.uptime_hours[i] += dt_hours;
+        }
+        let (start, len) = self.disk_range[i];
+        for d in start as usize..(start + len) as usize {
+            self.disk_power_on_hours[d] += dt_hours;
+            self.disk_temperature_c[d] = hdd_temp_c;
+            self.disk_min_temperature_c[d] = self.disk_min_temperature_c[d].min(hdd_temp_c);
+            self.disk_max_temperature_c[d] = self.disk_max_temperature_c[d].max(hdd_temp_c);
+        }
+    }
+
+    // --- power model (ServerSpec + Psu) ---
+
+    /// DC power draw of host `i` at `utilization` (0 = idle, 1 = full).
+    pub fn dc_power_w(&self, i: usize, utilization: f64) -> f64 {
+        let u = utilization.clamp(0.0, 1.0);
+        self.dc_idle_w[i] + u * (self.dc_load_w[i] - self.dc_idle_w[i])
+    }
+
+    /// CPU package power of host `i` at `utilization`.
+    pub fn cpu_power_w(&self, i: usize, utilization: f64) -> f64 {
+        let u = utilization.clamp(0.0, 1.0);
+        self.cpu_idle_w[i] + u * (self.cpu_load_w[i] - self.cpu_idle_w[i])
+    }
+
+    /// Wall power of host `i` at `utilization` (0 when off; hung idles;
+    /// a failed PSU draws nothing) — semantics of `Server::wall_power_w`
+    /// over `Psu::wall_power_w`.
+    pub fn wall_power_w(&self, i: usize, utilization: f64) -> f64 {
+        let dc = match self.power_state[i] {
+            PowerState::Off => return 0.0,
+            PowerState::Hung => self.dc_idle_w[i],
+            PowerState::Running => self.dc_power_w(i, utilization),
+        };
+        if self.psu_failed[i] {
+            0.0
+        } else {
+            dc.min(self.psu_rated_w[i]) / self.psu_efficiency[i]
+        }
+    }
+
+    /// Fail the PSU of host `i`.
+    pub fn psu_fail(&mut self, i: usize) {
+        self.psu_failed[i] = true;
+    }
+
+    // --- sensor chip ---
+
+    /// Read the CPU temperature through host `i`'s sensor chip: the true
+    /// value while OK (tracking the campaign minimum), the erratic marker
+    /// while faulted, nothing once undetected.
+    pub fn sensor_read_cpu_temp(&mut self, i: usize, actual_c: f64) -> Option<f64> {
+        match self.sensor_state[i] {
+            SensorState::Ok => {
+                self.sensor_min_seen_c[i] = self.sensor_min_seen_c[i].min(actual_c);
+                Some(actual_c)
+            }
+            SensorState::Erratic => {
+                self.sensor_erratic_count[i] += 1;
+                Some(ERRATIC_READING_C)
+            }
+            SensorState::Undetected => None,
+        }
+    }
+
+    /// Cold-fault host `i`'s sensor chip (only an OK chip goes erratic).
+    pub fn sensor_inject_cold_fault(&mut self, i: usize) {
+        if self.sensor_state[i] == SensorState::Ok {
+            self.sensor_state[i] = SensorState::Erratic;
+        }
+    }
+
+    /// Driver re-detect attempt: an erratic chip drops off the bus.
+    pub fn sensor_attempt_redetect(&mut self, i: usize) {
+        if self.sensor_state[i] == SensorState::Erratic {
+            self.sensor_state[i] = SensorState::Undetected;
+        }
+    }
+
+    /// Warm reboot recovers the chip unconditionally.
+    pub fn sensor_warm_reboot(&mut self, i: usize) {
+        self.sensor_state[i] = SensorState::Ok;
+    }
+
+    /// Minimum CPU temperature host `i`'s chip has truthfully reported.
+    pub fn sensor_min_seen_c(&self, i: usize) -> f64 {
+        self.sensor_min_seen_c[i]
+    }
+
+    /// Number of erratic (−111 °C) readings host `i` produced.
+    pub fn sensor_erratic_count(&self, i: usize) -> u64 {
+        self.sensor_erratic_count[i]
+    }
+
+    // --- memory exposure ---
+
+    /// Record `n` page operations against host `i`.
+    pub fn memory_record_page_ops(&mut self, i: usize, n: u64) {
+        self.page_ops[i] = self.page_ops[i].saturating_add(n);
+    }
+
+    /// Apply one bit flip to host `i`: ECC corrects it, otherwise it is a
+    /// silent corruption (semantics of `MemoryBank::apply_bit_flip`).
+    pub fn memory_apply_bit_flip(&mut self, i: usize) -> FlipOutcome {
+        if self.ecc[i] {
+            self.corrected_errors[i] += 1;
+            FlipOutcome::CorrectedByEcc
+        } else {
+            self.silent_corruptions[i] += 1;
+            FlipOutcome::SilentCorruption
+        }
+    }
+
+    /// Lifetime page operations of host `i`.
+    pub fn memory_page_ops(&self, i: usize) -> u64 {
+        self.page_ops[i]
+    }
+
+    /// Silent corruptions accumulated by host `i`.
+    pub fn memory_silent_corruptions(&self, i: usize) -> u64 {
+        self.silent_corruptions[i]
+    }
+
+    /// ECC-corrected errors accumulated by host `i`.
+    pub fn memory_corrected_errors(&self, i: usize) -> u64 {
+        self.corrected_errors[i]
+    }
+
+    // --- disks ---
+
+    /// Number of physical drives in host `i`.
+    pub fn drive_count(&self, i: usize) -> usize {
+        self.disk_range[i].1 as usize
+    }
+
+    /// Inject a pending sector at block 0 of every drive in host `i`
+    /// (idempotent per drive), matching the campaign's
+    /// `for_each_disk_mut(|d| d.inject_pending_sector(0))`.
+    pub fn disks_inject_pending_sector0(&mut self, i: usize) {
+        let (start, len) = self.disk_range[i];
+        for d in start as usize..(start + len) as usize {
+            if !self.disk_sector0_bad[d] {
+                self.disk_sector0_bad[d] = true;
+                self.disk_pending_sectors[d] += 1;
+            }
+        }
+    }
+
+    /// All of host `i`'s drives pass their long self-tests? A drive fails
+    /// when its media failed or any block is pending.
+    pub fn disks_all_long_tests_pass(&self, i: usize) -> bool {
+        let (start, len) = self.disk_range[i];
+        (start as usize..(start + len) as usize)
+            .all(|d| !self.disk_failed[d] && !self.disk_sector0_bad[d])
+    }
+
+    /// Current S.M.A.R.T. temperature of drive `d` (flat index) — test aid.
+    #[doc(hidden)]
+    pub fn disk_temperature_c(&self, i: usize, drive: usize) -> f64 {
+        let (start, _) = self.disk_range[i];
+        self.disk_temperature_c[start as usize + drive]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::Server;
+
+    fn specs() -> [ServerSpec; 3] {
+        [
+            ServerSpec::vendor_a(),
+            ServerSpec::vendor_b(true),
+            ServerSpec::vendor_c(),
+        ]
+    }
+
+    #[test]
+    fn layout_matches_vendor_storage() {
+        let mut bank = HostBank::new();
+        for spec in specs() {
+            bank.push_host(&spec);
+        }
+        assert_eq!(bank.drive_count(0), 2);
+        assert_eq!(bank.drive_count(1), 1);
+        assert_eq!(bank.drive_count(2), 5);
+        assert_eq!(bank.len(), 3);
+    }
+
+    /// Drive both models through the same campaign-shaped op sequence and
+    /// compare every observable at every step.
+    #[test]
+    fn bank_matches_server_objects() {
+        let mut bank = HostBank::new();
+        let mut objs: Vec<Server> = Vec::new();
+        for spec in specs() {
+            bank.push_host(&spec);
+            objs.push(Server::new(spec));
+        }
+        for step in 0..600 {
+            for (i, obj) in objs.iter_mut().enumerate() {
+                let temp = -10.0 + ((step + i) % 47) as f64;
+                let util = if step % 3 == 0 { 1.0 } else { 0.0 };
+                // Scripted op mix exercising every transition.
+                match step % 101 {
+                    13 => {
+                        obj.hang();
+                        bank.hang(i);
+                    }
+                    29 => {
+                        obj.reset();
+                        bank.reset(i);
+                    }
+                    43 => {
+                        obj.sensors.inject_cold_fault();
+                        bank.sensor_inject_cold_fault(i);
+                    }
+                    59 => {
+                        obj.sensors.attempt_redetect();
+                        bank.sensor_attempt_redetect(i);
+                    }
+                    71 => {
+                        obj.storage.for_each_disk_mut(|d| {
+                            d.inject_pending_sector(0);
+                        });
+                        bank.disks_inject_pending_sector0(i);
+                    }
+                    83 if i == 2 => {
+                        obj.psu.fail();
+                        bank.psu_fail(i);
+                    }
+                    _ => {}
+                }
+                obj.tick(1.0 / 60.0, temp);
+                bank.tick(i, 1.0 / 60.0, temp);
+                assert_eq!(obj.memory.apply_bit_flip(), bank.memory_apply_bit_flip(i));
+                obj.memory.record_page_ops(1000);
+                bank.memory_record_page_ops(i, 1000);
+                assert_eq!(
+                    obj.sensors.read_cpu_temp(temp),
+                    bank.sensor_read_cpu_temp(i, temp)
+                );
+                assert_eq!(obj.is_running(), bank.is_running(i), "step {step} host {i}");
+                assert_eq!(
+                    obj.wall_power_w(util).to_bits(),
+                    bank.wall_power_w(i, util).to_bits()
+                );
+                assert_eq!(obj.uptime_hours().to_bits(), bank.uptime_hours(i).to_bits());
+                assert_eq!(obj.reset_count(), bank.reset_count(i));
+            }
+        }
+        for (i, obj) in objs.iter_mut().enumerate() {
+            assert_eq!(
+                obj.storage.all_long_tests_pass(),
+                bank.disks_all_long_tests_pass(i)
+            );
+            assert_eq!(obj.sensors.min_seen_c(), bank.sensor_min_seen_c(i));
+            assert_eq!(obj.sensors.erratic_count(), bank.sensor_erratic_count(i));
+            assert_eq!(obj.memory.page_ops(), bank.memory_page_ops(i));
+            assert_eq!(
+                obj.memory.silent_corruptions(),
+                bank.memory_silent_corruptions(i)
+            );
+            assert_eq!(
+                obj.memory.corrected_errors(),
+                bank.memory_corrected_errors(i)
+            );
+        }
+    }
+
+    #[test]
+    fn off_hosts_are_frozen() {
+        let mut bank = HostBank::new();
+        bank.push_host(&ServerSpec::vendor_a());
+        bank.power_off(0);
+        bank.tick(0, 5.0, 30.0);
+        assert_eq!(bank.uptime_hours(0), 0.0);
+        assert_eq!(bank.disk_temperature_c(0, 0), 20.0);
+        assert_eq!(bank.wall_power_w(0, 1.0), 0.0);
+        assert_eq!(bank.power_state(0), PowerState::Off);
+    }
+
+    #[test]
+    fn hung_hosts_idle_but_age_their_drives() {
+        let mut bank = HostBank::new();
+        bank.push_host(&ServerSpec::vendor_c());
+        bank.hang(0);
+        bank.tick(0, 2.0, 35.0);
+        assert_eq!(bank.uptime_hours(0), 0.0);
+        assert_eq!(bank.disk_temperature_c(0, 0), 35.0);
+        let mut obj = Server::new(ServerSpec::vendor_c());
+        obj.hang();
+        assert_eq!(
+            bank.wall_power_w(0, 1.0).to_bits(),
+            obj.wall_power_w(1.0).to_bits()
+        );
+    }
+
+    #[test]
+    fn pending_sector_injection_is_idempotent_per_drive() {
+        let mut bank = HostBank::new();
+        bank.push_host(&ServerSpec::vendor_b(false));
+        assert!(bank.disks_all_long_tests_pass(0));
+        bank.disks_inject_pending_sector0(0);
+        bank.disks_inject_pending_sector0(0);
+        assert!(!bank.disks_all_long_tests_pass(0));
+        assert_eq!(bank.disk_pending_sectors[0], 1, "second injection a no-op");
+    }
+
+    #[test]
+    fn ecc_split_matches_vendor_specs() {
+        let mut bank = HostBank::new();
+        for spec in specs() {
+            bank.push_host(&spec);
+        }
+        assert_eq!(bank.memory_apply_bit_flip(0), FlipOutcome::SilentCorruption);
+        assert_eq!(bank.memory_apply_bit_flip(1), FlipOutcome::SilentCorruption);
+        assert_eq!(bank.memory_apply_bit_flip(2), FlipOutcome::CorrectedByEcc);
+        assert_eq!(bank.memory_silent_corruptions(0), 1);
+        assert_eq!(bank.memory_corrected_errors(2), 1);
+    }
+}

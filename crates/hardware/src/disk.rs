@@ -180,48 +180,44 @@ mod tests {
     }
 
     #[test]
-    fn read_write_roundtrip() {
+    fn read_write_roundtrip() -> Result<(), DiskError> {
         let mut d = Disk::new(8);
-        d.write_block(3, &block_of(0xAB)).unwrap();
-        assert_eq!(d.read_block(3).unwrap()[0], 0xAB);
-        assert_eq!(d.read_block(0).unwrap()[0], 0);
+        d.write_block(3, &block_of(0xAB))?;
+        assert_eq!(d.read_block(3)?[0], 0xAB);
+        assert_eq!(d.read_block(0)?[0], 0);
+        Ok(())
     }
 
     #[test]
     fn out_of_range() {
         let mut d = Disk::new(4);
-        assert_eq!(d.read_block(4).unwrap_err(), DiskError::OutOfRange);
-        assert_eq!(
-            d.write_block(9, &block_of(1)).unwrap_err(),
-            DiskError::OutOfRange
-        );
+        assert_eq!(d.read_block(4), Err(DiskError::OutOfRange));
+        assert_eq!(d.write_block(9, &block_of(1)), Err(DiskError::OutOfRange));
     }
 
     #[test]
-    fn pending_sector_lifecycle() {
+    fn pending_sector_lifecycle() -> Result<(), DiskError> {
         let mut d = Disk::new(4);
         d.inject_pending_sector(2);
         assert_eq!(d.smart().pending_sectors, 1);
-        assert_eq!(d.read_block(2).unwrap_err(), DiskError::ReadError);
+        assert_eq!(d.read_block(2), Err(DiskError::ReadError));
         assert_eq!(d.long_self_test(), SelfTestResult::Failed);
         // A write remaps the sector.
-        d.write_block(2, &block_of(7)).unwrap();
+        d.write_block(2, &block_of(7))?;
         assert_eq!(d.smart().pending_sectors, 0);
         assert_eq!(d.smart().reallocated_sectors, 1);
         assert_eq!(d.health(), ComponentHealth::Degraded);
-        assert_eq!(d.read_block(2).unwrap()[0], 7);
+        assert_eq!(d.read_block(2)?[0], 7);
         assert_eq!(d.long_self_test(), SelfTestResult::Passed);
+        Ok(())
     }
 
     #[test]
     fn failed_disk_rejects_io() {
         let mut d = Disk::new(4);
         d.fail();
-        assert_eq!(d.read_block(0).unwrap_err(), DiskError::DiskFailed);
-        assert_eq!(
-            d.write_block(0, &block_of(1)).unwrap_err(),
-            DiskError::DiskFailed
-        );
+        assert_eq!(d.read_block(0), Err(DiskError::DiskFailed));
+        assert_eq!(d.write_block(0, &block_of(1)), Err(DiskError::DiskFailed));
         assert_eq!(d.long_self_test(), SelfTestResult::Failed);
     }
 
@@ -239,13 +235,14 @@ mod tests {
     }
 
     #[test]
-    fn healthy_disk_passes_long_test() {
+    fn healthy_disk_passes_long_test() -> Result<(), DiskError> {
         // The paper: drives passed their long tests even after months outside.
         let mut d = Disk::new(16);
         for i in 0..16 {
-            d.write_block(i, &block_of(i as u8)).unwrap();
+            d.write_block(i, &block_of(i as u8))?;
         }
         d.tick(2000.0, -5.0);
         assert_eq!(d.long_self_test(), SelfTestResult::Passed);
+        Ok(())
     }
 }

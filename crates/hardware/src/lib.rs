@@ -26,11 +26,15 @@
 //!   (the indoor diagnosis that condemned host #15);
 //! * [`psu`], [`fan`] — supporting components with health states;
 //! * [`switch`] — the whiny 8-port switches;
-//! * [`server`] — vendor specs and the assembled machine.
+//! * [`server`] — vendor specs and the assembled machine;
+//! * [`columns`] — the same campaign-relevant state as flat
+//!   struct-of-arrays columns ([`columns::HostBank`]) for fleet-scale
+//!   bulk stepping, behavior-identical to the object model.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod columns;
 pub mod component;
 pub mod disk;
 pub mod fan;

@@ -113,8 +113,15 @@ mod tests {
         assert_eq!(bank.empirical_fault_ratio(), None);
         bank.record_page_ops(570_000_000);
         bank.apply_bit_flip();
-        let ratio = bank.empirical_fault_ratio().unwrap();
-        assert!((ratio - PAPER_FLIPS_PER_PAGE_OP).abs() / PAPER_FLIPS_PER_PAGE_OP < 1e-9);
+        // One flip over the paper's per-flip page-op count reproduces its
+        // empirical ratio (and proves the ratio is defined at all).
+        assert!(
+            bank.empirical_fault_ratio()
+                .is_some_and(|ratio| (ratio - PAPER_FLIPS_PER_PAGE_OP).abs()
+                    / PAPER_FLIPS_PER_PAGE_OP
+                    < 1e-9),
+            "empirical ratio should match the paper's flips-per-page-op"
+        );
     }
 
     #[test]

@@ -124,22 +124,43 @@ impl Delta {
     }
 }
 
-/// Compute the delta producing `new_data` given the receiver's `sig`.
-pub fn delta(sig: &Signature, new_data: &[u8]) -> Delta {
+/// Weak checksum → candidate block indices (collisions kept in a list).
+/// Only full blocks are matchable by the rolling window; the final short
+/// block (if any) is matched separately at the tail.
+fn weak_index(sig: &Signature) -> HashMap<u32, Vec<u32>> {
     let bs = sig.block_size;
-    // Weak → candidate block indices (handle collisions with a list).
     let mut index: HashMap<u32, Vec<u32>> = HashMap::new();
     for (i, (weak, _)) in sig.blocks.iter().enumerate() {
-        // Only full blocks are matchable by the rolling window; the final
-        // short block (if any) is matched separately at the tail.
         if (i + 1) * bs <= sig.total_len {
             index.entry(*weak).or_default().push(i as u32);
         }
     }
+    index
+}
 
+/// Compute the delta producing `new_data` given the receiver's `sig`.
+pub fn delta(sig: &Signature, new_data: &[u8]) -> Delta {
+    let index = weak_index(sig);
     let mut ops = Vec::new();
+    scan(sig, &index, new_data, 0, &mut ops);
+    Delta { ops }
+}
+
+/// The sender's sliding-window scan from `pos` to the end of `new_data`,
+/// appending ops. Factored out so [`CachedSync`]'s verified-prefix fast
+/// path can resume the scan mid-file with identical semantics — at every
+/// block boundary the scan state is (empty literal, no window), so
+/// resuming at a boundary is indistinguishable from having scanned the
+/// prefix.
+fn scan(
+    sig: &Signature,
+    index: &HashMap<u32, Vec<u32>>,
+    new_data: &[u8],
+    mut pos: usize,
+    ops: &mut Vec<DeltaOp>,
+) {
+    let bs = sig.block_size;
     let mut literal = Vec::new();
-    let mut pos = 0usize;
     let mut roll: Option<Rolling> = None;
 
     while pos + bs <= new_data.len() {
@@ -192,7 +213,6 @@ pub fn delta(sig: &Signature, new_data: &[u8]) -> Delta {
     if !literal.is_empty() {
         ops.push(DeltaOp::Literal(literal));
     }
-    Delta { ops }
 }
 
 /// Errors from [`apply`].
@@ -240,6 +260,87 @@ pub fn sync(old_data: &[u8], new_data: &[u8], block_size: usize) -> (Vec<u8>, De
     let rebuilt = apply(old_data, block_size, &d).unwrap_or_else(|_| new_data.to_vec());
     debug_assert_eq!(rebuilt, new_data);
     (rebuilt, d)
+}
+
+/// A receiver-side mirror with its signature kept warm between rounds.
+///
+/// [`sync`] recomputes the old file's signature — a strong hash per block
+/// — on every call, then scans the entire new file. For the collector's
+/// append-only logs that is O(file) work per round to discover that one
+/// line was added. `CachedSync` holds the mirror *and* its signature:
+/// each round re-signs only the bytes past the last full block, and when
+/// the new content verifiably extends the mirror (a byte-compare of the
+/// prefix — far cheaper than hashing it) the sender's scan resumes at the
+/// first unsynced block boundary instead of at zero.
+///
+/// The produced delta is equivalent to [`sync`]'s: the verified prefix
+/// matches block-for-block (each full block's own signature is present,
+/// so the stock scan would emit one copy per block and arrive at the
+/// boundary with an empty literal run), and the remainder goes through
+/// the identical [`scan`]. Literal bytes, copy counts and the rebuilt
+/// mirror are byte-for-byte what the uncached path yields.
+#[derive(Debug)]
+pub struct CachedSync {
+    data: Vec<u8>,
+    sig: Signature,
+}
+
+impl CachedSync {
+    /// Empty mirror with the given block size.
+    ///
+    /// # Panics
+    /// Panics if `block_size == 0`.
+    pub fn new(block_size: usize) -> CachedSync {
+        assert!(block_size > 0, "block size must be positive");
+        CachedSync {
+            data: Vec::new(),
+            sig: Signature {
+                block_size,
+                blocks: Vec::new(),
+                total_len: 0,
+            },
+        }
+    }
+
+    /// The mirrored bytes.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Bring the mirror up to `new_data`, returning the delta that rsync
+    /// would have shipped.
+    pub fn sync_from(&mut self, new_data: &[u8]) -> Delta {
+        let bs = self.sig.block_size;
+        let old_len = self.data.len();
+        let full = old_len / bs;
+        if full > 0 && new_data.len() > old_len && new_data[..old_len] == self.data[..] {
+            // Append fast path: the mirror is a verified prefix of the new
+            // content. Full blocks match themselves; resume the scan at
+            // the first unsynced boundary.
+            let boundary = full * bs;
+            let mut ops: Vec<DeltaOp> = (0..full as u32)
+                .map(|i| DeltaOp::Copy { index: i })
+                .collect();
+            let index = weak_index(&self.sig);
+            scan(&self.sig, &index, new_data, boundary, &mut ops);
+            self.data.extend_from_slice(&new_data[old_len..]);
+            self.sig.blocks.truncate(full);
+            self.sig.blocks.extend(
+                self.data[boundary..]
+                    .chunks(bs)
+                    .map(|c| (Rolling::new(c).digest(), md5(c))),
+            );
+            self.sig.total_len = self.data.len();
+            return Delta { ops };
+        }
+        // General path (first contact, truncation, rewrite): stock delta
+        // against the cached signature, then full rebuild and re-sign.
+        let d = delta(&self.sig, new_data);
+        self.data = apply(&self.data, bs, &d).unwrap_or_else(|_| new_data.to_vec());
+        debug_assert_eq!(self.data, new_data);
+        self.sig = signature(&self.data, bs);
+        d
+    }
 }
 
 #[cfg(test)]
@@ -344,6 +445,77 @@ mod tests {
             "prefix insert should stay local: {}",
             d.literal_bytes()
         );
+    }
+
+    #[test]
+    fn cached_sync_matches_stock_sync_across_append_histories() {
+        // Drive the cached mirror and the stock per-round sync through the
+        // same file history; deltas and mirrors must agree byte-for-byte.
+        // Growth sizes cross block boundaries, land exactly on them, and
+        // include a same-size round (which the collector normally skips,
+        // but equivalence must hold regardless).
+        let bs = 64;
+        let mut cached = CachedSync::new(bs);
+        let mut plain: Vec<u8> = Vec::new();
+        let mut file: Vec<u8> = Vec::new();
+        let growths = [10usize, 54, 64, 1, 500, 0, 63, 128, 7];
+        for (round, g) in growths.iter().enumerate() {
+            let line: Vec<u8> = (0..*g).map(|i| ((round * 37 + i) % 251) as u8).collect();
+            file.extend_from_slice(&line);
+            let (rebuilt, d_plain) = sync(&plain, &file, bs);
+            let d_cached = cached.sync_from(&file);
+            assert_eq!(
+                d_cached.literal_bytes(),
+                d_plain.literal_bytes(),
+                "round {round}: literal bytes diverge"
+            );
+            assert_eq!(
+                d_cached.copy_count(),
+                d_plain.copy_count(),
+                "round {round}: copy counts diverge"
+            );
+            assert_eq!(cached.data(), &file[..], "round {round}: mirror diverges");
+            plain = rebuilt;
+        }
+    }
+
+    #[test]
+    fn cached_sync_handles_rewrites_and_truncation() {
+        let bs = 64;
+        let mut cached = CachedSync::new(bs);
+        let first = b"the first day's log content\n".repeat(20);
+        cached.sync_from(&first);
+        assert_eq!(cached.data(), &first[..]);
+        // A rewrite (different content, shorter) takes the general path.
+        let rewritten = b"fresh start\n".repeat(5);
+        let (_, d_plain) = sync(&first, &rewritten, bs);
+        let d_cached = cached.sync_from(&rewritten);
+        assert_eq!(d_cached.literal_bytes(), d_plain.literal_bytes());
+        assert_eq!(cached.data(), &rewritten[..]);
+        // And appends after the rewrite use the fast path again.
+        let mut grown = rewritten.clone();
+        grown.extend_from_slice(b"appended line\n");
+        let (_, d_plain) = sync(&rewritten, &grown, bs);
+        let d_cached = cached.sync_from(&grown);
+        assert_eq!(d_cached.literal_bytes(), d_plain.literal_bytes());
+        assert_eq!(cached.data(), &grown[..]);
+    }
+
+    #[test]
+    fn cached_sync_append_ships_only_the_tail() {
+        let bs = 512;
+        let mut cached = CachedSync::new(bs);
+        let old = b"line-one\nline-two\nline-three\n".repeat(60);
+        cached.sync_from(&old);
+        let mut new = old.clone();
+        new.extend_from_slice(b"2010-03-07 04:40 host15 wrong-hash\n");
+        let d = cached.sync_from(&new);
+        assert!(
+            d.literal_bytes() < 2 * bs,
+            "append should ship ≲ 2 blocks, got {}",
+            d.literal_bytes()
+        );
+        assert_eq!(cached.data(), &new[..]);
     }
 
     #[test]

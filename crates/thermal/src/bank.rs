@@ -1,0 +1,284 @@
+//! Struct-of-arrays server-case thermal kernel for fleet-scale stepping.
+//!
+//! [`CaseBank`] holds the chassis thermal state of *every* host in a fleet
+//! as parallel flat arrays and steps one host with a closed-form kernel
+//! that reproduces [`ServerCaseThermal`](crate::server_case::ServerCaseThermal)
+//! **bit for bit**. The per-host object model builds a two-node RC network
+//! (case air + CPU, coupled to the enclosure boundary) and integrates it
+//! with exponential-Euler substeps; for that fixed topology the generic
+//! solver's arithmetic collapses to a handful of fused update lines whose
+//! floating-point operation order is copied here exactly:
+//!
+//! * conductance sums accumulate in edge order — boundary coupling first,
+//!   then the case↔CPU link — so `gsum_case = airflow + g` and
+//!   `gsum_cpu = g`;
+//! * each substep freezes node temperatures before computing both
+//!   `Σ G·T` terms (the solver reads a snapshot, not in-place updates);
+//! * the substep count, substep width `h` and the decay factors
+//!   `exp(−h·ΣG/C)` depend only on the host's constants and `dt`, so they
+//!   are cached per distinct `dt` instead of recomputed per call — the
+//!   cached values are produced by the very same expressions, keeping the
+//!   results identical to the per-tick recomputation.
+//!
+//! The bank stores no heap data per step: all state lives in flat `Vec`s
+//! sized once at fleet construction, which is what lets a 10,000-host
+//! campaign tick in O(hosts) with zero allocations in the hot loop.
+
+use crate::server_case::ServerThermalParams;
+
+/// Flat-array thermal state for a fleet of server cases.
+///
+/// Hosts are addressed by the dense index returned from [`CaseBank::push`];
+/// callers keep that index aligned with their other per-host columns.
+#[derive(Debug, Clone, Default)]
+pub struct CaseBank {
+    // Mutable state.
+    t_case: Vec<f64>,
+    t_cpu: Vec<f64>,
+    // Per-host constants (from `ServerThermalParams`).
+    airflow_w_k: Vec<f64>,
+    g_cpu_w_k: Vec<f64>,
+    gsum_case: Vec<f64>,
+    gsum_cpu: Vec<f64>,
+    c_case: Vec<f64>,
+    c_cpu: Vec<f64>,
+    hdd_offset_k: Vec<f64>,
+    // Integrator constants cached for the last-seen `dt` (NaN = stale).
+    n_sub: Vec<u32>,
+    k_case: Vec<f64>,
+    k_cpu: Vec<f64>,
+    cached_dt: f64,
+}
+
+impl CaseBank {
+    /// An empty bank.
+    pub fn new() -> Self {
+        CaseBank {
+            cached_dt: f64::NAN,
+            ..CaseBank::default()
+        }
+    }
+
+    /// Number of hosts in the bank.
+    pub fn len(&self) -> usize {
+        self.t_case.len()
+    }
+
+    /// Whether the bank holds no hosts.
+    pub fn is_empty(&self) -> bool {
+        self.t_case.is_empty()
+    }
+
+    /// Add one host's chassis, initialized to `initial_c` (both nodes),
+    /// returning its dense index.
+    pub fn push(&mut self, params: &ServerThermalParams, initial_c: f64) -> usize {
+        let idx = self.t_case.len();
+        self.t_case.push(initial_c);
+        self.t_cpu.push(initial_c);
+        let g = 1.0 / params.cpu_rth_k_w;
+        self.airflow_w_k.push(params.case_airflow_w_k);
+        self.g_cpu_w_k.push(g);
+        // Edge-order accumulation: boundary coupling, then the CPU link.
+        self.gsum_case.push((0.0 + params.case_airflow_w_k) + g);
+        self.gsum_cpu.push(0.0 + g);
+        self.c_case.push(params.case_capacity_j_k);
+        self.c_cpu.push(params.cpu_capacity_j_k);
+        self.hdd_offset_k.push(params.hdd_offset_k);
+        self.n_sub.push(0);
+        self.k_case.push(0.0);
+        self.k_cpu.push(0.0);
+        // New rows have no integrator constants yet.
+        self.cached_dt = f64::NAN;
+        idx
+    }
+
+    /// Recompute the per-host substep constants for a new step width.
+    fn refresh_integrator(&mut self, dt_secs: f64) {
+        for i in 0..self.t_case.len() {
+            // `min_time_constant`: fold C/ΣG over the nodes in index order,
+            // starting from +∞ (IEEE min, like the network solver).
+            let tau = f64::min(
+                f64::min(f64::INFINITY, self.c_case[i] / self.gsum_case[i]),
+                self.c_cpu[i] / self.gsum_cpu[i],
+            );
+            let max_sub = if tau.is_finite() {
+                (tau / 4.0).max(1e-3)
+            } else {
+                dt_secs
+            };
+            let n_sub = (dt_secs / max_sub).ceil().max(1.0) as usize;
+            let h = dt_secs / n_sub as f64;
+            self.n_sub[i] = n_sub as u32;
+            self.k_case[i] = (-h * self.gsum_case[i] / self.c_case[i]).exp();
+            self.k_cpu[i] = (-h * self.gsum_cpu[i] / self.c_cpu[i]).exp();
+        }
+        self.cached_dt = dt_secs;
+    }
+
+    /// Advance host `i` by `dt_secs` with the given enclosure intake
+    /// temperature and power split — semantics (and bits) of
+    /// `ServerCaseThermal::step`.
+    pub fn step_one(
+        &mut self,
+        i: usize,
+        dt_secs: f64,
+        intake_c: f64,
+        cpu_power_w: f64,
+        total_power_w: f64,
+    ) {
+        assert!(dt_secs >= 0.0, "time cannot flow backwards");
+        if dt_secs == 0.0 {
+            return;
+        }
+        if dt_secs != self.cached_dt {
+            self.refresh_integrator(dt_secs);
+        }
+        let other_w = (total_power_w - cpu_power_w).max(0.0);
+        let airflow = self.airflow_w_k[i];
+        let g = self.g_cpu_w_k[i];
+        let (gsum_case, gsum_cpu) = (self.gsum_case[i], self.gsum_cpu[i]);
+        let (k_case, k_cpu) = (self.k_case[i], self.k_cpu[i]);
+        let (mut t_case, mut t_cpu) = (self.t_case[i], self.t_cpu[i]);
+        for _ in 0..self.n_sub[i] {
+            // Σ G·T from temperatures frozen at substep start, edge order.
+            let gt_case = (0.0 + airflow * intake_c) + g * t_cpu;
+            let gt_cpu = 0.0 + g * t_case;
+            let t_inf_case = (gt_case + other_w) / gsum_case;
+            let t_inf_cpu = (gt_cpu + cpu_power_w) / gsum_cpu;
+            t_case = t_inf_case + (t_case - t_inf_case) * k_case;
+            t_cpu = t_inf_cpu + (t_cpu - t_inf_cpu) * k_cpu;
+        }
+        self.t_case[i] = t_case;
+        self.t_cpu[i] = t_cpu;
+    }
+
+    /// CPU die temperature of host `i`, °C.
+    pub fn cpu_temp_c(&self, i: usize) -> f64 {
+        self.t_cpu[i]
+    }
+
+    /// Internal case air temperature of host `i`, °C.
+    pub fn case_temp_c(&self, i: usize) -> f64 {
+        self.t_case[i]
+    }
+
+    /// Disk surface temperature of host `i` (case air + drive offset), °C.
+    pub fn hdd_temp_c(&self, i: usize) -> f64 {
+        self.t_case[i] + self.hdd_offset_k[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server_case::ServerCaseThermal;
+
+    fn vendors() -> [ServerThermalParams; 3] {
+        [
+            ServerThermalParams::vendor_a_tower(),
+            ServerThermalParams::vendor_b_sff(),
+            ServerThermalParams::vendor_c_2u(),
+        ]
+    }
+
+    /// Deterministic pseudo-input wiggle, no RNG needed.
+    fn wiggle(step: usize, scale: f64, offset: f64) -> f64 {
+        offset + scale * ((step as f64 * 0.7).sin() + 0.3 * (step as f64 * 0.13).cos())
+    }
+
+    #[test]
+    fn bank_matches_object_model_bit_for_bit() {
+        let mut bank = CaseBank::new();
+        let mut objs = Vec::new();
+        for params in vendors() {
+            bank.push(&params, 18.0);
+            objs.push(ServerCaseThermal::new(params, 18.0));
+        }
+        for step in 0..3_000 {
+            for (i, obj) in objs.iter_mut().enumerate() {
+                let intake = wiggle(step + i, 12.0, -4.0);
+                let cpu_w = wiggle(step, 20.0, 40.0).max(0.0);
+                let total_w = cpu_w + wiggle(step, 30.0, 60.0).max(0.0);
+                obj.step(60.0, intake, cpu_w, total_w);
+                bank.step_one(i, 60.0, intake, cpu_w, total_w);
+                assert_eq!(
+                    obj.cpu_temp_c().to_bits(),
+                    bank.cpu_temp_c(i).to_bits(),
+                    "cpu diverged at step {step} host {i}"
+                );
+                assert_eq!(
+                    obj.case_temp_c().to_bits(),
+                    bank.case_temp_c(i).to_bits(),
+                    "case diverged at step {step} host {i}"
+                );
+                assert_eq!(obj.hdd_temp_c().to_bits(), bank.hdd_temp_c(i).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn negative_other_power_clamps_like_object_model() {
+        // total < cpu: the non-CPU share clamps to zero in both models.
+        let params = ServerThermalParams::vendor_b_sff();
+        let mut obj = ServerCaseThermal::new(params.clone(), 18.0);
+        let mut bank = CaseBank::new();
+        bank.push(&params, 18.0);
+        for _ in 0..500 {
+            obj.step(60.0, -8.0, 50.0, 30.0);
+            bank.step_one(0, 60.0, -8.0, 50.0, 30.0);
+        }
+        assert_eq!(obj.cpu_temp_c().to_bits(), bank.cpu_temp_c(0).to_bits());
+        assert_eq!(obj.case_temp_c().to_bits(), bank.case_temp_c(0).to_bits());
+    }
+
+    #[test]
+    fn dt_changes_reprime_the_integrator_cache() {
+        let params = ServerThermalParams::vendor_a_tower();
+        let mut obj = ServerCaseThermal::new(params.clone(), 18.0);
+        let mut bank = CaseBank::new();
+        bank.push(&params, 18.0);
+        // Alternate step widths: the cache must refresh, not reuse stale
+        // substep constants.
+        for step in 0..400 {
+            let dt = if step % 3 == 0 { 60.0 } else { 17.5 };
+            obj.step(dt, -2.0, 30.0, 80.0);
+            bank.step_one(0, dt, -2.0, 30.0, 80.0);
+            assert_eq!(obj.cpu_temp_c().to_bits(), bank.cpu_temp_c(0).to_bits());
+        }
+    }
+
+    #[test]
+    fn zero_dt_is_a_no_op() {
+        let params = ServerThermalParams::vendor_c_2u();
+        let mut bank = CaseBank::new();
+        bank.push(&params, 21.0);
+        bank.step_one(0, 0.0, -20.0, 100.0, 200.0);
+        assert_eq!(bank.cpu_temp_c(0), 21.0);
+        assert_eq!(bank.case_temp_c(0), 21.0);
+    }
+
+    #[test]
+    fn pushing_after_stepping_keeps_existing_rows_exact() {
+        // A host added later must not disturb earlier rows, and the new row
+        // must integrate exactly (the dt cache is invalidated by push).
+        let a = ServerThermalParams::vendor_a_tower();
+        let c = ServerThermalParams::vendor_c_2u();
+        let mut obj_a = ServerCaseThermal::new(a.clone(), 18.0);
+        let mut obj_c = ServerCaseThermal::new(c.clone(), 18.0);
+        let mut bank = CaseBank::new();
+        bank.push(&a, 18.0);
+        for _ in 0..50 {
+            obj_a.step(60.0, -5.0, 20.0, 70.0);
+            bank.step_one(0, 60.0, -5.0, 20.0, 70.0);
+        }
+        bank.push(&c, 18.0);
+        for _ in 0..50 {
+            obj_a.step(60.0, -5.0, 20.0, 70.0);
+            obj_c.step(60.0, 21.0, 60.0, 200.0);
+            bank.step_one(0, 60.0, -5.0, 20.0, 70.0);
+            bank.step_one(1, 60.0, 21.0, 60.0, 200.0);
+        }
+        assert_eq!(obj_a.cpu_temp_c().to_bits(), bank.cpu_temp_c(0).to_bits());
+        assert_eq!(obj_c.cpu_temp_c().to_bits(), bank.cpu_temp_c(1).to_bits());
+    }
+}

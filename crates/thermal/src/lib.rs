@@ -20,19 +20,24 @@
 //!   and disks, each a first-order lag. This is what turns "−10 °C outside"
 //!   into the paper's "CPU at −4 °C" reading;
 //! * [`enclosure`] — the trait the experiment uses to treat tent, basement
-//!   and the prototype's plastic boxes uniformly.
+//!   and the prototype's plastic boxes uniformly;
+//! * [`bank`] — the fleet-scale struct-of-arrays chassis kernel: the same
+//!   case/CPU physics as [`server_case`], stored as flat columns and stepped
+//!   with zero per-tick allocations (bit-identical to the object model).
 //!
 //! All temperatures °C, powers W, conductances W/K, capacities J/K.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bank;
 pub mod basement;
 pub mod enclosure;
 pub mod network;
 pub mod server_case;
 pub mod tent;
 
+pub use bank::CaseBank;
 pub use basement::Basement;
 pub use enclosure::{Enclosure, EnclosureState, PlasticBoxes};
 pub use network::RcNetwork;

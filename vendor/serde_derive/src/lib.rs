@@ -2,18 +2,37 @@
 //!
 //! Supports the shapes frostlab actually serializes: structs with named
 //! fields, and enums whose variants carry no data (serialized as their
-//! variant name). Anything fancier fails with a compile error pointing here.
+//! variant name). Two field attributes are honoured, with the same
+//! semantics as real serde:
+//!
+//! * `#[serde(default)]` — a missing key deserializes to
+//!   `Default::default()` instead of erroring, so old manifests keep
+//!   parsing after a field is added;
+//! * `#[serde(skip_serializing_if = "path")]` — the field stays out of
+//!   the emitted object when `path(&field)` is true, so default values
+//!   do not perturb canonical JSON (and therefore content hashes).
+//!
+//! Anything fancier fails with a compile error pointing here.
 //!
 //! Written against `proc_macro` directly (no `syn`/`quote`: the container
 //! has no crates.io access), so parsing is a small hand-rolled token walk.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// One named struct field (or unit enum variant) plus its serde attrs.
+struct Member {
+    name: String,
+    /// `#[serde(default)]`: tolerate a missing key on deserialize.
+    default: bool,
+    /// `#[serde(skip_serializing_if = "path")]`: predicate path.
+    skip_if: Option<String>,
+}
+
 enum Shape {
     /// Struct with named fields.
-    Struct { name: String, fields: Vec<String> },
+    Struct { name: String, fields: Vec<Member> },
     /// Enum with unit variants only.
-    Enum { name: String, variants: Vec<String> },
+    Enum { name: String, variants: Vec<Member> },
 }
 
 /// Walk the item's tokens: skip attributes and visibility, find
@@ -64,15 +83,70 @@ fn parse_shape(input: TokenStream) -> Result<Shape, String> {
     Err("could not parse item".into())
 }
 
+/// Parse one `#[serde(...)]` attribute body (the bracket group's stream)
+/// into `member`. Non-serde attributes (`doc`, …) are ignored by the
+/// caller before we get here.
+fn parse_serde_attr(stream: TokenStream, member: &mut Member) -> Result<(), String> {
+    // stream = `serde ( ... )`
+    let mut iter = stream.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Ok(()), // not a serde attribute after all
+    }
+    let Some(TokenTree::Group(g)) = iter.next() else {
+        return Err("malformed #[serde] attribute".into());
+    };
+    let mut inner = g.stream().into_iter().peekable();
+    while let Some(tt) = inner.next() {
+        match tt {
+            TokenTree::Ident(id) => match id.to_string().as_str() {
+                "default" => member.default = true,
+                "skip_serializing_if" => {
+                    match (inner.next(), inner.next()) {
+                        (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                            if eq.as_char() == '=' =>
+                        {
+                            let raw = lit.to_string();
+                            let path = raw.trim_matches('"').to_string();
+                            if path.is_empty() || path.len() + 2 != raw.len() {
+                                return Err(format!(
+                                    "skip_serializing_if wants a string literal path, got {raw}"
+                                ));
+                            }
+                            member.skip_if = Some(path);
+                        }
+                        _ => return Err("skip_serializing_if wants = \"path\"".into()),
+                    }
+                }
+                other => {
+                    return Err(format!(
+                        "unsupported serde attribute {other:?} (mini-serde knows \
+                         default and skip_serializing_if)"
+                    ))
+                }
+            },
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => return Err(format!("unexpected token in #[serde(...)]: {other}")),
+        }
+    }
+    Ok(())
+}
+
 /// Within the brace group, member names are the first ident of each
 /// comma-separated chunk (after attributes/visibility). For enums, a chunk
 /// containing a group or extra tokens after the name means a data-carrying
 /// variant, which we reject.
-fn parse_members(body: TokenStream) -> Result<Vec<String>, String> {
+fn parse_members(body: TokenStream) -> Result<Vec<Member>, String> {
     let mut members = Vec::new();
     let mut iter = body.into_iter().peekable();
     loop {
-        // Skip attributes and visibility at chunk start.
+        // Skip attributes and visibility at chunk start, harvesting any
+        // #[serde(...)] bodies into the pending member.
+        let mut pending = Member {
+            name: String::new(),
+            default: false,
+            skip_if: None,
+        };
         let mut first: Option<String> = None;
         let mut saw_colon = false;
         let mut ended = true;
@@ -80,8 +154,7 @@ fn parse_members(body: TokenStream) -> Result<Vec<String>, String> {
             match tt {
                 TokenTree::Punct(p) if p.as_char() == '#' => {}
                 TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket && first.is_none() => {
-                    // attribute body
-                    let _ = g;
+                    parse_serde_attr(g.stream(), &mut pending)?;
                 }
                 TokenTree::Punct(p) if p.as_char() == ',' => {
                     ended = false;
@@ -107,7 +180,8 @@ fn parse_members(body: TokenStream) -> Result<Vec<String>, String> {
             }
         }
         if let Some(f) = first {
-            members.push(f);
+            pending.name = f;
+            members.push(pending);
         }
         if ended {
             break;
@@ -121,20 +195,30 @@ fn compile_error(msg: &str) -> TokenStream {
 }
 
 /// Derive `serde::Serialize` (mini-serde: `to_value`).
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let out = match parse_shape(input) {
         Ok(Shape::Struct { name, fields }) => {
-            let pairs: String = fields
+            let pushes: String = fields
                 .iter()
                 .map(|f| {
-                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),")
+                    let fname = &f.name;
+                    let push = format!(
+                        "fields.push((\"{fname}\".to_string(), \
+                         ::serde::Serialize::to_value(&self.{fname})));"
+                    );
+                    match &f.skip_if {
+                        Some(pred) => format!("if !{pred}(&self.{fname}) {{ {push} }}\n"),
+                        None => format!("{push}\n"),
+                    }
                 })
                 .collect();
             format!(
                 "impl ::serde::Serialize for {name} {{\n\
                      fn to_value(&self) -> ::serde::Value {{\n\
-                         ::serde::Value::Object(vec![{pairs}])\n\
+                         let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(fields)\n\
                      }}\n\
                  }}"
             )
@@ -142,7 +226,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Ok(Shape::Enum { name, variants }) => {
             let arms: String = variants
                 .iter()
-                .map(|v| format!("{name}::{v} => \"{v}\","))
+                .map(|v| format!("{name}::{v} => \"{v}\",", v = v.name))
                 .collect();
             format!(
                 "impl ::serde::Serialize for {name} {{\n\
@@ -158,16 +242,26 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derive `serde::Deserialize` (mini-serde: `from_value`).
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let out = match parse_shape(input) {
         Ok(Shape::Struct { name, fields }) => {
             let inits: String = fields
                 .iter()
                 .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_value(v.get_field(\"{f}\")?)?,"
-                    )
+                    let fname = &f.name;
+                    if f.default {
+                        format!(
+                            "{fname}: match v.get(\"{fname}\") {{\n\
+                                 Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+                                 None => ::core::default::Default::default(),\n\
+                             }},"
+                        )
+                    } else {
+                        format!(
+                            "{fname}: ::serde::Deserialize::from_value(v.get_field(\"{fname}\")?)?,"
+                        )
+                    }
                 })
                 .collect();
             format!(
@@ -181,7 +275,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Ok(Shape::Enum { name, variants }) => {
             let arms: String = variants
                 .iter()
-                .map(|v| format!("\"{v}\" => Ok({name}::{v}),"))
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),", v = v.name))
                 .collect();
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\

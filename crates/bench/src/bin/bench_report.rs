@@ -45,6 +45,7 @@ use frostlab_core::fleet::FleetSpec;
 use frostlab_core::phases::PhaseTiming;
 use frostlab_core::ScenarioBuilder;
 use frostlab_ensemble::run_summary_sweep;
+use frostlab_obs::ObsConfig;
 
 /// Schema tag for the benchmark JSON.
 const SCHEMA: &str = "frostlab-bench-ensemble/v1";
@@ -84,8 +85,15 @@ struct HostsScaling {
     /// Fleet size (19 = the paper's own fleet).
     hosts: u32,
     /// Wall-clock of one simulated day, ms (single run — at 10,000 hosts
-    /// a rep loop would dominate the whole report's runtime).
+    /// a rep loop would dominate the whole report's runtime). The run is
+    /// instrumented (per-phase probes + the observatory armed), so this
+    /// is the *observed* campaign's wall-clock.
     campaign_day_ms: f64,
+    /// The observe phase's share of that day, ms. At 10,000 hosts this is
+    /// checked against the baseline's `observe_budget_10k_ms` — the
+    /// observatory must stay a footnote of the fleet scan, not a second
+    /// host-step.
+    observe_ms: f64,
     /// Pack-verify runs the fleet completed in that day.
     total_runs: u64,
 }
@@ -249,9 +257,13 @@ fn main() {
     // per-phase breakdown (median per phase). The timed reps below stay
     // probe-free so `campaign_week_ms` is comparable with pre-pipeline
     // baselines.
+    // The observatory is armed for the instrumented reps (only), so the
+    // `observe` phase shows up in the breakdown and can carry its own
+    // `phase_budget_ms` entry; the timed reps stay bare.
     let mut breakdown_runs = Vec::with_capacity(reps);
     for _ in 0..reps {
         let (results, timings) = ScenarioBuilder::paper(ExperimentConfig::short(1, 7))
+            .with_observability(ObsConfig::default())
             .with_timing()
             .build()
             .run_with_timings();
@@ -305,10 +317,18 @@ fn main() {
                 ..ExperimentConfig::short(42, 1)
             };
             let t = Instant::now();
-            let results = ScenarioBuilder::paper(cfg).build().run();
+            let (results, timings) = ScenarioBuilder::paper(cfg)
+                .with_observability(ObsConfig::default())
+                .with_timing()
+                .build()
+                .run_with_timings();
             HostsScaling {
                 hosts: if hosts == 0 { 19 } else { hosts },
                 campaign_day_ms: ms(t),
+                observe_ms: timings
+                    .iter()
+                    .find(|p| p.phase == "observe")
+                    .map_or(f64::NAN, |p| p.total_ms),
                 total_runs: results.workload.total_runs(),
             }
         })
@@ -404,7 +424,32 @@ fn main() {
         for line in &lines {
             eprintln!("bench_report: {line}");
         }
-        if regressed || phases_regressed {
+        // The observatory's scaling gate: at 10,000 hosts the observe
+        // phase must stay within its own committed budget. Baselines
+        // predating the observatory carry no `observe_budget_10k_ms` and
+        // skip the check.
+        let mut observe_regressed = false;
+        if let Some(budget) = baseline_metric(&baseline, "observe_budget_10k_ms") {
+            let measured = report
+                .hosts_scaling
+                .iter()
+                .find(|row| row.hosts == 10_000)
+                .map_or(f64::NAN, |row| row.observe_ms);
+            let ratio = measured / budget.max(1e-9);
+            let verdict = if !ratio.is_finite() || ratio > 1.0 + tolerance {
+                observe_regressed = true;
+                "REGRESSION"
+            } else if ratio < 1.0 - tolerance {
+                "improved (consider tightening the budget)"
+            } else {
+                "ok"
+            };
+            eprintln!(
+                "bench_report: observe@10k hosts: {measured:.2} ms vs budget \
+                 {budget:.2} ms ({ratio:.2}×) — {verdict}"
+            );
+        }
+        if regressed || phases_regressed || observe_regressed {
             eprintln!(
                 "bench_report: wall-clock regressed beyond ±{:.0}% of {baseline_path}",
                 tolerance * 100.0

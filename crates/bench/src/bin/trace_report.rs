@@ -79,6 +79,16 @@ fn main() {
         trace.dropped_events,
         results.workload.total_runs()
     );
+    if trace.dropped_events > 0 {
+        eprintln!(
+            "trace_report: WARNING: {} event(s) were dropped at the ring \
+             capacity — the jsonl/perfetto exports are incomplete (the \
+             `trace.dropped_events` counter in metrics.prom records the \
+             same tally); raise TraceConfig::max_events or pass \
+             --metrics-only if only the metrics matter",
+            trace.dropped_events
+        );
+    }
 
     std::fs::create_dir_all(&out_dir).expect("create output directory");
     let write = |name: &str, body: String| {

@@ -146,6 +146,12 @@ pub struct CampaignCtx {
     /// [`crate::scenario::ScenarioBuilder::with_tracing`] arms it. Draws
     /// no randomness, so arming it never perturbs any RNG stream.
     pub tracer: Tracer,
+    /// The fleet health observatory (rollups, SLO burn-rate alerting,
+    /// flight recorder). `None` by default — one branch per tick;
+    /// [`crate::scenario::ScenarioBuilder::with_observability`] arms it.
+    /// Boxed so the disabled campaign carries a single pointer. Like the
+    /// tracer, it draws no randomness and no wall-clock.
+    pub obs: Option<Box<frostlab_obs::ObsState>>,
 }
 
 impl CampaignCtx {
@@ -276,6 +282,7 @@ impl CampaignCtx {
             outside: Vec::new(),
             energy_true_wh: 0.0,
             tracer: Tracer::disabled(),
+            obs: None,
             cfg,
         }
     }
@@ -475,6 +482,11 @@ impl CampaignCtx {
 
     /// Freeze the campaign into [`ExperimentResults`].
     pub fn finish(self) -> ExperimentResults {
+        // The observatory flushes its rollup summary gauges into the
+        // tracer's labeled metric families, so it must freeze first.
+        let mut tracer = self.tracer;
+        let obs = self.obs.map(|o| o.finish(&mut tracer));
+
         // Clean the Lascar channels the way the authors did.
         let filter = SpikeFilter::default();
         let (lascar_temp, removed_t) = filter.clean(self.lascar.temperature());
@@ -530,7 +542,8 @@ impl CampaignCtx {
             stored_archives: self.stored_archives,
             tent_energy_metered_kwh: self.meter.energy_kwh(),
             tent_energy_true_kwh: self.energy_true_wh / 1000.0,
-            trace: self.tracer.finish(),
+            trace: tracer.finish(),
+            obs,
         }
     }
 }

@@ -1,25 +1,39 @@
-//! Tracing instrumentation for the phase pipeline.
+//! Observability instrumentation for the phase pipeline.
 //!
-//! Two pieces, both installed by
-//! [`crate::scenario::ScenarioBuilder::with_tracing`]:
+//! Three pieces, installed by the scenario builder:
 //!
 //! * [`TracePhaseProbe`] decorates each phase and emits one sim-time span
-//!   per step on a `phase/<name>` track;
+//!   per step on a `phase/<name>` track
+//!   ([`crate::scenario::ScenarioBuilder::with_tracing`]);
 //! * [`TraceSamplePhase`] runs after the substrate phases each tick and
 //!   samples the campaign state into the tracer's metrics registry
 //!   (gauges at tick boundaries, counters by delta) while draining the
 //!   append-only ledgers — collector history, healed gaps, fault events,
-//!   watchdog incidents — into trace events via cursors.
+//!   watchdog incidents — into trace events via cursors;
+//! * [`ObservePhase`] is the fleet health observatory's sampling phase
+//!   ([`crate::scenario::ScenarioBuilder::with_observability`]): it
+//!   subsumes the trace sampling and, in the *same* O(hosts) pass, feeds
+//!   the dimensional rollups, the SLO burn-rate engine and the incident
+//!   flight recorder in [`frostlab_obs::ObsState`]. SLO fires/resolves
+//!   are mirrored into the watchdog ledger as
+//!   [`IncidentKind::SloBreach`] incidents, so the alert timeline rides
+//!   the same deterministic bookkeeping as every other incident.
 //!
 //! Everything here reads state the campaign already maintains; nothing
-//! draws randomness or wall-clock, so arming tracing cannot perturb a
-//! single RNG stream or artifact byte (the golden-hash tests pin this).
+//! draws randomness or wall-clock, so arming tracing or observability
+//! cannot perturb a single RNG stream or artifact byte (the golden-hash
+//! tests pin this).
+
+use std::collections::BTreeMap;
 
 use frostlab_netsim::collector::{AttemptKind, CollectOutcome};
+use frostlab_obs::{FleetRollup, RollupDim, SloFeed};
 use frostlab_trace::FieldValue;
+use frostlab_workload::stats::Placement;
 
 use crate::context::CampaignCtx;
 use crate::phases::{PhaseTiming, TickPhase};
+use crate::watchdog::IncidentKind;
 
 /// Decorates a phase with a per-step sim-time span on `phase/<name>`.
 ///
@@ -60,23 +74,11 @@ impl TickPhase for TracePhaseProbe {
     }
 }
 
-/// Samples campaign state into the tracer once per tick, after the
-/// substrate phases have stepped.
-///
-/// Gauges snapshot the current tick (`tent.temp_c`, `tent.power_w`,
-/// `collector.gaps_open`, `fleet.hosts_up`, …); counters advance by delta
-/// against the campaign's own accumulators (`workload.runs_total`,
-/// `collector.attempts_total`, `faults.events_total`, …); and the
-/// append-only ledgers are drained through cursors into trace events —
-/// collection attempts and healed-gap spans (gated by
-/// `collection_events`), fault and incident instants (gated by
-/// `incident_events`).
-///
-/// `netsim.retransmits` counts the collector's backoff-driven catch-up
-/// attempts — the campaign-level analog of transport retransmission,
-/// since the collection pipeline models loss at attempt granularity
-/// rather than per frame.
-pub struct TraceSamplePhase {
+/// The per-tick trace-sampling state machine shared by
+/// [`TraceSamplePhase`] and [`ObservePhase`]: gauge snapshots, counter
+/// deltas, and the cursors that drain the campaign's append-only ledgers
+/// into trace events exactly once each.
+struct TraceCursors {
     collection_cursor: usize,
     gap_cursor: usize,
     fault_cursor: usize,
@@ -87,10 +89,9 @@ pub struct TraceSamplePhase {
     registered: bool,
 }
 
-impl TraceSamplePhase {
-    /// A fresh sampler (all cursors at zero).
-    pub fn new() -> TraceSamplePhase {
-        TraceSamplePhase {
+impl TraceCursors {
+    fn new() -> TraceCursors {
+        TraceCursors {
             collection_cursor: 0,
             gap_cursor: 0,
             fault_cursor: 0,
@@ -101,20 +102,11 @@ impl TraceSamplePhase {
             registered: false,
         }
     }
-}
 
-impl Default for TraceSamplePhase {
-    fn default() -> Self {
-        TraceSamplePhase::new()
-    }
-}
-
-impl TickPhase for TraceSamplePhase {
-    fn name(&self) -> &str {
-        "trace-sample"
-    }
-
-    fn step(&mut self, ctx: &mut CampaignCtx) {
+    /// Sample one tick into the tracer. `hosts_up` is the
+    /// installed-and-running count the caller already computed in its
+    /// O(hosts) pass. No-op while the tracer is disabled.
+    fn sample(&mut self, ctx: &mut CampaignCtx, hosts_up: usize) {
         if !ctx.tracer.is_enabled() {
             return;
         }
@@ -125,7 +117,6 @@ impl TickPhase for TraceSamplePhase {
                 .register_histogram("tent.power_w_dist", 0.0, 25.0, 80);
             self.registered = true;
         }
-        let t = ctx.now;
 
         // Environment and fleet gauges, at the tick boundary.
         ctx.tracer
@@ -140,9 +131,6 @@ impl TickPhase for TraceSamplePhase {
             .gauge_set("collector.gaps_open", ctx.collector.open_retries() as f64);
         ctx.tracer
             .gauge_set("watchdog.open_incidents", ctx.watchdog.open_count() as f64);
-        let hosts_up = (0..ctx.fleet.len())
-            .filter(|&i| ctx.fleet.installed(i, t) && ctx.fleet.hw.is_running(i))
-            .count();
         ctx.tracer.gauge_set("fleet.hosts_up", hosts_up as f64);
         ctx.tracer
             .gauge_set("workload.archives_stored", ctx.stored_archives.len() as f64);
@@ -286,11 +274,298 @@ impl TickPhase for TraceSamplePhase {
     }
 }
 
+/// Samples campaign state into the tracer once per tick, after the
+/// substrate phases have stepped.
+///
+/// Gauges snapshot the current tick (`tent.temp_c`, `tent.power_w`,
+/// `collector.gaps_open`, `fleet.hosts_up`, …); counters advance by delta
+/// against the campaign's own accumulators (`workload.runs_total`,
+/// `collector.attempts_total`, `faults.events_total`, …); and the
+/// append-only ledgers are drained through cursors into trace events —
+/// collection attempts and healed-gap spans (gated by
+/// `collection_events`), fault and incident instants (gated by
+/// `incident_events`).
+///
+/// `netsim.retransmits` counts the collector's backoff-driven catch-up
+/// attempts — the campaign-level analog of transport retransmission,
+/// since the collection pipeline models loss at attempt granularity
+/// rather than per frame.
+///
+/// When a scenario arms observability, [`ObservePhase`] replaces this
+/// phase and performs the same sampling inside its own fleet scan.
+pub struct TraceSamplePhase {
+    cursors: TraceCursors,
+}
+
+impl TraceSamplePhase {
+    /// A fresh sampler (all cursors at zero).
+    pub fn new() -> TraceSamplePhase {
+        TraceSamplePhase {
+            cursors: TraceCursors::new(),
+        }
+    }
+}
+
+impl Default for TraceSamplePhase {
+    fn default() -> Self {
+        TraceSamplePhase::new()
+    }
+}
+
+impl TickPhase for TraceSamplePhase {
+    fn name(&self) -> &str {
+        "trace-sample"
+    }
+
+    fn step(&mut self, ctx: &mut CampaignCtx) {
+        if !ctx.tracer.is_enabled() {
+            return;
+        }
+        let t = ctx.now;
+        let hosts_up = (0..ctx.fleet.len())
+            .filter(|&i| ctx.fleet.installed(i, t) && ctx.fleet.hw.is_running(i))
+            .count();
+        self.cursors.sample(ctx, hosts_up);
+    }
+}
+
+/// Cached per-host dense bucket indices for the three rollup dimensions.
+/// Built once on the observatory's first armed tick; the hot loop then
+/// pushes plain `usize`s — no string hashing per host per tick, keeping
+/// rollup memory and per-tick work O(label cardinality) + O(hosts).
+struct RollupCaches {
+    zone_bucket: Vec<u32>,
+    vendor_bucket: Vec<u8>,
+    placement_bucket: Vec<u8>,
+}
+
+impl RollupCaches {
+    /// Derive the label universe from the fleet and build the index
+    /// caches plus the matching [`FleetRollup`] dimensions.
+    ///
+    /// Zone labels incorporate placement (`tent-0`, `basement-2`) since
+    /// tent zone 0 and basement zone 0 are distinct enclosures sharing a
+    /// zone number. Vendor labels are the paper's `A`/`B`/`C`; placement
+    /// labels are `tent`/`basement`.
+    fn build(ctx: &CampaignCtx) -> (RollupCaches, FleetRollup) {
+        let fleet = &ctx.fleet;
+        // Dense zone bucket ids in label order: BTreeMap gives a stable,
+        // deterministic ordering over (placement, zone).
+        let mut zone_ids: BTreeMap<(u8, u32), u32> = BTreeMap::new();
+        for i in 0..fleet.len() {
+            let key = (placement_bucket(fleet.placement[i]), fleet.zone[i]);
+            let next = zone_ids.len() as u32;
+            zone_ids.entry(key).or_insert(next);
+        }
+        let mut zone_labels = vec![String::new(); zone_ids.len()];
+        for (&(p, z), &idx) in &zone_ids {
+            let place = if p == 0 { "tent" } else { "basement" };
+            zone_labels[idx as usize] = format!("{place}-{z}");
+        }
+
+        let mut caches = RollupCaches {
+            zone_bucket: Vec::with_capacity(fleet.len()),
+            vendor_bucket: Vec::with_capacity(fleet.len()),
+            placement_bucket: Vec::with_capacity(fleet.len()),
+        };
+        for i in 0..fleet.len() {
+            let key = (placement_bucket(fleet.placement[i]), fleet.zone[i]);
+            caches.zone_bucket.push(zone_ids[&key]);
+            caches.vendor_bucket.push(match fleet.plans[i].vendor {
+                frostlab_hardware::server::Vendor::A => 0,
+                frostlab_hardware::server::Vendor::B => 1,
+                frostlab_hardware::server::Vendor::C => 2,
+            });
+            caches
+                .placement_bucket
+                .push(placement_bucket(fleet.placement[i]));
+        }
+
+        let rollup = FleetRollup::new(vec![
+            RollupDim::new("zone", zone_labels),
+            RollupDim::new(
+                "vendor",
+                vec!["A".to_string(), "B".to_string(), "C".to_string()],
+            ),
+            RollupDim::new(
+                "placement",
+                vec!["tent".to_string(), "basement".to_string()],
+            ),
+        ]);
+        (caches, rollup)
+    }
+}
+
+fn placement_bucket(p: Placement) -> u8 {
+    match p {
+        Placement::Tent => 0,
+        Placement::Basement => 1,
+    }
+}
+
+/// The observatory's sampling phase: one O(hosts) fleet scan per tick
+/// that feeds the tracer's metric registry (everything
+/// [`TraceSamplePhase`] samples), the dimensional rollups, the SLO
+/// burn-rate engine and the incident flight recorder.
+///
+/// Installed by [`crate::scenario::ScenarioBuilder::with_observability`],
+/// *replacing* any `trace-sample` phase so the campaign never samples
+/// twice. Inert (one branch) when neither the tracer nor the observatory
+/// is armed.
+pub struct ObservePhase {
+    cursors: TraceCursors,
+    caches: Option<RollupCaches>,
+    slo_runs_seen: u64,
+    slo_bad_seen: usize,
+    resets_seen: u64,
+    flight_incident_cursor: usize,
+}
+
+impl ObservePhase {
+    /// A fresh observer (all cursors at zero, caches unbuilt).
+    pub fn new() -> ObservePhase {
+        ObservePhase {
+            cursors: TraceCursors::new(),
+            caches: None,
+            slo_runs_seen: 0,
+            slo_bad_seen: 0,
+            resets_seen: 0,
+            flight_incident_cursor: 0,
+        }
+    }
+}
+
+impl Default for ObservePhase {
+    fn default() -> Self {
+        ObservePhase::new()
+    }
+}
+
+impl TickPhase for ObservePhase {
+    fn name(&self) -> &str {
+        "observe"
+    }
+
+    fn step(&mut self, ctx: &mut CampaignCtx) {
+        if !ctx.tracer.is_enabled() && ctx.obs.is_none() {
+            return;
+        }
+        // Take the observatory out of the context so the scan below can
+        // borrow fleet columns and the tracer disjointly; restored at the
+        // end of the step.
+        let mut obs = ctx.obs.take();
+        let t = ctx.now;
+
+        if let Some(o) = obs.as_deref_mut() {
+            if o.rollups_enabled() && self.caches.is_none() {
+                let (caches, rollup) = RollupCaches::build(ctx);
+                o.init_rollup(rollup);
+                self.caches = Some(caches);
+            }
+        }
+
+        // The single O(hosts) pass: hosts-up census, reset totals, and
+        // the per-host rollup pushes through the cached bucket indices.
+        let mut hosts_up = 0usize;
+        let mut resets_total = 0u64;
+        let mut rollup = obs
+            .as_deref_mut()
+            .and_then(|o| o.rollup_mut())
+            .zip(self.caches.as_ref());
+        for i in 0..ctx.fleet.len() {
+            resets_total += u64::from(ctx.fleet.records[i].reset_count());
+            if !(ctx.fleet.installed(i, t) && ctx.fleet.hw.is_running(i)) {
+                continue;
+            }
+            hosts_up += 1;
+            if let Some((rollup, caches)) = rollup.as_mut() {
+                let temp = ctx.fleet.cpu_temp_c[i];
+                let power = ctx.fleet.last_wall_w[i];
+                rollup.dims[0].push(caches.zone_bucket[i] as usize, temp, power);
+                rollup.dims[1].push(usize::from(caches.vendor_bucket[i]), temp, power);
+                rollup.dims[2].push(usize::from(caches.placement_bucket[i]), temp, power);
+            }
+        }
+
+        // Trace sampling (gauges, counters, ledger cursors) — exactly
+        // what the stand-alone trace-sample phase does.
+        self.cursors.sample(ctx, hosts_up);
+
+        if let Some(o) = obs.as_deref_mut() {
+            // Feed this tick's observations into the SLO engine.
+            let runs = ctx.workload.total_runs();
+            let bad = ctx.workload.hash_errors().len();
+            let feed = SloFeed {
+                runs_delta: runs - self.slo_runs_seen,
+                bad_hash_delta: (bad - self.slo_bad_seen) as u64,
+                open_gaps: ctx.collector.open_retries() as f64,
+                dew_margin_min_c: dew_margin_min_c(ctx),
+                resets_delta: resets_total - self.resets_seen,
+            };
+            self.slo_runs_seen = runs;
+            self.slo_bad_seen = bad;
+            self.resets_seen = resets_total;
+            let events = o.slo_step(t, &feed);
+
+            // Mirror fires/resolves into the watchdog incident ledger —
+            // the alert timeline rides the same deterministic
+            // bookkeeping as every other incident.
+            for ev in &events {
+                let subject = format!("slo/{}", ev.slo);
+                if ev.fired {
+                    ctx.watchdog.open(IncidentKind::SloBreach, &subject, ev.at);
+                } else {
+                    ctx.watchdog.resolve(&subject, ev.at, "burn rate recovered");
+                }
+            }
+
+            // Flight recorder: tail the trace buffer first so this
+            // tick's events are in the rings, then snapshot for every
+            // non-SLO incident opened since last tick and every alert
+            // fire (SLO incidents are skipped to avoid double dumps).
+            o.flight_mut().ingest(ctx.tracer.events());
+            let incidents = ctx.watchdog.incidents();
+            for inc in &incidents[self.flight_incident_cursor..] {
+                if !matches!(inc.kind, IncidentKind::SloBreach) {
+                    o.flight_mut().snapshot(
+                        &format!("incident/{}/{}", inc.kind.name(), inc.subject),
+                        inc.started,
+                    );
+                }
+            }
+            self.flight_incident_cursor = incidents.len();
+            for ev in &events {
+                if ev.fired {
+                    o.flight_mut().snapshot(&format!("alert/{}", ev.slo), ev.at);
+                }
+            }
+        }
+
+        ctx.obs = obs;
+    }
+}
+
+/// Minimum (air temperature − dew point) across the tent zones, °C —
+/// the condensation guard the `dew-point-margin` SLO watches.
+/// `f64::INFINITY` when there are no tent zones.
+fn dew_margin_min_c(ctx: &CampaignCtx) -> f64 {
+    let mut min = f64::INFINITY;
+    for s in &ctx.tent_zone_states {
+        let margin =
+            s.air_temp_c - frostlab_climate::psychro::dew_point_c(s.air_temp_c, s.air_rh_pct);
+        if margin < min {
+            min = margin;
+        }
+    }
+    min
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::ExperimentConfig;
     use crate::phases::WeatherPhase;
+    use frostlab_obs::{ObsConfig, ObsState};
     use frostlab_simkern::time::SimDuration;
     use frostlab_trace::{TraceConfig, Tracer};
 
@@ -340,5 +615,73 @@ mod tests {
             .collect();
         assert_eq!(spans.len(), 3);
         assert!(spans.iter().all(|e| e.end.is_some()));
+    }
+
+    #[test]
+    fn observe_phase_is_inert_when_nothing_is_armed() {
+        let cfg = ExperimentConfig::short(1, 2);
+        let mut ctx = CampaignCtx::new(cfg);
+        let mut phase = ObservePhase::new();
+        phase.step(&mut ctx);
+        assert_eq!(ctx.tracer.events_recorded(), 0);
+        assert!(ctx.obs.is_none());
+    }
+
+    #[test]
+    fn observe_phase_builds_rollup_dims_from_the_fleet() {
+        let cfg = ExperimentConfig::short(1, 2);
+        let mut ctx = CampaignCtx::new(cfg);
+        ctx.obs = Some(Box::new(ObsState::new(&ObsConfig::default(), ctx.cfg.tick)));
+        let mut phase = ObservePhase::new();
+        phase.step(&mut ctx);
+        let mut tracer = Tracer::disabled();
+        let obs = ctx.obs.take().expect("restored").finish(&mut tracer);
+        let rollup = obs.rollup.expect("rollups default on");
+        let dims: Vec<&str> = rollup.dims.iter().map(|d| d.dim.as_str()).collect();
+        assert_eq!(dims, ["zone", "vendor", "placement"]);
+        // The paper fleet: one tent zone, one basement zone.
+        let zone_labels: Vec<&str> = rollup.dims[0]
+            .buckets
+            .iter()
+            .map(|b| b.label.as_str())
+            .collect();
+        assert_eq!(zone_labels, ["tent-0", "basement-0"]);
+        let vendor_labels: Vec<&str> = rollup.dims[1]
+            .buckets
+            .iter()
+            .map(|b| b.label.as_str())
+            .collect();
+        assert_eq!(vendor_labels, ["A", "B", "C"]);
+        // No host has booted yet (no host-step phase ran), so every
+        // bucket exists but none has folded a sample.
+        assert!(rollup.dims[2].buckets.iter().all(|b| b.samples == 0));
+    }
+
+    #[test]
+    fn observe_phase_matches_trace_sample_metrics_exactly() {
+        // The observatory's merged scan must sample the tracer exactly
+        // as the stand-alone trace-sample phase does.
+        let run = |observed: bool| {
+            let cfg = ExperimentConfig::short(1, 2);
+            let start = cfg.start;
+            let mut ctx = CampaignCtx::new(cfg);
+            ctx.tracer = Tracer::enabled(TraceConfig::default(), start);
+            if observed {
+                let mut phase = ObservePhase::new();
+                for _ in 0..5 {
+                    phase.step(&mut ctx);
+                    ctx.now += SimDuration::minutes(1);
+                }
+            } else {
+                let mut phase = TraceSamplePhase::new();
+                for _ in 0..5 {
+                    phase.step(&mut ctx);
+                    ctx.now += SimDuration::minutes(1);
+                }
+            }
+            let trace = ctx.tracer.finish().expect("enabled");
+            frostlab_trace::export::to_prometheus(&trace.metrics)
+        };
+        assert_eq!(run(false), run(true));
     }
 }

@@ -8,6 +8,7 @@ use frostlab_faults::repair::Disposition;
 use frostlab_faults::types::FaultEvent;
 use frostlab_hardware::server::Vendor;
 use frostlab_netsim::collector::{AttemptKind, CollectRecord, CollectionGap};
+use frostlab_obs::CampaignObs;
 use frostlab_simkern::time::SimTime;
 use frostlab_trace::CampaignTrace;
 
@@ -107,6 +108,10 @@ pub struct ExperimentResults {
     /// The campaign's frozen trace, if the scenario enabled tracing
     /// (`None` for the default no-op tracer).
     pub trace: Option<CampaignTrace>,
+    /// The campaign's frozen observability record — alert timeline,
+    /// SLO attainment, rollup report and flight dumps — if the scenario
+    /// armed the observatory (`None` otherwise).
+    pub obs: Option<CampaignObs>,
 }
 
 impl ExperimentResults {

@@ -24,11 +24,12 @@
 //! `enclosure-thermal`, `logger-poll`, `script`, `host-step`,
 //! `collection`, `power-integration`.
 
+use frostlab_obs::{ObsConfig, ObsState};
 use frostlab_trace::{TraceConfig, Tracer};
 
 use crate::config::ExperimentConfig;
 use crate::context::CampaignCtx;
-use crate::observe::{TracePhaseProbe, TraceSamplePhase};
+use crate::observe::{ObservePhase, TracePhaseProbe, TraceSamplePhase};
 use crate::phases::{
     CollectionPhase, EnclosureThermalPhase, HostStepPhase, LoggerPollPhase, PhaseTiming,
     PowerIntegrationPhase, ScriptPhase, TickPhase, TimingProbe, WeatherPhase,
@@ -180,12 +181,49 @@ impl ScenarioBuilder {
     /// byte-identical across runs and ensemble thread counts.
     pub fn with_tracing(mut self, cfg: TraceConfig) -> ScenarioBuilder {
         self.ctx.tracer = Tracer::enabled(cfg, self.ctx.cfg.start);
+        // The sampling phases (`trace-sample`, `observe`) are never
+        // span-probed themselves — they read state, they aren't
+        // substrate work — which also keeps the trace byte-identical
+        // whichever order tracing and observability are armed in.
         self.phases = self
             .phases
             .into_iter()
-            .map(|p| Box::new(TracePhaseProbe::new(p)) as Box<dyn TickPhase>)
+            .map(|p| {
+                if p.name() == "observe" || p.name() == "trace-sample" {
+                    p
+                } else {
+                    Box::new(TracePhaseProbe::new(p)) as Box<dyn TickPhase>
+                }
+            })
             .collect();
-        self.phases.push(Box::new(TraceSamplePhase::new()));
+        // A pipeline that already carries the observatory's sampling
+        // phase must not sample twice: `observe` subsumes `trace-sample`.
+        if !self.phases.iter().any(|p| p.name() == "observe") {
+            self.phases.push(Box::new(TraceSamplePhase::new()));
+        }
+        self
+    }
+
+    /// Arm the fleet health observatory: dimensional rollups, SLO
+    /// burn-rate alerting and the incident flight recorder (see
+    /// [`frostlab_obs::ObsConfig`]). An [`ObservePhase`] joins the
+    /// pipeline — *replacing* any `trace-sample` phase, since it performs
+    /// the same trace sampling inside its own O(hosts) fleet scan — and
+    /// the finished run carries the frozen record in
+    /// [`ExperimentResults::obs`].
+    ///
+    /// Composes with [`ScenarioBuilder::with_tracing`] in either order;
+    /// call it *before* [`ScenarioBuilder::with_timing`] so the observe
+    /// phase is metered too. Like tracing, observability draws no
+    /// randomness and no wall-clock, so the campaign's physics and every
+    /// golden artifact stay byte-identical.
+    pub fn with_observability(mut self, cfg: ObsConfig) -> ScenarioBuilder {
+        self.ctx.obs = Some(Box::new(ObsState::new(&cfg, self.ctx.cfg.tick)));
+        if let Some(idx) = self.phases.iter().position(|p| p.name() == "trace-sample") {
+            self.phases[idx] = Box::new(ObservePhase::new());
+        } else if !self.phases.iter().any(|p| p.name() == "observe") {
+            self.phases.push(Box::new(ObservePhase::new()));
+        }
         self
     }
 
@@ -429,6 +467,90 @@ mod tests {
         let mut expected: Vec<&str> = STOCK.to_vec();
         expected.push("trace-sample");
         assert_eq!(names, expected);
+    }
+
+    #[test]
+    fn with_observability_records_obs_without_changing_physics() {
+        use frostlab_obs::ObsConfig;
+        let plain = ScenarioBuilder::paper(ExperimentConfig::short(3, 2))
+            .build()
+            .run();
+        let observed = ScenarioBuilder::paper(ExperimentConfig::short(3, 2))
+            .with_observability(ObsConfig::default())
+            .build()
+            .run();
+        assert!(plain.obs.is_none(), "observability is off by default");
+        let obs = observed.obs.expect("observatory was armed");
+        assert_eq!(plain.workload.total_runs(), observed.workload.total_runs());
+        assert_eq!(plain.tent_temp_truth, observed.tent_temp_truth);
+        assert_eq!(plain.tent_energy_true_kwh, observed.tent_energy_true_kwh);
+        // The paper's four SLOs were evaluated, in spec order.
+        let slos: Vec<&str> = obs.slos.iter().map(|s| s.slo.as_str()).collect();
+        assert_eq!(
+            slos,
+            [
+                "corruption-rate",
+                "collection-staleness",
+                "dew-point-margin",
+                "host-reset-rate"
+            ]
+        );
+        // Rollups cover the fleet's three dimensions.
+        let rollup = obs.rollup.expect("rollups default on");
+        assert_eq!(rollup.dims.len(), 3);
+        // The incident ledger may gain slo-breach mirrors; everything
+        // else must match the plain run exactly.
+        let non_slo: Vec<_> = observed
+            .incidents
+            .iter()
+            .filter(|i| !matches!(i.kind, crate::watchdog::IncidentKind::SloBreach))
+            .cloned()
+            .collect();
+        assert_eq!(non_slo, plain.incidents);
+        // Every alert fire in the timeline has a matching slo/ incident.
+        for a in obs.alerts.iter().filter(|a| a.action == "fire") {
+            assert!(
+                observed
+                    .incidents
+                    .iter()
+                    .any(|i| i.subject == format!("slo/{}", a.slo)),
+                "alert {} missing from the watchdog ledger",
+                a.slo
+            );
+        }
+    }
+
+    #[test]
+    fn observability_composes_with_tracing_in_either_order() {
+        use frostlab_obs::ObsConfig;
+        use frostlab_trace::TraceConfig;
+        let obs_then_trace = ScenarioBuilder::paper(ExperimentConfig::short(5, 1))
+            .with_observability(ObsConfig::default())
+            .with_tracing(TraceConfig::default());
+        let trace_then_obs = ScenarioBuilder::paper(ExperimentConfig::short(5, 1))
+            .with_tracing(TraceConfig::default())
+            .with_observability(ObsConfig::default());
+        for b in [&obs_then_trace, &trace_then_obs] {
+            let names = b.phase_names();
+            assert_eq!(
+                names.iter().filter(|n| n.as_str() == "observe").count(),
+                1,
+                "{names:?}"
+            );
+            assert!(
+                !names.iter().any(|n| n == "trace-sample"),
+                "observe subsumes trace-sample: {names:?}"
+            );
+        }
+        // Both orders produce identical traces and obs records.
+        let a = obs_then_trace.build().run();
+        let b = trace_then_obs.build().run();
+        assert_eq!(a.obs, b.obs);
+        let (ta, tb) = (a.trace.expect("traced"), b.trace.expect("traced"));
+        assert_eq!(
+            frostlab_trace::export::to_prometheus(&ta.metrics),
+            frostlab_trace::export::to_prometheus(&tb.metrics)
+        );
     }
 
     #[test]

@@ -103,12 +103,24 @@ pub struct ScenarioSpec {
     /// content hash.
     #[serde(default, skip_serializing_if = "is_zero")]
     pub hosts: u32,
+    /// Arm the fleet health observatory (rollups, the paper's four SLOs,
+    /// flight recorder — [`frostlab_obs::ObsConfig::default`]). Skipped
+    /// from the canonical JSON when false so every pre-existing spec
+    /// keeps its content hash.
+    #[serde(default, skip_serializing_if = "is_false")]
+    pub observe: bool,
 }
 
 /// `skip_serializing_if` helper: the paper-fleet default stays out of the
 /// canonical JSON.
 fn is_zero(n: &u32) -> bool {
     *n == 0
+}
+
+/// `skip_serializing_if` helper: the observatory-off default stays out of
+/// the canonical JSON.
+fn is_false(b: &bool) -> bool {
+    !*b
 }
 
 impl ScenarioSpec {
@@ -122,6 +134,7 @@ impl ScenarioSpec {
             force_ecc: false,
             poison: false,
             hosts: 0,
+            observe: false,
         }
     }
 
@@ -157,9 +170,13 @@ impl ScenarioSpec {
     }
 
     /// Build the runnable campaign for `seed`: the stock paper pipeline,
-    /// plus the poison phase when [`ScenarioSpec::poison`] is set.
+    /// plus the observatory when [`ScenarioSpec::observe`] is set and the
+    /// poison phase when [`ScenarioSpec::poison`] is set.
     pub fn build(&self, seed: u64) -> Result<Scenario, SpecError> {
         let mut b = ScenarioBuilder::paper(self.to_config(seed)?);
+        if self.observe {
+            b = b.with_observability(frostlab_obs::ObsConfig::default());
+        }
         if self.poison {
             b = b.push(Box::new(PanicPhase::after_ticks(POISON_PANIC_TICK)));
         }
@@ -463,6 +480,40 @@ mod tests {
             big.content_hash().expect("hashes"),
             "fleet size is part of the job identity"
         );
+    }
+
+    #[test]
+    fn observe_flag_stays_out_of_legacy_hashes_and_arms_the_observatory() {
+        // A non-observed job must hash exactly as it did before the knob
+        // existed.
+        let plain = JobSpec {
+            scenario: ScenarioSpec::new("helsinki", 2, "helsinki"),
+            seed: 10,
+        };
+        let json = serde_json::to_string(&plain).expect("serializes");
+        assert!(!json.contains("observe"), "false stays out of JSON");
+        // A legacy manifest (no `observe` key) parses to false.
+        let legacy = r#"{"scenario":{"name":"x","days":2,"climate":"helsinki",
+            "chaos":false,"force_ecc":false,"poison":false},"seed":1}"#;
+        let back: JobSpec = serde_json::from_str(legacy).expect("legacy parses");
+        assert!(!back.scenario.observe);
+        // Setting it changes the job identity and arms the observatory.
+        let mut spec = ScenarioSpec::new("helsinki", 2, "helsinki");
+        spec.observe = true;
+        let observed = JobSpec {
+            scenario: spec.clone(),
+            seed: 10,
+        };
+        assert_ne!(
+            plain.content_hash().expect("hashes"),
+            observed.content_hash().expect("hashes"),
+            "observability is part of the job identity"
+        );
+        let mut short = spec.clone();
+        short.days = 1;
+        let results = short.build(3).expect("valid").run();
+        let obs = results.obs.expect("observe flag arms the observatory");
+        assert_eq!(obs.slos.len(), 4);
     }
 
     #[test]

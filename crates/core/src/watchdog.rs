@@ -33,6 +33,9 @@ pub enum IncidentKind {
     /// A farm job exhausted its retry budget and was quarantined
     /// (`frostlab-farm`'s poison-job policy; never raised in-campaign).
     JobQuarantine,
+    /// An SLO's multi-window burn rate breached its thresholds
+    /// (`frostlab-obs`; subject is `slo/<name>`).
+    SloBreach,
 }
 
 impl IncidentKind {
@@ -44,6 +47,7 @@ impl IncidentKind {
             IncidentKind::SensorFault => "sensor-fault",
             IncidentKind::CollectionStale => "collection-stale",
             IncidentKind::JobQuarantine => "job-quarantine",
+            IncidentKind::SloBreach => "slo-breach",
         }
     }
 }

@@ -31,11 +31,13 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod alerts;
 pub mod engine;
 pub mod metrics;
 pub mod report;
 
 pub use aggregate::{CampaignAggregate, EnsembleSummary};
+pub use alerts::{EnsembleAlerts, SeedAlerts};
 pub use engine::Ensemble;
 pub use metrics::{EnsembleMetrics, GaugeAggregate, MetricsAggregate};
 
@@ -43,6 +45,7 @@ use frostlab_core::config::ExperimentConfig;
 use frostlab_core::results::CampaignSummary;
 use frostlab_core::scenario::ScenarioBuilder;
 use frostlab_core::spec::{MatrixSpec, SpecError};
+use frostlab_obs::ObsConfig;
 use frostlab_trace::TraceConfig;
 
 /// Run `campaigns` experiments for the contiguous seed range starting at
@@ -138,4 +141,65 @@ where
         },
     );
     (agg.finish(seed_start, used), metrics.finish(seed_start))
+}
+
+/// Like [`run_traced_sweep`], but every campaign also arms the fleet
+/// health observatory: alongside the summary and the (label-aware)
+/// metrics report, per-seed alert timelines and SLO attainment fold
+/// into an [`EnsembleAlerts`] report **in seed order**.
+///
+/// Flight dumps and rollup reports stay per-campaign — the worker drops
+/// them after projection, so the sweep's memory is O(alerts), not
+/// O(campaigns × dumps). All three returned reports are byte-identical
+/// for any `threads` value; the `obs-determinism` CI job diffs the
+/// alerts report (and the digests derived from it) at 1 vs 4 threads.
+pub fn run_observed_sweep<C>(
+    seed_start: u64,
+    campaigns: u64,
+    threads: usize,
+    trace: TraceConfig,
+    obs: ObsConfig,
+    make_config: C,
+) -> (EnsembleSummary, EnsembleMetrics, EnsembleAlerts)
+where
+    C: Fn(u64) -> ExperimentConfig + Sync,
+{
+    let ensemble = Ensemble::new(campaigns).threads(threads);
+    let used = ensemble.effective_threads();
+    let mut agg = CampaignAggregate::new();
+    let mut metrics = MetricsAggregate::new();
+    let mut alerts = EnsembleAlerts::new(seed_start);
+    ensemble.run_scenarios(
+        |i| {
+            ScenarioBuilder::paper(make_config(seed_start + i))
+                .with_tracing(trace)
+                .with_observability(obs.clone())
+                .build()
+        },
+        |r| {
+            let seed_alerts = r
+                .obs
+                .as_ref()
+                .map(|o| alerts::SeedAlerts::from_obs(r.seed, o));
+            (
+                r.summary(),
+                r.trace.as_ref().map(|t| t.metrics.clone()),
+                seed_alerts,
+            )
+        },
+        |_, (s, m, a)| {
+            agg.absorb(&s);
+            if let Some(m) = m {
+                metrics.absorb(&m);
+            }
+            if let Some(a) = a {
+                alerts.absorb(a);
+            }
+        },
+    );
+    (
+        agg.finish(seed_start, used),
+        metrics.finish(seed_start),
+        alerts,
+    )
 }

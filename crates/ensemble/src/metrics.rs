@@ -3,14 +3,18 @@
 //! The traced-sweep analog of [`crate::aggregate`]: each campaign's
 //! [`MetricsSnapshot`] is absorbed in seed order — counters sum, gauges
 //! fold into Welford moments and min/max, histograms merge bin-wise — so
-//! an N-campaign sweep keeps O(metrics) state, not O(N) snapshots. The
-//! frozen [`EnsembleMetrics`] is serializable and contains no execution
-//! metadata, so its JSON is directly diffable across thread counts.
+//! an N-campaign sweep keeps O(metrics) state, not O(N) snapshots.
+//! Series are keyed by the full [`MetricKey`] (name **and** labels), so
+//! an observed sweep's dimensional rollup families (`fleet.cpu_temp_c`
+//! per zone/vendor/placement) fold series-wise rather than collapsing
+//! into one blurred family. The frozen [`EnsembleMetrics`] is
+//! serializable and contains no execution metadata, so its JSON is
+//! directly diffable across thread counts.
 
 use std::collections::BTreeMap;
 
 use frostlab_analysis::stats::{Histogram, MinMax, Welford};
-use frostlab_trace::{CounterSample, HistogramSample, MetricsSnapshot};
+use frostlab_trace::{CounterSample, HistogramSample, MetricKey, MetricsSnapshot};
 
 /// Schema tag embedded in every serialized ensemble metrics report.
 pub const METRICS_SCHEMA: &str = "frostlab-ensemble-metrics/v1";
@@ -26,9 +30,9 @@ struct HistAcc {
 #[derive(Debug, Clone, Default)]
 pub struct MetricsAggregate {
     n: u64,
-    counters: BTreeMap<String, u64>,
-    gauges: BTreeMap<String, (Welford, MinMax)>,
-    histograms: BTreeMap<String, HistAcc>,
+    counters: BTreeMap<MetricKey, u64>,
+    gauges: BTreeMap<MetricKey, (Welford, MinMax)>,
+    histograms: BTreeMap<MetricKey, HistAcc>,
 }
 
 impl MetricsAggregate {
@@ -50,16 +54,20 @@ impl MetricsAggregate {
     /// never touched a metric simply contributes nothing to it.
     pub fn absorb(&mut self, snapshot: &MetricsSnapshot) {
         self.n += 1;
+        let key = |name: &str, labels: &[(String, String)]| MetricKey {
+            name: name.to_string(),
+            labels: labels.to_vec(),
+        };
         for c in &snapshot.counters {
-            *self.counters.entry(c.name.clone()).or_insert(0) += c.value;
+            *self.counters.entry(key(&c.name, &c.labels)).or_insert(0) += c.value;
         }
         for g in &snapshot.gauges {
-            let (w, mm) = self.gauges.entry(g.name.clone()).or_default();
+            let (w, mm) = self.gauges.entry(key(&g.name, &g.labels)).or_default();
             w.push(g.value);
             mm.push(g.value);
         }
         for h in &snapshot.histograms {
-            match self.histograms.get_mut(&h.name) {
+            match self.histograms.get_mut(&key(&h.name, &h.labels)) {
                 Some(acc) => {
                     acc.hist.merge(&h.to_histogram());
                     acc.sum += h.sum;
@@ -67,7 +75,7 @@ impl MetricsAggregate {
                 }
                 None => {
                     self.histograms.insert(
-                        h.name.clone(),
+                        key(&h.name, &h.labels),
                         HistAcc {
                             hist: h.to_histogram(),
                             sum: h.sum,
@@ -89,16 +97,18 @@ impl MetricsAggregate {
             counters: self
                 .counters
                 .iter()
-                .map(|(name, &value)| CounterSample {
-                    name: name.clone(),
+                .map(|(key, &value)| CounterSample {
+                    name: key.name.clone(),
+                    labels: key.labels.clone(),
                     value,
                 })
                 .collect(),
             gauges: self
                 .gauges
                 .iter()
-                .map(|(name, (w, mm))| GaugeAggregate {
-                    name: name.clone(),
+                .map(|(key, (w, mm))| GaugeAggregate {
+                    name: key.name.clone(),
+                    labels: key.labels.clone(),
                     mean: f(w.mean()),
                     min: f(mm.min()),
                     max: f(mm.max()),
@@ -107,8 +117,9 @@ impl MetricsAggregate {
             histograms: self
                 .histograms
                 .iter()
-                .map(|(name, acc)| HistogramSample {
-                    name: name.clone(),
+                .map(|(key, acc)| HistogramSample {
+                    name: key.name.clone(),
+                    labels: key.labels.clone(),
                     min: acc.hist.min,
                     width: acc.hist.width,
                     counts: acc.hist.counts.clone(),
@@ -122,12 +133,21 @@ impl MetricsAggregate {
     }
 }
 
+/// `skip_serializing_if` helper: flat series keep their pre-label JSON.
+fn no_labels(labels: &[(String, String)]) -> bool {
+    labels.is_empty()
+}
+
 /// One gauge folded across an ensemble: mean of the campaigns' final
 /// values, plus the range.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct GaugeAggregate {
     /// Metric name.
     pub name: String,
+    /// Ordered label pairs (empty and unserialized for flat metrics, so
+    /// pre-label reports keep their exact JSON bytes).
+    #[serde(default, skip_serializing_if = "no_labels")]
+    pub labels: Vec<(String, String)>,
     /// Mean of per-campaign final values.
     pub mean: f64,
     /// Smallest per-campaign final value.
@@ -204,6 +224,44 @@ mod tests {
         let back: EnsembleMetrics = serde_json::from_str(&json).expect("valid");
         assert_eq!(back, frozen);
         assert_eq!(back.schema, METRICS_SCHEMA);
+    }
+
+    #[test]
+    fn labeled_series_fold_per_series_not_per_family() {
+        let mut agg = MetricsAggregate::new();
+        for s in 0..3u64 {
+            let mut reg = MetricsRegistry::new();
+            reg.counter_add_labeled("fleet.resets", &[("zone", "0")], 1);
+            reg.counter_add_labeled("fleet.resets", &[("zone", "1")], 10);
+            reg.gauge_set_labeled("fleet.cpu_temp_c", &[("zone", "0")], -5.0 - s as f64);
+            reg.gauge_set_labeled("fleet.cpu_temp_c", &[("zone", "1")], 30.0);
+            agg.absorb(&reg.snapshot());
+        }
+        let frozen = agg.finish(0);
+        // Two distinct counter series, each summed across campaigns.
+        assert_eq!(frozen.counters.len(), 2);
+        assert_eq!(frozen.counters[0].labels, vec![("zone".into(), "0".into())]);
+        assert_eq!(frozen.counters[0].value, 3);
+        assert_eq!(frozen.counters[1].value, 30);
+        // Per-series gauge folds: zone 0 spans its own range, zone 1 is flat.
+        assert_eq!(frozen.gauges[0].min, -7.0);
+        assert_eq!(frozen.gauges[0].max, -5.0);
+        assert_eq!(frozen.gauges[1].min, 30.0);
+        assert_eq!(frozen.gauges[1].max, 30.0);
+        let json = frozen.to_json().expect("plain data");
+        let back: EnsembleMetrics = serde_json::from_str(&json).expect("valid");
+        assert_eq!(back, frozen);
+    }
+
+    #[test]
+    fn flat_report_json_has_no_labels_key() {
+        let mut agg = MetricsAggregate::new();
+        agg.absorb(&snapshot(0));
+        let json = agg.finish(0).to_json().expect("plain data");
+        assert!(
+            !json.contains("labels"),
+            "flat reports keep their pre-label JSON shape"
+        );
     }
 
     #[test]

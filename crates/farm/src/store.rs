@@ -16,10 +16,15 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use frostlab_core::results::CampaignSummary;
+use frostlab_ensemble::SeedAlerts;
 
 use crate::error::FarmError;
 
-/// A directory of `<key>.json` campaign summaries.
+/// A directory of `<key>.json` campaign summaries, with optional
+/// `<key>.alerts.json` sidecars holding each observed job's alert
+/// timeline and SLO attainment. A worker writes the sidecar **before**
+/// the summary, so (with the summary-before-WAL rule) a visible summary
+/// for an observed job always has its alerts alongside it.
 #[derive(Debug, Clone)]
 pub struct ResultStore {
     root: PathBuf,
@@ -63,14 +68,41 @@ impl ResultStore {
         Ok(())
     }
 
-    /// Number of intact entries in the store.
+    /// Path of the alerts sidecar for `key`.
+    pub fn alerts_path(&self, key: &str) -> PathBuf {
+        self.root.join(format!("{key}.alerts.json"))
+    }
+
+    /// Fetch the alerts sidecar stored under `key`, if an intact one
+    /// exists. Same read-as-absent contract as [`ResultStore::get`].
+    pub fn get_alerts(&self, key: &str) -> Option<SeedAlerts> {
+        let text = fs::read_to_string(self.alerts_path(key)).ok()?;
+        serde_json::from_str(&text).ok()
+    }
+
+    /// Store an observed job's alert view under `key` atomically. Called
+    /// **before** [`ResultStore::put`] so the summary's presence implies
+    /// the sidecar's.
+    pub fn put_alerts(&self, key: &str, worker: u64, alerts: &SeedAlerts) -> Result<(), FarmError> {
+        let json = serde_json::to_string(alerts)?;
+        let tmp = self.root.join(format!(".tmp-{worker}-{key}.alerts"));
+        fs::write(&tmp, json.as_bytes())?;
+        fs::rename(&tmp, self.alerts_path(key))?;
+        Ok(())
+    }
+
+    /// Number of intact summary entries in the store (alerts sidecars
+    /// are companions of their summary, not entries of their own).
     pub fn len(&self) -> Result<usize, FarmError> {
         let mut n = 0;
         for entry in fs::read_dir(&self.root)? {
             let entry = entry?;
             let name = entry.file_name();
             let name = name.to_string_lossy();
-            if name.ends_with(".json") && !name.starts_with(".tmp-") {
+            if name.ends_with(".json")
+                && !name.ends_with(".alerts.json")
+                && !name.starts_with(".tmp-")
+            {
                 n += 1;
             }
         }
@@ -130,6 +162,25 @@ mod tests {
         let (dir, store) = tmp_store("tmpcount");
         fs::write(dir.join(".tmp-3-dead"), b"partial").expect("write tmp");
         assert!(store.is_empty().unwrap());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn alerts_sidecars_round_trip_and_do_not_count_as_entries() {
+        let (dir, store) = tmp_store("alerts");
+        let alerts = SeedAlerts {
+            seed: 7,
+            alerts: Vec::new(),
+            slos: Vec::new(),
+        };
+        store.put_alerts("00ff", 0, &alerts).expect("put alerts");
+        assert_eq!(store.get_alerts("00ff").expect("present").seed, 7);
+        assert!(store.get_alerts("beef").is_none());
+        // The sidecar alone is not a summary entry.
+        assert!(store.is_empty().unwrap());
+        assert!(!store.contains("00ff"));
+        store.put("00ff", 0, &tiny_summary()).expect("put");
+        assert_eq!(store.len().unwrap(), 1);
         fs::remove_dir_all(&dir).ok();
     }
 }

@@ -8,7 +8,9 @@
 //! ├── manifest.json    # the submitted MatrixSpec (immutable after submit)
 //! ├── wal.log          # append-only, checksummed queue history
 //! ├── store/           # content-addressed results: <fnv1a-key>.json
+//! │                    #   (+ <key>.alerts.json sidecars for observed jobs)
 //! ├── merged.json      # invariant-form EnsembleSummary (once settled)
+//! ├── alerts.json      # merged EnsembleAlerts (once settled, observed jobs only)
 //! └── incidents.json   # quarantine incident records (if any)
 //! ```
 //!
@@ -38,7 +40,7 @@ use std::time::Duration;
 
 use frostlab_core::watchdog::{IncidentKind, IncidentRecord};
 use frostlab_core::{JobSpec, MatrixSpec};
-use frostlab_ensemble::{CampaignAggregate, EnsembleSummary};
+use frostlab_ensemble::{CampaignAggregate, EnsembleAlerts, EnsembleSummary, SeedAlerts};
 use frostlab_trace::export::to_prometheus;
 use frostlab_trace::MetricsRegistry;
 
@@ -56,6 +58,8 @@ pub const WAL_FILE: &str = "wal.log";
 pub const STORE_DIR: &str = "store";
 /// File name of the merged, invariant-form ensemble summary.
 pub const MERGED_FILE: &str = "merged.json";
+/// File name of the merged per-seed alert report (observed jobs only).
+pub const ALERTS_FILE: &str = "alerts.json";
 /// File name of the quarantine incident log.
 pub const INCIDENTS_FILE: &str = "incidents.json";
 
@@ -269,14 +273,26 @@ impl Farm {
         }
         // Self-heal the inverse crash window: a WAL `complete` whose store
         // entry vanished. Should not happen (store lands first), but a
-        // deleted store file must re-queue, not wedge the merge.
+        // deleted store file must re-queue, not wedge the merge. An
+        // observed job with its summary intact but its alerts sidecar
+        // gone is the same wound: the merged alert report would silently
+        // lose a seed, so it re-runs too.
         for idx in 0..self.jobs.len() {
-            if self.state.jobs[idx].status == JobStatus::Done
-                && !self.store.contains(&self.keys[idx])
+            if self.state.jobs[idx].status != JobStatus::Done {
+                continue;
+            }
+            let reason = if !self.store.contains(&self.keys[idx]) {
+                Some("completed result missing from store")
+            } else if self.jobs[idx].scenario.observe
+                && self.store.get_alerts(&self.keys[idx]).is_none()
             {
+                Some("observed job missing its alerts sidecar")
+            } else {
+                None
+            };
+            if let Some(reason) = reason {
                 self.state.jobs[idx].status = JobStatus::Pending;
-                let rec =
-                    WalRecord::requeue(epoch, idx as u64, "completed result missing from store");
+                let rec = WalRecord::requeue(epoch, idx as u64, reason);
                 self.wal_append(&rec)?;
             }
         }
@@ -432,6 +448,12 @@ impl Farm {
                 self.dir.join(MERGED_FILE),
                 format!("{}\n", merged.invariant_json()?),
             )?;
+            if let Some(alerts) = self.merge_alerts()? {
+                fs::write(
+                    self.dir.join(ALERTS_FILE),
+                    format!("{}\n", alerts.to_json()?),
+                )?;
+            }
         }
 
         let mut metrics = MetricsRegistry::new();
@@ -482,6 +504,43 @@ impl Farm {
         Ok(agg.finish(self.matrix.seed_start, workers))
     }
 
+    /// Fold every observed job's stored alerts sidecar, in manifest job
+    /// order, into one [`EnsembleAlerts`] report — the same per-seed fold
+    /// [`frostlab_ensemble::run_observed_sweep`] performs in-process, so
+    /// the two are byte-comparable at any worker count. Returns `None`
+    /// when no job in the matrix armed observability. Like
+    /// [`Farm::merge`], quarantined jobs are excluded and non-terminal
+    /// jobs are an error; an observed `Done` job missing its sidecar is
+    /// a [`FarmError::MissingResult`] (the run-time self-heal re-queues
+    /// that wound before it can get here).
+    pub fn merge_alerts(&self) -> Result<Option<EnsembleAlerts>, FarmError> {
+        if !self.jobs.iter().any(|j| j.scenario.observe) {
+            return Ok(None);
+        }
+        let mut agg = EnsembleAlerts::new(self.matrix.seed_start);
+        for (idx, key) in self.keys.iter().enumerate() {
+            if !self.jobs[idx].scenario.observe {
+                continue;
+            }
+            match self.state.jobs[idx].status {
+                JobStatus::Done => {
+                    let alerts = self
+                        .store
+                        .get_alerts(key)
+                        .ok_or_else(|| FarmError::MissingResult(format!("{key} (alerts)")))?;
+                    agg.absorb(alerts);
+                }
+                JobStatus::Quarantined => {}
+                JobStatus::Pending | JobStatus::Leased => {
+                    return Err(FarmError::MissingResult(format!(
+                        "job {idx} ({key}) is not terminal; run the farm to completion first"
+                    )));
+                }
+            }
+        }
+        Ok(Some(agg))
+    }
+
     fn wal_append(&self, record: &WalRecord) -> Result<(), FarmError> {
         lock(&self.wal).append(record)
     }
@@ -514,8 +573,10 @@ enum JobOutcome {
     Quarantined,
 }
 
-/// Lease, run (or cache-serve), and record one job. Store write happens
-/// strictly before the WAL `complete` append — the crash-safety pivot.
+/// Lease, run (or cache-serve), and record one job. Store writes happen
+/// strictly before the WAL `complete` append — the crash-safety pivot —
+/// and for an observed job the alerts sidecar lands strictly before the
+/// summary, so a visible summary always has its alerts alongside it.
 #[allow(clippy::too_many_arguments)]
 fn process_job(
     epoch: u64,
@@ -531,18 +592,28 @@ fn process_job(
 ) -> Result<JobOutcome, FarmError> {
     lock(wal).append(&WalRecord::lease(epoch, worker, job))?;
 
-    if store.contains(key) {
+    let cache_complete =
+        store.contains(key) && (!spec.scenario.observe || store.get_alerts(key).is_some());
+    if cache_complete {
         lock(wal).append(&WalRecord::complete(epoch, worker, job, true))?;
         return Ok(JobOutcome::Cached);
     }
 
     let attempt_result = catch_unwind(AssertUnwindSafe(|| {
-        spec.scenario
-            .build(spec.seed)
-            .map(|scenario| scenario.run().summary())
+        spec.scenario.build(spec.seed).map(|scenario| {
+            let results = scenario.run();
+            let alerts = results
+                .obs
+                .as_ref()
+                .map(|o| SeedAlerts::from_obs(results.seed, o));
+            (results.summary(), alerts)
+        })
     }));
     let note = match attempt_result {
-        Ok(Ok(summary)) => {
+        Ok(Ok((summary, alerts))) => {
+            if let Some(alerts) = &alerts {
+                store.put_alerts(key, worker, alerts)?;
+            }
             store.put(key, worker, &summary)?;
             lock(wal).append(&WalRecord::complete(epoch, worker, job, false))?;
             return Ok(JobOutcome::Ran);

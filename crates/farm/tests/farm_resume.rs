@@ -7,8 +7,8 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use frostlab_core::{MatrixSpec, ScenarioSpec};
-use frostlab_ensemble::run_matrix_sweep;
-use frostlab_farm::supervisor::{INCIDENTS_FILE, MERGED_FILE, STORE_DIR, WAL_FILE};
+use frostlab_ensemble::{run_matrix_sweep, EnsembleAlerts};
+use frostlab_farm::supervisor::{ALERTS_FILE, INCIDENTS_FILE, MERGED_FILE, STORE_DIR, WAL_FILE};
 use frostlab_farm::wal::MAGIC;
 use frostlab_farm::{Farm, FarmError, RunOptions, Wal, WalRecord};
 
@@ -159,6 +159,76 @@ fn poison_jobs_are_quarantined_without_wedging_the_queue() -> Result<(), FarmErr
     assert_eq!(again.jobs_run, 0);
     assert_eq!(again.jobs_quarantined, 0);
     assert!(again.settled);
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}
+
+#[test]
+fn observed_jobs_write_alert_sidecars_and_a_merged_report() -> Result<(), FarmError> {
+    let mut observed = ScenarioSpec::new("helsinki+obs", 2, "helsinki");
+    observed.observe = true;
+    let matrix = MatrixSpec {
+        scenarios: vec![ScenarioSpec::new("helsinki", 2, "helsinki"), observed],
+        seed_start: 0,
+        seeds: 2,
+    };
+
+    let mut merged_alerts: Vec<String> = Vec::new();
+    for workers in [1usize, 2] {
+        let dir = scratch(&format!("obs{workers}"));
+        let mut farm = Farm::submit(&dir, &matrix)?;
+        assert!(farm.run(quiet(workers))?.settled);
+
+        // Only the observed scenario's jobs carry sidecars; the merged
+        // report folds exactly those, in manifest job (seed) order.
+        let sidecars = std::fs::read_dir(dir.join(STORE_DIR))?
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .ends_with(".alerts.json")
+            })
+            .count();
+        assert_eq!(sidecars, 2, "one sidecar per observed job");
+        let text = std::fs::read_to_string(dir.join(ALERTS_FILE))?;
+        let report: EnsembleAlerts = serde_json::from_str(&text).expect("valid report");
+        assert_eq!(report.campaigns, 2);
+        let seeds: Vec<u64> = report.per_seed.iter().map(|s| s.seed).collect();
+        assert_eq!(seeds, vec![0, 1]);
+        assert!(
+            report.per_seed.iter().all(|s| s.slos.len() == 4),
+            "every observed seed reports the four paper SLOs"
+        );
+        merged_alerts.push(text);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    assert_eq!(
+        merged_alerts[0], merged_alerts[1],
+        "alerts.json must be byte-identical across worker counts"
+    );
+
+    // A deleted sidecar is a healed wound, not a silent hole: exactly
+    // that job re-runs on resume and the report comes back identical.
+    let dir = scratch("obs-heal");
+    let mut farm = Farm::submit(&dir, &matrix)?;
+    assert!(farm.run(quiet(2))?.settled);
+    drop(farm);
+    let victim = std::fs::read_dir(dir.join(STORE_DIR))?
+        .map(|e| e.expect("entry").path())
+        .find(|p| p.to_string_lossy().ends_with(".alerts.json"))
+        .expect("a sidecar exists");
+    std::fs::remove_file(&victim)?;
+    let mut farm = Farm::open(&dir)?;
+    let outcome = farm.run(quiet(2))?;
+    assert!(outcome.settled);
+    assert_eq!(outcome.jobs_run, 1, "only the wounded observed job re-runs");
+    assert_eq!(outcome.jobs_cached, 0);
+    assert_eq!(
+        std::fs::read_to_string(dir.join(ALERTS_FILE))?,
+        merged_alerts[0],
+        "healed alerts.json must be byte-identical"
+    );
     std::fs::remove_dir_all(&dir).ok();
     Ok(())
 }

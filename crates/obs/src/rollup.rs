@@ -1,0 +1,214 @@
+//! Dimensional streaming rollups.
+//!
+//! A rollup dimension is a named label key (`zone`, `vendor`,
+//! `placement`) with a fixed set of bucket labels. Each bucket folds the
+//! per-host samples it receives through streaming accumulators from
+//! [`frostlab_analysis::stats`], so memory is **O(label cardinality)**
+//! regardless of fleet size or campaign length — the rule that keeps a
+//! 10,000-host, multi-month campaign's observe phase flat.
+//!
+//! The hot path is index-based: the observe phase caches a per-host
+//! bucket index once and calls [`RollupDim::push`] with plain `usize`s —
+//! no string hashing per host per tick. Label strings appear only at
+//! the edges: dimension construction and the end-of-campaign
+//! [`FleetRollup::report`] / [`FleetRollup::flush_into`].
+
+use frostlab_analysis::stats::{MinMax, Welford};
+use frostlab_trace::Tracer;
+
+/// One bucket's streaming accumulators.
+#[derive(Debug, Clone, Default)]
+pub struct BucketAcc {
+    /// Case-temperature distribution (°C).
+    pub temp: Welford,
+    /// Case-temperature extremes (°C).
+    pub temp_range: MinMax,
+    /// Wall-power distribution (W).
+    pub power: Welford,
+}
+
+/// A labeled dimension: `name` is the label key, bucket `i` carries
+/// label `labels[i]`.
+#[derive(Debug, Clone)]
+pub struct RollupDim {
+    /// Label key (`zone`, `vendor`, `placement`).
+    pub name: String,
+    /// Bucket labels, index-aligned with `buckets`.
+    pub labels: Vec<String>,
+    /// Streaming accumulators per bucket.
+    pub buckets: Vec<BucketAcc>,
+}
+
+impl RollupDim {
+    /// A dimension with one empty accumulator per label.
+    pub fn new(name: &str, labels: Vec<String>) -> RollupDim {
+        let buckets = vec![BucketAcc::default(); labels.len()];
+        RollupDim {
+            name: name.to_string(),
+            labels,
+            buckets,
+        }
+    }
+
+    /// Fold one host-sample into bucket `idx`. Out-of-range indices are
+    /// a caller bug; panicking here (via indexing) keeps it loud.
+    #[inline]
+    pub fn push(&mut self, idx: usize, temp_c: f64, power_w: f64) {
+        let b = &mut self.buckets[idx];
+        b.temp.push(temp_c);
+        b.temp_range.push(temp_c);
+        b.power.push(power_w);
+    }
+}
+
+/// The campaign's rollup set — typically three dimensions (zone,
+/// vendor, placement), built by the observe phase on first tick.
+#[derive(Debug, Clone)]
+pub struct FleetRollup {
+    /// The dimensions, in construction order.
+    pub dims: Vec<RollupDim>,
+}
+
+impl FleetRollup {
+    /// Wrap a set of dimensions.
+    pub fn new(dims: Vec<RollupDim>) -> FleetRollup {
+        FleetRollup { dims }
+    }
+
+    /// Flush one summary gauge family per statistic into the tracer's
+    /// labeled metrics (`zone.temp_mean_c{zone="z3"}`, …). Called once
+    /// at campaign end — label strings are only touched here.
+    pub fn flush_into(&self, tracer: &mut Tracer) {
+        for dim in &self.dims {
+            for (label, b) in dim.labels.iter().zip(&dim.buckets) {
+                if b.temp.count() == 0 {
+                    continue;
+                }
+                let labels = [(dim.name.as_str(), label.as_str())];
+                if let Some(mean) = b.temp.mean() {
+                    tracer.gauge_set_labeled(&format!("{}.temp_mean_c", dim.name), &labels, mean);
+                }
+                if let (Some(min), Some(max)) = (b.temp_range.min(), b.temp_range.max()) {
+                    tracer.gauge_set_labeled(&format!("{}.temp_min_c", dim.name), &labels, min);
+                    tracer.gauge_set_labeled(&format!("{}.temp_max_c", dim.name), &labels, max);
+                }
+                if let Some(mean) = b.power.mean() {
+                    tracer.gauge_set_labeled(&format!("{}.power_mean_w", dim.name), &labels, mean);
+                }
+            }
+        }
+    }
+
+    /// Project into the serializable end-of-campaign report.
+    pub fn report(&self) -> RollupReport {
+        RollupReport {
+            dims: self
+                .dims
+                .iter()
+                .map(|dim| DimReport {
+                    dim: dim.name.clone(),
+                    buckets: dim
+                        .labels
+                        .iter()
+                        .zip(&dim.buckets)
+                        .map(|(label, b)| BucketSummary {
+                            label: label.clone(),
+                            samples: b.temp.count(),
+                            temp_mean_c: b.temp.mean(),
+                            temp_min_c: b.temp_range.min(),
+                            temp_max_c: b.temp_range.max(),
+                            temp_std_c: b.temp.std_dev(),
+                            power_mean_w: b.power.mean(),
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Serializable rollup report: one entry per dimension.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RollupReport {
+    /// Per-dimension summaries, in construction order.
+    pub dims: Vec<DimReport>,
+}
+
+/// One dimension's summary.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DimReport {
+    /// Label key.
+    pub dim: String,
+    /// Per-bucket summaries, in label order.
+    pub buckets: Vec<BucketSummary>,
+}
+
+/// One bucket's end-of-campaign statistics. `None` fields mean the
+/// bucket never received a sample (e.g. an empty zone).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BucketSummary {
+    /// The bucket's label value.
+    pub label: String,
+    /// Host-samples folded into this bucket.
+    pub samples: u64,
+    /// Mean case temperature (°C).
+    pub temp_mean_c: Option<f64>,
+    /// Minimum case temperature (°C).
+    pub temp_min_c: Option<f64>,
+    /// Maximum case temperature (°C).
+    pub temp_max_c: Option<f64>,
+    /// Case-temperature standard deviation (°C).
+    pub temp_std_c: Option<f64>,
+    /// Mean wall power (W).
+    pub power_mean_w: Option<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_zone_rollup() -> FleetRollup {
+        let mut dim = RollupDim::new("zone", vec!["z0".to_string(), "z1".to_string()]);
+        dim.push(0, -10.0, 40.0);
+        dim.push(0, -6.0, 42.0);
+        dim.push(1, 5.0, 60.0);
+        FleetRollup::new(vec![dim])
+    }
+
+    #[test]
+    fn buckets_fold_independently() {
+        let r = two_zone_rollup().report();
+        let z0 = &r.dims[0].buckets[0];
+        let z1 = &r.dims[0].buckets[1];
+        assert_eq!(z0.samples, 2);
+        assert_eq!(z0.temp_mean_c, Some(-8.0));
+        assert_eq!(z0.temp_min_c, Some(-10.0));
+        assert_eq!(z0.temp_max_c, Some(-6.0));
+        assert_eq!(z0.power_mean_w, Some(41.0));
+        assert_eq!(z1.samples, 1);
+        assert_eq!(z1.temp_mean_c, Some(5.0));
+    }
+
+    #[test]
+    fn empty_buckets_report_none_and_flush_nothing() {
+        let dim = RollupDim::new("vendor", vec!["A".to_string()]);
+        let r = FleetRollup::new(vec![dim]);
+        let report = r.report();
+        assert_eq!(report.dims[0].buckets[0].samples, 0);
+        assert_eq!(report.dims[0].buckets[0].temp_mean_c, None);
+        let mut tracer = Tracer::enabled(
+            frostlab_trace::TraceConfig::metrics_only(),
+            frostlab_simkern::time::SimTime::ZERO,
+        );
+        r.flush_into(&mut tracer);
+        assert!(tracer.finish().expect("enabled").metrics.gauges.is_empty());
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = two_zone_rollup().report();
+        let json = serde_json::to_string(&report).expect("plain data");
+        let back: RollupReport = serde_json::from_str(&json).expect("round trip");
+        assert_eq!(back, report);
+    }
+}

@@ -22,7 +22,7 @@
 use frostlab_simkern::rng::Rng;
 use frostlab_simkern::time::{SimDuration, SimTime};
 
-use crate::series::TimeSeries;
+use crate::series::{SeriesError, TimeSeries};
 
 /// Datasheet-derived configuration.
 #[derive(Debug, Clone)]
@@ -148,10 +148,18 @@ impl LascarLogger {
     }
 
     /// If a sample is due at or before `t`, record it. `tent_temp`/`tent_rh`
-    /// are the enclosure's current true air state.
-    pub fn poll(&mut self, t: SimTime, tent_temp: f64, tent_rh: f64) -> bool {
+    /// are the enclosure's current true air state. Returns whether a sample
+    /// was taken; surfaces the series' ordering error instead of panicking
+    /// (the logger's own clock only moves forward, so an error here means a
+    /// caller rewound time on a shared series).
+    pub fn try_poll(
+        &mut self,
+        t: SimTime,
+        tent_temp: f64,
+        tent_rh: f64,
+    ) -> Result<bool, SeriesError> {
         if t < self.next_due || self.since_readout >= self.config.capacity {
-            return false;
+            return Ok(false);
         }
         self.since_readout += 1;
         let sample_t = self.next_due;
@@ -186,9 +194,15 @@ impl LascarLogger {
                 self.config.rh_err_max_pct,
             )
             .clamp(0.0, 100.0);
-        self.temp.push(sample_t, temp);
-        self.rh.push(sample_t, rh);
-        true
+        self.temp.try_push(sample_t, temp)?;
+        self.rh.try_push(sample_t, rh)?;
+        Ok(true)
+    }
+
+    /// [`try_poll`](Self::try_poll), panicking on a series ordering error.
+    pub fn poll(&mut self, t: SimTime, tent_temp: f64, tent_rh: f64) -> bool {
+        self.try_poll(t, tent_temp, tent_rh)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The logged temperature series (what the USB readout produces).
@@ -297,6 +311,15 @@ mod tests {
             l.poll(SimTime::from_secs(i * 300), 0.0, 50.0);
         }
         assert_eq!(l.temperature().len(), 10);
+    }
+
+    #[test]
+    fn try_poll_mirrors_poll() {
+        let mut l = logger(0);
+        assert_eq!(l.try_poll(SimTime::from_secs(0), -5.0, 60.0), Ok(true));
+        // Not due again for 5 minutes.
+        assert_eq!(l.try_poll(SimTime::from_secs(60), -5.0, 60.0), Ok(false));
+        assert_eq!(l.temperature().len(), 1);
     }
 
     #[test]

@@ -34,5 +34,5 @@ pub mod technoline;
 pub mod webcam;
 
 pub use lascar::{LascarConfig, LascarLogger};
-pub use series::TimeSeries;
+pub use series::{SeriesError, TimeSeries};
 pub use technoline::CostControlMeter;

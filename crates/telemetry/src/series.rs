@@ -7,6 +7,33 @@
 
 use frostlab_simkern::time::{SimDuration, SimTime};
 
+/// Errors from series construction and resampling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesError {
+    /// A sample's timestamp was not strictly after the previous one.
+    NonMonotonic {
+        /// The rejected sample's timestamp.
+        t: SimTime,
+        /// The series' current last timestamp.
+        last: SimTime,
+    },
+    /// A resampling bucket of zero width.
+    ZeroBucket,
+}
+
+impl std::fmt::Display for SeriesError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SeriesError::NonMonotonic { t, last } => {
+                write!(f, "non-monotonic sample at {t:?} after {last:?}")
+            }
+            SeriesError::ZeroBucket => write!(f, "bucket must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for SeriesError {}
+
 /// One sampled channel.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TimeSeries {
@@ -19,15 +46,23 @@ impl TimeSeries {
         Self::default()
     }
 
+    /// Append a sample, rejecting out-of-order timestamps.
+    pub fn try_push(&mut self, t: SimTime, value: f64) -> Result<(), SeriesError> {
+        if let Some(&(last, _)) = self.points.last() {
+            if t <= last {
+                return Err(SeriesError::NonMonotonic { t, last });
+            }
+        }
+        self.points.push((t, value));
+        Ok(())
+    }
+
     /// Append a sample.
     ///
     /// # Panics
     /// Panics if `t` is not strictly after the previous sample.
     pub fn push(&mut self, t: SimTime, value: f64) {
-        if let Some(&(last, _)) = self.points.last() {
-            assert!(t > last, "non-monotonic sample at {t:?} after {last:?}");
-        }
-        self.points.push((t, value));
+        self.try_push(t, value).unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Number of samples.
@@ -115,8 +150,11 @@ impl TimeSeries {
 
     /// Downsample by averaging into fixed buckets of width `bucket`,
     /// timestamped at the bucket start. Empty buckets are skipped.
-    pub fn resample_mean(&self, bucket: SimDuration) -> TimeSeries {
-        assert!(bucket.as_secs() > 0, "bucket must be positive");
+    /// Rejects a zero-width bucket.
+    pub fn try_resample_mean(&self, bucket: SimDuration) -> Result<TimeSeries, SeriesError> {
+        if bucket.as_secs() <= 0 {
+            return Err(SeriesError::ZeroBucket);
+        }
         let mut out = TimeSeries::new();
         let mut i = 0;
         while i < self.points.len() {
@@ -133,16 +171,35 @@ impl TimeSeries {
             }
             out.push(bucket_start, sum / n as f64);
         }
-        out
+        Ok(out)
+    }
+
+    /// Downsample by averaging into fixed buckets of width `bucket`.
+    ///
+    /// # Panics
+    /// Panics if `bucket` is zero.
+    pub fn resample_mean(&self, bucket: SimDuration) -> TimeSeries {
+        self.try_resample_mean(bucket)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Build from an iterator of points, rejecting out-of-order timestamps.
+    pub fn try_from_points(
+        points: impl IntoIterator<Item = (SimTime, f64)>,
+    ) -> Result<TimeSeries, SeriesError> {
+        let mut s = TimeSeries::new();
+        for (t, v) in points {
+            s.try_push(t, v)?;
+        }
+        Ok(s)
     }
 
     /// Build from an iterator of points (must be strictly increasing).
+    ///
+    /// # Panics
+    /// Panics if any timestamp is not strictly after its predecessor.
     pub fn from_points(points: impl IntoIterator<Item = (SimTime, f64)>) -> TimeSeries {
-        let mut s = TimeSeries::new();
-        for (t, v) in points {
-            s.push(t, v);
-        }
-        s
+        Self::try_from_points(points).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Keep only the samples for which `keep` returns true.
@@ -197,6 +254,47 @@ mod tests {
         let mut s = TimeSeries::new();
         s.push(t(100), 1.0);
         s.push(t(100), 2.0);
+    }
+
+    #[test]
+    fn try_push_reports_the_offending_timestamps() {
+        let mut s = TimeSeries::new();
+        assert_eq!(s.try_push(t(100), 1.0), Ok(()));
+        assert_eq!(
+            s.try_push(t(50), 2.0),
+            Err(SeriesError::NonMonotonic {
+                t: t(50),
+                last: t(100)
+            })
+        );
+        // The failed push left the series untouched.
+        assert_eq!(s.len(), 1);
+        let msg = s.try_push(t(100), 2.0).unwrap_err().to_string();
+        assert!(msg.contains("non-monotonic"), "{msg}");
+    }
+
+    #[test]
+    fn try_from_points_surfaces_the_first_bad_sample() {
+        let err =
+            TimeSeries::try_from_points([(t(0), 1.0), (t(600), 2.0), (t(300), 3.0)]).unwrap_err();
+        assert_eq!(
+            err,
+            SeriesError::NonMonotonic {
+                t: t(300),
+                last: t(600)
+            }
+        );
+    }
+
+    #[test]
+    fn try_resample_mean_rejects_zero_bucket() {
+        let s = sample();
+        assert_eq!(
+            s.try_resample_mean(SimDuration::ZERO).unwrap_err(),
+            SeriesError::ZeroBucket
+        );
+        let ok = s.try_resample_mean(SimDuration::minutes(30)).unwrap();
+        assert_eq!(ok.len(), 4);
     }
 
     #[test]

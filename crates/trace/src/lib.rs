@@ -41,5 +41,7 @@ pub mod metrics;
 pub mod tracer;
 
 pub use event::{FieldValue, TraceEvent};
-pub use metrics::{CounterSample, GaugeSample, HistogramSample, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{
+    CounterSample, GaugeSample, HistogramSample, MetricKey, MetricsRegistry, MetricsSnapshot,
+};
 pub use tracer::{CampaignTrace, TraceConfig, Tracer};

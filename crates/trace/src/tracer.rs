@@ -191,10 +191,27 @@ impl Tracer {
         }
     }
 
+    /// Add to a labeled counter series (no-op when disabled or `delta == 0`).
+    pub fn counter_add_labeled(&mut self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        if delta == 0 {
+            return;
+        }
+        if let Some(buf) = self.inner.as_mut() {
+            buf.metrics.counter_add_labeled(name, labels, delta);
+        }
+    }
+
     /// Set a gauge metric (no-op when disabled).
     pub fn gauge_set(&mut self, name: &str, value: f64) {
         if let Some(buf) = self.inner.as_mut() {
             buf.metrics.gauge_set(name, value);
+        }
+    }
+
+    /// Set a labeled gauge series (no-op when disabled).
+    pub fn gauge_set_labeled(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        if let Some(buf) = self.inner.as_mut() {
+            buf.metrics.gauge_set_labeled(name, labels, value);
         }
     }
 
@@ -205,10 +222,33 @@ impl Tracer {
         }
     }
 
+    /// Register a labeled histogram series (no-op when disabled).
+    pub fn register_histogram_labeled(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        min: f64,
+        width: f64,
+        bins: usize,
+    ) {
+        if let Some(buf) = self.inner.as_mut() {
+            buf.metrics
+                .register_histogram_labeled(name, labels, min, width, bins);
+        }
+    }
+
     /// Feed a registered histogram (no-op when disabled or unregistered).
     pub fn observe(&mut self, name: &str, value: f64) {
         if let Some(buf) = self.inner.as_mut() {
             buf.metrics.observe(name, value);
+        }
+    }
+
+    /// Feed a registered labeled histogram series (no-op when disabled
+    /// or unregistered).
+    pub fn observe_labeled(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        if let Some(buf) = self.inner.as_mut() {
+            buf.metrics.observe_labeled(name, labels, value);
         }
     }
 
@@ -217,13 +257,26 @@ impl Tracer {
         self.inner.as_ref().map_or(0, |b| b.events.len())
     }
 
+    /// The buffered event stream, in emission order (empty when
+    /// disabled). The flight recorder tails this with a cursor each tick.
+    pub fn events(&self) -> &[TraceEvent] {
+        self.inner.as_ref().map_or(&[], |b| &b.events)
+    }
+
     /// Freeze into the campaign's trace. `None` for the disabled tracer.
+    /// If the event cap dropped anything, the loss is surfaced as a
+    /// `trace.dropped_events` counter so scrapes and reports can warn.
     pub fn finish(self) -> Option<CampaignTrace> {
-        self.inner.map(|buf| CampaignTrace {
-            base: buf.base,
-            metrics: buf.metrics.snapshot(),
-            dropped_events: buf.dropped,
-            events: buf.events,
+        self.inner.map(|mut buf| {
+            if buf.dropped > 0 {
+                buf.metrics.counter_add("trace.dropped_events", buf.dropped);
+            }
+            CampaignTrace {
+                base: buf.base,
+                metrics: buf.metrics.snapshot(),
+                dropped_events: buf.dropped,
+                events: buf.events,
+            }
         })
     }
 }
@@ -316,5 +369,62 @@ mod tests {
         let trace = t.finish().expect("enabled");
         assert_eq!(trace.events.len(), 2);
         assert_eq!(trace.dropped_events, 3);
+    }
+
+    #[test]
+    fn dropped_events_surface_as_a_counter_metric() {
+        let cfg = TraceConfig {
+            max_events: 1,
+            ..TraceConfig::default()
+        };
+        let mut t = Tracer::enabled(cfg, T0);
+        for i in 0..4 {
+            t.instant("x", "y", T0 + SimDuration::secs(i), &[]);
+        }
+        let trace = t.finish().expect("enabled");
+        assert_eq!(trace.dropped_events, 3);
+        assert_eq!(trace.metrics.counter("trace.dropped_events"), Some(3));
+
+        // And a trace that dropped nothing does not grow the counter.
+        let mut clean = Tracer::enabled(TraceConfig::default(), T0);
+        clean.instant("x", "y", T0, &[]);
+        let trace = clean.finish().expect("enabled");
+        assert_eq!(trace.metrics.counter("trace.dropped_events"), None);
+    }
+
+    #[test]
+    fn labeled_metrics_pass_through_and_events_are_tailable() {
+        let mut t = Tracer::enabled(TraceConfig::default(), T0);
+        t.counter_add_labeled("resets", &[("zone", "z1")], 2);
+        t.gauge_set_labeled("temp", &[("zone", "z1")], -3.5);
+        t.register_histogram_labeled("dist", &[("zone", "z1")], 0.0, 1.0, 4);
+        t.observe_labeled("dist", &[("zone", "z1")], 1.5);
+        assert!(t.events().is_empty());
+        t.instant("watchdog", "incident-open", T0, &[]);
+        assert_eq!(t.events().len(), 1);
+        assert_eq!(t.events()[0].name, "incident-open");
+        let trace = t.finish().expect("enabled");
+        assert_eq!(trace.metrics.counters.len(), 1);
+        assert_eq!(
+            trace.metrics.counters[0].labels,
+            vec![("zone".to_string(), "z1".to_string())]
+        );
+        assert_eq!(
+            trace.metrics.gauge_labeled("temp", &[("zone", "z1")]),
+            Some(-3.5)
+        );
+        assert_eq!(trace.metrics.histograms.len(), 1);
+        assert_eq!(trace.metrics.histograms[0].count, 1);
+    }
+
+    #[test]
+    fn disabled_tracer_labeled_calls_are_inert() {
+        let mut t = Tracer::disabled();
+        t.counter_add_labeled("c", &[("k", "v")], 1);
+        t.gauge_set_labeled("g", &[("k", "v")], 1.0);
+        t.register_histogram_labeled("h", &[("k", "v")], 0.0, 1.0, 4);
+        t.observe_labeled("h", &[("k", "v")], 0.5);
+        assert!(t.events().is_empty());
+        assert!(t.finish().is_none());
     }
 }

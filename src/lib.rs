@@ -24,6 +24,7 @@
 //! | [`energy`] | CRAC/HVAC plant, PUE, air-economizer comparison |
 //! | [`analysis`] | Wilson intervals, exposure estimates, report tables |
 //! | [`trace`] | deterministic sim-time tracing, metrics registry, Perfetto/JSONL/Prometheus export |
+//! | [`obs`] | fleet health observatory: dimensional rollups, SLO burn-rate alerts, flight recorder |
 //! | [`core`] | the orchestrated campaign (scripted + stochastic modes) |
 //! | [`ensemble`] | deterministic parallel campaign sweeps with streaming aggregation |
 //! | [`farm`] | crash-resumable durable job farm: WAL queue, result cache, supervised workers |
@@ -57,6 +58,7 @@ pub use frostlab_farm as farm;
 pub use frostlab_faults as faults;
 pub use frostlab_hardware as hardware;
 pub use frostlab_netsim as netsim;
+pub use frostlab_obs as obs;
 pub use frostlab_simkern as simkern;
 pub use frostlab_telemetry as telemetry;
 pub use frostlab_thermal as thermal;

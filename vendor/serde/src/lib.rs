@@ -229,6 +229,22 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     }
 }
 
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(Error::custom(format!("expected 2-element array, got {other:?}"))),
+        }
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_value(&self) -> Value {
         match self {
@@ -271,6 +287,11 @@ mod tests {
             vec![1, 2, 3]
         );
         assert_eq!(Option::<u8>::from_value(&Value::Null).unwrap(), None);
+        let pair = ("zone".to_string(), 3u32);
+        assert_eq!(
+            <(String, u32)>::from_value(&pair.to_value()).unwrap(),
+            pair
+        );
     }
 
     #[test]

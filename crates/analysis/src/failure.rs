@@ -9,7 +9,7 @@
 
 use crate::stats::wilson_interval;
 
-/// Intel's reported failure rate in the air-economizer PoC [1].
+/// Intel's reported failure rate in the air-economizer PoC \[1\].
 pub const INTEL_ECONOMIZER_RATE: f64 = 0.0446;
 
 /// A host-level failure-rate estimate.

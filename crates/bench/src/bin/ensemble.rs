@@ -1,13 +1,13 @@
 //! Ensemble sweep CLI — the determinism gate's workhorse.
 //!
 //! Runs a contiguous seed range of stochastic campaigns on the parallel
-//! ensemble engine and prints the streaming [`EnsembleSummary`] as JSON.
+//! ensemble engine and prints the streaming [`EnsembleSummary`](frostlab_ensemble::EnsembleSummary) as JSON.
 //! Because the engine merges in seed order regardless of completion
 //! order, the `--invariant` output is byte-identical for any `--threads`
 //! value — CI runs it at 1 and 4 threads and `diff`s the files.
 //!
 //! `--traced` arms every campaign's tracer in metrics-only mode and
-//! prints the [`EnsembleMetrics`] report instead of the summary. That
+//! prints the [`EnsembleMetrics`](frostlab_ensemble::EnsembleMetrics) report instead of the summary. That
 //! report carries no execution metadata, so it too must be byte-identical
 //! across `--threads` values — the `trace-determinism` CI job diffs it.
 //!

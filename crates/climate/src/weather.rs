@@ -36,7 +36,7 @@
 //!   RH/cloud seasonal means, the dew-point spread target, clear-sky solar
 //!   irradiance, and the anchor blend — is a pure function of `(params, t)`.
 //!   It is tabulated once per simulated day on the 60-s tick grid
-//!   ([`SkeletonEntry`], built lazily in day chunks with a small rolling
+//!   (`SkeletonEntry`, built lazily in day chunks with a small rolling
 //!   cache so year-long campaigns stay O(1) in memory), so the per-sample
 //!   cost collapses to one table lookup. Off-grid sample times fall back to
 //!   computing the same entry directly — identical values, just not cached.

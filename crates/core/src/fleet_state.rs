@@ -8,8 +8,8 @@
 //! * **hot columns** (`install_at`, `busy_until`, `last_wall_w`, …) — plain
 //!   scalars read/written every tick, one cache line streams many hosts;
 //! * **kernel banks** — chassis thermals in a
-//!   [`CaseBank`](frostlab_thermal::bank::CaseBank) and hardware state in a
-//!   [`HostBank`](frostlab_hardware::columns::HostBank), both bit-identical
+//!   [`CaseBank`] and hardware state in a
+//!   [`HostBank`], both bit-identical
 //!   ports of the per-host object models;
 //! * **cold objects** (`jobs`, `schedules`, `faults`, `records`, `stores`)
 //!   — stateful machines touched at event cadence (10-minute runs, 5-minute

@@ -128,7 +128,7 @@ const WEATHER_BATCH_TICKS: usize = 1440;
 /// When the campaign tick, the campaign start, and the station cadence all
 /// lie on the weather model's 60-s grid (the stock configuration), samples
 /// are served from a day-sized batch produced by
-/// [`WeatherModel::sample_ticks`] — bit-identical to per-tick sampling, but
+/// [`WeatherModel::sample_ticks`](frostlab_climate::WeatherModel::sample_ticks) — bit-identical to per-tick sampling, but
 /// the weather working set is traversed once per simulated day instead of
 /// being re-faulted from cache on every tick. Unaligned configurations keep
 /// the per-tick path.

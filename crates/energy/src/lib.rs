@@ -12,12 +12,12 @@
 //! 67 % (Intel) of cooling energy.
 //!
 //! * [`plant`] — CRAC/chiller/HVAC units and the department's §5 plant;
-//! * [`pue`] — PUE arithmetic, including the legacy-load correction;
+//! * [`pue`](mod@pue) — PUE arithmetic, including the legacy-load correction;
 //! * [`economizer`] — an air-side economizer model driven by the
 //!   `frostlab-climate` generators, reproducing the 40–67 % savings band
 //!   across the three study climates (T6);
 //! * [`wetside`] — the wet-side (cooling-tower) economizer from Intel's
-//!   earlier report [2], which the paper's §2 cites as the argued-for
+//!   earlier report \[2\], which the paper's §2 cites as the argued-for
 //!   alternative — wet-bulb-limited rather than dry-bulb-limited.
 
 #![forbid(unsafe_code)]

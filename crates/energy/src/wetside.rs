@@ -1,6 +1,6 @@
 //! Wet-side economizer model.
 //!
-//! The paper notes (§2) that Intel's earlier report [2] had "argued
+//! The paper notes (§2) that Intel's earlier report \[2\] had "argued
 //! convincingly *against* air economizers" in favour of **wet-side**
 //! economizers: instead of blowing outside air through the room, a cooling
 //! tower chills the condenser water whenever the outside **wet-bulb**

@@ -1,7 +1,7 @@
 //! Per-seed alert timelines folded across an observed sweep.
 //!
 //! The observability analog of [`crate::metrics`]: every campaign in an
-//! observed sweep produces a [`CampaignObs`](frostlab_obs::CampaignObs)
+//! observed sweep produces a [`CampaignObs`]
 //! whose alert fires/resolves and SLO attainment are pure functions of
 //! (config, seed). This module keeps the per-seed view — an operator
 //! asking "which winters breached the corruption SLO, and when?" needs

@@ -1,6 +1,6 @@
 //! Struct-of-arrays host hardware for fleet-scale campaigns.
 //!
-//! [`HostBank`] flattens the campaign-relevant state of [`Server`] — power
+//! [`HostBank`] flattens the campaign-relevant state of [`Server`](crate::Server) — power
 //! state, the linear power model, PSU, motherboard sensor chip, memory
 //! exposure counters, and per-drive S.M.A.R.T. state — into parallel flat
 //! arrays indexed by a dense host index. Each method is a column kernel

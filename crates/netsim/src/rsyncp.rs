@@ -277,7 +277,7 @@ pub fn sync(old_data: &[u8], new_data: &[u8], block_size: usize) -> (Vec<u8>, De
 /// matches block-for-block (each full block's own signature is present,
 /// so the stock scan would emit one copy per block and arrive at the
 /// boundary with an empty literal run), and the remainder goes through
-/// the identical [`scan`]. Literal bytes, copy counts and the rebuilt
+/// the identical `scan`. Literal bytes, copy counts and the rebuilt
 /// mirror are byte-for-byte what the uncached path yields.
 #[derive(Debug)]
 pub struct CachedSync {

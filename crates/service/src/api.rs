@@ -1,0 +1,192 @@
+//! Wire types of the versioned JSON API (`/v1`).
+//!
+//! Every body the daemon emits round-trips through the workspace serde,
+//! so clients written against [`SubmitResponse`], [`JobStatusBody`] and
+//! [`ErrorBody`] parse exactly what `frostlabd` serves. The full
+//! field-by-field contract — including the 429 backpressure contract and
+//! copy-pasteable `curl` calls — lives in `docs/frostlabd-api.md`.
+//!
+//! Submissions are plain [`MatrixSpec`](frostlab_core::MatrixSpec) JSON —
+//! the same manifest format `farm submit` writes — so a farm sweep and a
+//! service submission are interchangeable documents.
+
+/// Lifecycle of a submitted scenario job, rendered as a lower-case string
+/// in JSON (`"queued"`, `"running"`, `"done"`, `"failed"`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Admitted and waiting for a simulation worker.
+    Queued,
+    /// A worker is running the matrix.
+    Running,
+    /// All campaigns finished; artifacts are servable.
+    Done,
+    /// The matrix could not be completed (e.g. a poison scenario
+    /// panicked); `error` on the status body says why.
+    Failed,
+}
+
+impl JobPhase {
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobPhase::Queued => "queued",
+            JobPhase::Running => "running",
+            JobPhase::Done => "done",
+            JobPhase::Failed => "failed",
+        }
+    }
+
+    /// Parse the wire spelling back (clients' convenience).
+    pub fn parse(s: &str) -> Option<JobPhase> {
+        match s {
+            "queued" => Some(JobPhase::Queued),
+            "running" => Some(JobPhase::Running),
+            "done" => Some(JobPhase::Done),
+            "failed" => Some(JobPhase::Failed),
+            _ => None,
+        }
+    }
+
+    /// True once the job can never change state again.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobPhase::Done | JobPhase::Failed)
+    }
+}
+
+impl serde::Serialize for JobPhase {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.as_str().to_string())
+    }
+}
+
+impl serde::Deserialize for JobPhase {
+    fn from_value(v: &serde::Value) -> Result<JobPhase, serde::Error> {
+        let s = v.as_str()?;
+        JobPhase::parse(s).ok_or_else(|| serde::Error::custom(format!("unknown job phase {s:?}")))
+    }
+}
+
+/// Body of a successful `POST /v1/scenarios`.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SubmitResponse {
+    /// Content hash of the canonical matrix JSON — resubmitting an
+    /// identical matrix yields the same id (and, once run, a pure cache
+    /// hit).
+    pub job_id: String,
+    /// Current lifecycle phase at response time.
+    pub status: JobPhase,
+    /// Campaigns the matrix expands to (scenarios × seeds).
+    pub jobs_total: u64,
+    /// True when this submission attached to an already-known job instead
+    /// of enqueueing new work.
+    pub deduplicated: bool,
+}
+
+/// Body of `GET /v1/jobs/{id}` (and embedded in error-free polling).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct JobStatusBody {
+    /// The job's content-hash id.
+    pub job_id: String,
+    /// Current lifecycle phase.
+    pub status: JobPhase,
+    /// Campaigns the matrix expands to.
+    pub jobs_total: u64,
+    /// Campaigns finished so far (simulated or served from cache).
+    pub jobs_done: u64,
+    /// Campaigns served from the content-hash result cache.
+    pub cache_hits: u64,
+    /// Present only for failed jobs: what went wrong.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub error: Option<String>,
+}
+
+/// Uniform error body: every non-2xx response carries one.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ErrorBody {
+    /// Stable machine-readable code (`bad-request`, `bad-json`,
+    /// `invalid-spec`, `unknown-job`, `queue-full`, `body-too-large`,
+    /// `not-ready`, `no-alerts`, `job-failed`, `method-not-allowed`,
+    /// `not-found`, `internal`).
+    pub error: String,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Present on 429 only: seconds to wait before retrying (the same
+    /// value as the `Retry-After` header).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub retry_after_s: Option<u64>,
+}
+
+impl ErrorBody {
+    /// Build an error body.
+    pub fn new(error: &str, message: impl Into<String>) -> ErrorBody {
+        ErrorBody {
+            error: error.to_string(),
+            message: message.into(),
+            retry_after_s: None,
+        }
+    }
+}
+
+/// Body of `GET /healthz`.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct HealthBody {
+    /// Always true when the daemon can respond at all.
+    pub ok: bool,
+    /// Daemon API version tag (`"v1"`).
+    pub api: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_phase_round_trips_as_lowercase_strings() {
+        for phase in [
+            JobPhase::Queued,
+            JobPhase::Running,
+            JobPhase::Done,
+            JobPhase::Failed,
+        ] {
+            let json = serde_json::to_string(&phase).expect("serializes");
+            assert_eq!(json, format!("\"{}\"", phase.as_str()));
+            let back: JobPhase = serde_json::from_str(&json).expect("parses");
+            assert_eq!(back, phase);
+        }
+        assert!(serde_json::from_str::<JobPhase>("\"exploded\"").is_err());
+        assert!(JobPhase::Done.is_terminal());
+        assert!(JobPhase::Failed.is_terminal());
+        assert!(!JobPhase::Running.is_terminal());
+    }
+
+    #[test]
+    fn status_body_omits_absent_error() {
+        let body = JobStatusBody {
+            job_id: "ab".into(),
+            status: JobPhase::Running,
+            jobs_total: 6,
+            jobs_done: 2,
+            cache_hits: 1,
+            error: None,
+        };
+        let json = serde_json::to_string(&body).expect("serializes");
+        assert!(!json.contains("error"));
+        let back: JobStatusBody = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back.jobs_done, 2);
+        assert_eq!(back.status, JobPhase::Running);
+    }
+
+    #[test]
+    fn error_body_carries_retry_after_only_when_set() {
+        let plain = ErrorBody::new("bad-json", "parse failed");
+        assert!(!serde_json::to_string(&plain)
+            .expect("serializes")
+            .contains("retry_after_s"));
+        let mut shed = ErrorBody::new("queue-full", "try later");
+        shed.retry_after_s = Some(4);
+        let json = serde_json::to_string(&shed).expect("serializes");
+        assert!(json.contains("\"retry_after_s\":4"));
+        let back: ErrorBody = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back.retry_after_s, Some(4));
+    }
+}

@@ -1,0 +1,236 @@
+//! `loadgen` — request-rate and latency baseline for `frostlabd`.
+//!
+//! Starts an in-process [`Server`] on an ephemeral port (or targets a
+//! running daemon via `--addr`), warms it with one matrix submission so
+//! artifacts exist, then hammers the cheap read paths from a fixed
+//! client pool and reports requests/sec with p50/p99 latency per route.
+//! The measured routes are the ones a dashboard or poller would hit in
+//! steady state:
+//!
+//! - `GET /v1/jobs/{id}` — status poll (registry lock + serialize);
+//! - `GET /v1/jobs/{id}/summary` — frozen artifact serving;
+//! - `POST /v1/scenarios` — deduplicated resubmission (content hash +
+//!   registry lookup, no simulation).
+//!
+//! The report is written as JSON (`BENCH_service.json` by default) next
+//! to `BENCH_baseline.json`; `BENCH_service_baseline.json` is the
+//! committed reference. Latency numbers are informational — machine
+//! speed varies across runners — but the shape (dedup ≈ poll ≈ artifact,
+//! all well under a millisecond locally) is what reviews look at.
+//!
+//! ```sh
+//! loadgen [--addr HOST:PORT] [--requests N] [--clients N] [--out PATH]
+//! ```
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use frostlab_core::{MatrixSpec, ScenarioSpec};
+use frostlab_service::client;
+use frostlab_service::{Server, ServerConfig};
+
+/// Schema tag for the load report JSON.
+const SCHEMA: &str = "frostlab-bench-service/v1";
+
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+struct RouteStats {
+    /// Route label (`status-poll`, `summary`, `dedup-submit`).
+    route: String,
+    /// Requests issued.
+    requests: u64,
+    /// Non-2xx responses observed (should be 0).
+    failures: u64,
+    /// Aggregate requests per second across all clients.
+    requests_per_s: f64,
+    /// Median request latency, microseconds.
+    p50_us: f64,
+    /// 99th-percentile request latency, microseconds.
+    p99_us: f64,
+}
+
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+struct LoadReport {
+    schema: String,
+    /// Requests per measured route.
+    requests_per_route: u64,
+    /// Concurrent client threads.
+    clients: usize,
+    /// Per-route throughput and latency.
+    routes: Vec<RouteStats>,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: loadgen [--addr HOST:PORT] [--requests N] [--clients N] [--out PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr: Option<SocketAddr> = None;
+    let mut requests: u64 = 2000;
+    let mut clients: usize = 4;
+    let mut out = "BENCH_service.json".to_string();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut val = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => addr = Some(val("--addr").parse().expect("--addr: host:port")),
+            "--requests" => requests = val("--requests").parse().expect("--requests: u64"),
+            "--clients" => clients = val("--clients").parse().expect("--clients: usize"),
+            "--out" => out = val("--out"),
+            _ => usage(),
+        }
+    }
+    let clients = clients.max(1);
+
+    // In-process server unless a live daemon was pointed at.
+    let own_server = if addr.is_none() {
+        let server = Server::start(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..ServerConfig::default()
+        })
+        .expect("bind in-process server");
+        addr = Some(server.addr());
+        Some(server)
+    } else {
+        None
+    };
+    let addr = addr.expect("resolved above");
+    let timeout = Duration::from_secs(10);
+
+    // Warm-up: submit a small matrix and wait until its artifacts exist,
+    // so every measured request hits the steady-state (cached) path.
+    let matrix = MatrixSpec {
+        scenarios: vec![ScenarioSpec::new("loadgen-warm", 1, "helsinki")],
+        seed_start: 0,
+        seeds: 2,
+    };
+    let body = matrix.to_json().expect("matrix serializes");
+    let submit = client::post_json(addr, "/v1/scenarios", &body, timeout).expect("warm-up submit");
+    assert!(
+        submit.status == 202 || submit.status == 200,
+        "warm-up submit failed: {} {}",
+        submit.status,
+        submit.text()
+    );
+    let job_id = extract_job_id(submit.text());
+    let status =
+        client::get(addr, &format!("/v1/jobs/{job_id}?wait_s=30"), timeout).expect("warm-up poll");
+    assert!(
+        status.text().contains("\"done\""),
+        "warm-up job did not finish: {}",
+        status.text()
+    );
+
+    eprintln!("loadgen: {requests} requests x 3 routes, {clients} clients, target {addr}");
+    let routes = vec![
+        measure(addr, "status-poll", requests, clients, {
+            let t = format!("/v1/jobs/{job_id}");
+            move |a, to| client::get(a, &t, to)
+        }),
+        measure(addr, "summary", requests, clients, {
+            let t = format!("/v1/jobs/{job_id}/summary");
+            move |a, to| client::get(a, &t, to)
+        }),
+        measure(addr, "dedup-submit", requests, clients, {
+            move |a, to| client::post_json(a, "/v1/scenarios", &body, to)
+        }),
+    ];
+
+    let report = LoadReport {
+        schema: SCHEMA.to_string(),
+        requests_per_route: requests,
+        clients,
+        routes,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, format!("{json}\n")).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("{json}");
+    eprintln!("loadgen: wrote {out}");
+
+    if let Some(server) = own_server {
+        server.shutdown();
+    }
+}
+
+/// Issue `requests` calls of `f` from `clients` threads; fold latencies.
+fn measure<F>(addr: SocketAddr, route: &str, requests: u64, clients: usize, f: F) -> RouteStats
+where
+    F: Fn(SocketAddr, Duration) -> std::io::Result<client::ClientResponse> + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let issued = Arc::new(AtomicU64::new(0));
+    let timeout = Duration::from_secs(10);
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let f = f.clone();
+            let issued = issued.clone();
+            std::thread::spawn(move || {
+                let mut latencies_us: Vec<f64> = Vec::new();
+                let mut failures = 0u64;
+                while issued.fetch_add(1, Ordering::Relaxed) < requests {
+                    let t0 = Instant::now();
+                    match f(addr, timeout) {
+                        Ok(r) if r.status < 300 => {
+                            latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
+                        }
+                        _ => failures += 1,
+                    }
+                }
+                (latencies_us, failures)
+            })
+        })
+        .collect();
+
+    let mut latencies_us: Vec<f64> = Vec::new();
+    let mut failures = 0u64;
+    for h in handles {
+        let (l, fails) = h.join().expect("client thread");
+        latencies_us.extend(l);
+        failures += fails;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let done = latencies_us.len() as u64;
+    let stats = RouteStats {
+        route: route.to_string(),
+        requests: done + failures,
+        failures,
+        requests_per_s: if elapsed > 0.0 {
+            (done + failures) as f64 / elapsed
+        } else {
+            0.0
+        },
+        p50_us: percentile(&latencies_us, 0.50),
+        p99_us: percentile(&latencies_us, 0.99),
+    };
+    eprintln!(
+        "  {route:>13}: {:.0} req/s, p50 {:.0} us, p99 {:.0} us, {failures} failures",
+        stats.requests_per_s, stats.p50_us, stats.p99_us
+    );
+    stats
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Pull `job_id` out of a submit response without a full parse — the
+/// same trick the CI smoke job's shell uses.
+fn extract_job_id(body: &str) -> String {
+    body.split("\"job_id\"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').nth(1))
+        .map(str::to_string)
+        .unwrap_or_else(|| panic!("no job_id in {body}"))
+}

@@ -1,0 +1,397 @@
+//! Matrix execution with content-hash response caching.
+//!
+//! [`execute_matrix`] is the bridge between a `POST /v1/scenarios` body
+//! and the ensemble engine. It walks the matrix's canonical expansion —
+//! scenario-major, seed-minor, exactly the order
+//! [`run_matrix_sweep`](frostlab_ensemble::run_matrix_sweep) uses — and
+//! folds one [`CampaignSummary`] per job into a [`CampaignAggregate`],
+//! so the frozen summary artifact is **byte-identical** to
+//! `ensemble --matrix --invariant` for the same matrix (the
+//! `service-smoke` CI job diffs the two).
+//!
+//! Caching follows `frostlab-farm`'s `ResultStore` discipline: entries
+//! are keyed by [`JobSpec::key`] — the FNV-1a hash of the job's canonical
+//! JSON — so identical (scenario, seed) pairs collide on purpose, across
+//! matrices and across submissions. Because campaigns are deterministic,
+//! a cached summary is indistinguishable from a re-simulated one, which
+//! is what makes serving from cache sound.
+//!
+//! The **first job** of every matrix additionally runs with the tracer
+//! armed (tracing is perturbation-free — the `trace-determinism` CI gate
+//! pins that) to produce the `trace.jsonl` / `perfetto.json` artifacts.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use frostlab_core::results::CampaignSummary;
+use frostlab_core::scenario::ScenarioBuilder;
+use frostlab_core::spec::{JobSpec, ScenarioSpec};
+use frostlab_core::MatrixSpec;
+use frostlab_ensemble::{CampaignAggregate, EnsembleAlerts, SeedAlerts};
+use frostlab_obs::ObsConfig;
+use frostlab_trace::export::{to_chrome_trace, to_jsonl};
+use frostlab_trace::TraceConfig;
+
+use crate::registry::Artifacts;
+
+/// One cached campaign outcome: the summary plus, for observed jobs, the
+/// alert view that folds into the matrix's `alerts.json`.
+#[derive(Debug, Clone)]
+pub struct CachedCampaign {
+    /// The campaign's compact summary projection.
+    pub summary: CampaignSummary,
+    /// Alert view (observed scenarios only).
+    pub alerts: Option<SeedAlerts>,
+}
+
+/// In-memory content-addressed result cache, keyed by [`JobSpec::key`].
+///
+/// Unlike the farm's on-disk store this one holds live values, so cached
+/// summaries never round-trip through JSON — there is no float
+/// normalization boundary to defend.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    entries: Mutex<HashMap<String, CachedCampaign>>,
+}
+
+impl ResultCache {
+    /// Empty cache.
+    pub fn new() -> ResultCache {
+        ResultCache::default()
+    }
+
+    /// Fetch the campaign cached under `key`.
+    pub fn get(&self, key: &str) -> Option<CachedCampaign> {
+        self.entries.lock().expect("cache lock").get(key).cloned()
+    }
+
+    /// Store a campaign under `key`.
+    pub fn put(&self, key: &str, value: CachedCampaign) {
+        self.entries
+            .lock()
+            .expect("cache lock")
+            .insert(key.to_string(), value);
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache lock").len()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Why a matrix could not be completed.
+#[derive(Debug, Clone)]
+pub enum ExecError {
+    /// A scenario failed validation (unknown climate, bad day count).
+    InvalidSpec(String),
+    /// A campaign panicked mid-run (e.g. a poison scenario).
+    CampaignPanicked {
+        /// Index of the job in the matrix's canonical expansion.
+        job_index: usize,
+        /// Panic payload rendered to text.
+        message: String,
+    },
+    /// An artifact failed to serialize (never expected for plain data).
+    Serialize(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::InvalidSpec(m) => write!(f, "invalid spec: {m}"),
+            ExecError::CampaignPanicked { job_index, message } => {
+                write!(f, "campaign {job_index} panicked: {message}")
+            }
+            ExecError::Serialize(m) => write!(f, "artifact serialization failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Per-execution accounting the server folds into its metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Campaigns actually simulated by this execution.
+    pub simulated: u64,
+    /// Campaigns served from the result cache.
+    pub cache_hits: u64,
+}
+
+/// Observer hook: called once per finished campaign with `cache_hit`.
+/// The server uses it to tick `jobs_done` on the registry so status
+/// polls see live progress.
+pub type ProgressFn<'a> = dyn Fn(bool) + 'a;
+
+/// Run every job of `matrix` (serving repeats from `cache`) and freeze
+/// the servable artifacts.
+///
+/// The summary artifact is rendered with
+/// [`EnsembleSummary::invariant_json`](frostlab_ensemble::EnsembleSummary::invariant_json),
+/// the thread-count-masked form, so it can be byte-compared against any
+/// in-process ensemble run of the same matrix.
+pub fn execute_matrix(
+    matrix: &MatrixSpec,
+    cache: &ResultCache,
+    progress: &ProgressFn<'_>,
+) -> Result<(Artifacts, ExecStats), ExecError> {
+    matrix
+        .validate()
+        .map_err(|e| ExecError::InvalidSpec(e.to_string()))?;
+    let jobs = matrix.expand();
+    let mut agg = CampaignAggregate::new();
+    let mut alerts = EnsembleAlerts::new(matrix.seed_start);
+    let any_observed = jobs.iter().any(|j| j.scenario.observe);
+    let mut stats = ExecStats::default();
+    let mut trace_jsonl = String::new();
+    let mut perfetto_json = String::new();
+
+    for (i, job) in jobs.iter().enumerate() {
+        let key = job.key().map_err(|e| ExecError::Serialize(e.to_string()))?;
+        let representative = i == 0;
+        let cached = cache.get(&key);
+        let outcome = match cached {
+            // A cached non-representative job costs nothing. A cached
+            // representative still re-runs (traced) below when the trace
+            // artifacts are needed, but its summary comes from the run
+            // either way — the two are identical by determinism.
+            Some(hit) if !representative => {
+                stats.cache_hits += 1;
+                progress(true);
+                hit
+            }
+            was_cached => {
+                let run = run_campaign(job, i, representative)?;
+                let hit = was_cached.is_some();
+                if hit {
+                    stats.cache_hits += 1;
+                } else {
+                    stats.simulated += 1;
+                    cache.put(&key, run.outcome.clone());
+                }
+                if representative {
+                    trace_jsonl = run.trace_jsonl;
+                    perfetto_json = run.perfetto_json;
+                }
+                progress(hit);
+                run.outcome
+            }
+        };
+        agg.absorb(&outcome.summary);
+        if let Some(seed_alerts) = outcome.alerts {
+            alerts.absorb(seed_alerts);
+        }
+    }
+
+    // Trailing newline included: `ensemble --matrix --invariant` prints
+    // with println!, and "byte-identical to the CLI" means every byte.
+    let summary_json = agg
+        .finish(matrix.seed_start, 0)
+        .invariant_json()
+        .map(|json| format!("{json}\n"))
+        .map_err(|e| ExecError::Serialize(e.to_string()))?;
+    let alerts_json = if any_observed {
+        Some(
+            alerts
+                .to_json()
+                .map_err(|e| ExecError::Serialize(e.to_string()))?,
+        )
+    } else {
+        None
+    };
+    Ok((
+        Artifacts {
+            summary_json,
+            trace_jsonl,
+            perfetto_json,
+            alerts_json,
+        },
+        stats,
+    ))
+}
+
+struct CampaignRun {
+    outcome: CachedCampaign,
+    trace_jsonl: String,
+    perfetto_json: String,
+}
+
+/// Build and run one campaign, optionally traced. Mirrors
+/// [`ScenarioSpec::build`] exactly (paper pipeline + observability +
+/// poison), with the tracer wrapped around the representative so the
+/// matrix gets its `trace.jsonl`/`perfetto.json` artifacts.
+fn run_campaign(job: &JobSpec, index: usize, traced: bool) -> Result<CampaignRun, ExecError> {
+    let spec = &job.scenario;
+    let seed = job.seed;
+    let scenario = if traced {
+        build_traced(spec, seed)?
+    } else {
+        spec.build(seed)
+            .map_err(|e| ExecError::InvalidSpec(e.to_string()))?
+    };
+    let results = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| scenario.run()))
+        .map_err(|payload| ExecError::CampaignPanicked {
+            job_index: index,
+            message: panic_text(payload),
+        })?;
+    let (trace_jsonl, perfetto_json) = match results.trace.as_ref() {
+        Some(trace) => (
+            to_jsonl(trace).map_err(|e| ExecError::Serialize(e.to_string()))?,
+            to_chrome_trace(trace).map_err(|e| ExecError::Serialize(e.to_string()))?,
+        ),
+        None => (String::new(), String::new()),
+    };
+    Ok(CampaignRun {
+        outcome: CachedCampaign {
+            summary: results.summary(),
+            alerts: results.obs.as_ref().map(|o| SeedAlerts::from_obs(seed, o)),
+        },
+        trace_jsonl,
+        perfetto_json,
+    })
+}
+
+/// [`ScenarioSpec::build`] with the tracer armed: paper pipeline,
+/// tracing, then observability/poison in the same order `build` uses
+/// (`with_tracing`/`with_observability` arm-order commutes — PR 9).
+fn build_traced(spec: &ScenarioSpec, seed: u64) -> Result<frostlab_core::Scenario, ExecError> {
+    let cfg = spec
+        .to_config(seed)
+        .map_err(|e| ExecError::InvalidSpec(e.to_string()))?;
+    let mut b = ScenarioBuilder::paper(cfg).with_tracing(TraceConfig::default());
+    if spec.observe {
+        b = b.with_observability(ObsConfig::default());
+    }
+    if spec.poison {
+        b = b.push(Box::new(frostlab_core::spec::PanicPhase::after_ticks(
+            frostlab_core::spec::POISON_PANIC_TICK,
+        )));
+    }
+    Ok(b.build())
+}
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frostlab_ensemble::run_matrix_sweep;
+    use std::cell::Cell;
+
+    fn tiny_matrix() -> MatrixSpec {
+        MatrixSpec {
+            scenarios: vec![ScenarioSpec::new("svc-exec", 1, "helsinki")],
+            seed_start: 3,
+            seeds: 2,
+        }
+    }
+
+    #[test]
+    fn summary_is_byte_identical_to_matrix_sweep() {
+        let matrix = tiny_matrix();
+        let cache = ResultCache::new();
+        let (artifacts, stats) = execute_matrix(&matrix, &cache, &|_| {}).expect("runs");
+        let reference = run_matrix_sweep(&matrix, 1)
+            .expect("valid")
+            .invariant_json()
+            .expect("serializes");
+        // The artifact carries the CLI's trailing newline.
+        assert_eq!(artifacts.summary_json, format!("{reference}\n"));
+        assert_eq!(stats.simulated, 2);
+        assert_eq!(stats.cache_hits, 0);
+        // The representative trace artifacts are populated.
+        assert!(artifacts.trace_jsonl.contains("frostlab-trace/v1"));
+        assert!(artifacts.perfetto_json.contains("traceEvents"));
+        // No observed scenarios ⇒ no alerts artifact.
+        assert!(artifacts.alerts_json.is_none());
+    }
+
+    #[test]
+    fn second_execution_is_served_from_cache_with_identical_bytes() {
+        let matrix = tiny_matrix();
+        let cache = ResultCache::new();
+        let hits = Cell::new(0u32);
+        let (first, s1) = execute_matrix(&matrix, &cache, &|_| {}).expect("runs");
+        let (second, s2) = execute_matrix(&matrix, &cache, &|hit| {
+            if hit {
+                hits.set(hits.get() + 1);
+            }
+        })
+        .expect("runs");
+        assert_eq!(first.summary_json, second.summary_json);
+        assert_eq!(first.trace_jsonl, second.trace_jsonl);
+        assert_eq!(first.perfetto_json, second.perfetto_json);
+        assert_eq!(s1.simulated, 2);
+        // Second pass: the representative re-runs for its trace but still
+        // counts as a cache hit; the other campaign is a pure hit.
+        assert_eq!(s2.simulated, 0);
+        assert_eq!(s2.cache_hits, 2);
+        assert_eq!(hits.get(), 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn observed_matrix_produces_alerts_identical_to_observed_fold() {
+        let mut spec = ScenarioSpec::new("svc-obs", 1, "helsinki");
+        spec.observe = true;
+        let matrix = MatrixSpec {
+            scenarios: vec![spec],
+            seed_start: 0,
+            seeds: 2,
+        };
+        let cache = ResultCache::new();
+        let (artifacts, _) = execute_matrix(&matrix, &cache, &|_| {}).expect("runs");
+        let alerts_json = artifacts.alerts_json.expect("observed matrix has alerts");
+        assert!(alerts_json.contains("frostlab-ensemble-alerts/v1"));
+        assert!(alerts_json.contains("\"campaigns\": 2"));
+    }
+
+    #[test]
+    fn poison_matrix_fails_typed_without_poisoning_the_cache() {
+        let mut poison = ScenarioSpec::new("svc-poison", 1, "helsinki");
+        poison.poison = true;
+        let matrix = MatrixSpec {
+            scenarios: vec![poison],
+            seed_start: 0,
+            seeds: 1,
+        };
+        let cache = ResultCache::new();
+        let err = execute_matrix(&matrix, &cache, &|_| {}).expect_err("panics");
+        match err {
+            ExecError::CampaignPanicked { job_index, message } => {
+                assert_eq!(job_index, 0);
+                assert!(message.contains("poison"));
+            }
+            other => panic!("expected CampaignPanicked, got {other:?}"),
+        }
+        assert!(cache.is_empty(), "failed campaigns must not be cached");
+    }
+
+    #[test]
+    fn invalid_climate_is_rejected_before_any_simulation() {
+        let matrix = MatrixSpec {
+            scenarios: vec![ScenarioSpec::new("x", 1, "atlantis")],
+            seed_start: 0,
+            seeds: 1,
+        };
+        let cache = ResultCache::new();
+        assert!(matches!(
+            execute_matrix(&matrix, &cache, &|_| {}),
+            Err(ExecError::InvalidSpec(_))
+        ));
+        assert!(cache.is_empty());
+    }
+}

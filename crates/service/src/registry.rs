@@ -1,0 +1,278 @@
+//! In-memory job registry: every submitted matrix, its lifecycle, and
+//! its frozen artifacts.
+//!
+//! A job's id is the FNV-1a content hash of its canonical (compact)
+//! matrix JSON — the same digest discipline as
+//! [`JobSpec::key`](frostlab_core::JobSpec::key) — so resubmitting an
+//! identical matrix *is* the original job: the registry deduplicates on
+//! insert and the handler layer serves the finished artifacts without
+//! touching the admission gate.
+//!
+//! Status watchers (`GET /v1/jobs/{id}?wait_s=N`) block on the registry
+//! condvar, which is notified on every state transition, so long-polling
+//! costs no busy-waiting.
+
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use frostlab_core::spec::fnv1a;
+use frostlab_core::MatrixSpec;
+
+use crate::api::JobPhase;
+
+/// The servable outputs of a finished job, frozen as bytes at completion
+/// time so every later `GET` returns identical responses.
+#[derive(Debug, Clone, Default)]
+pub struct Artifacts {
+    /// Invariant-form `EnsembleSummary` JSON — byte-identical to
+    /// `ensemble --matrix --invariant` for the same matrix.
+    pub summary_json: String,
+    /// JSONL event log of the representative (first) campaign.
+    pub trace_jsonl: String,
+    /// Chrome trace-event JSON of the representative campaign.
+    pub perfetto_json: String,
+    /// Merged `EnsembleAlerts` JSON; `None` when no scenario in the
+    /// matrix armed observability.
+    pub alerts_json: Option<String>,
+}
+
+/// One registered job.
+#[derive(Debug, Clone)]
+pub struct JobEntry {
+    /// The submitted matrix (canonical form).
+    pub matrix: MatrixSpec,
+    /// Lifecycle phase.
+    pub phase: JobPhase,
+    /// Campaigns the matrix expands to.
+    pub jobs_total: u64,
+    /// Campaigns finished so far.
+    pub jobs_done: u64,
+    /// Campaigns served from the content-hash cache.
+    pub cache_hits: u64,
+    /// Failure explanation (failed jobs only).
+    pub error: Option<String>,
+    /// Frozen outputs (done jobs only).
+    pub artifacts: Option<Artifacts>,
+}
+
+/// Compute a job id: `{:016x}` FNV-1a of the canonical compact matrix
+/// JSON. Whitespace or key-order differences in the submitted text do
+/// not change the id because the matrix is re-serialized first.
+pub fn job_id(matrix: &MatrixSpec) -> Result<String, serde_json::Error> {
+    Ok(format!(
+        "{:016x}",
+        fnv1a(serde_json::to_string(matrix)?.as_bytes())
+    ))
+}
+
+/// What a submission did to the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// The job is new; the caller must enqueue it for execution.
+    New,
+    /// The id was already registered (any phase); nothing to enqueue.
+    Deduplicated,
+}
+
+/// Thread-safe map from job id to [`JobEntry`], with a condvar for
+/// long-poll watchers.
+#[derive(Debug, Default)]
+pub struct JobRegistry {
+    jobs: Mutex<HashMap<String, JobEntry>>,
+    changed: Condvar,
+}
+
+impl JobRegistry {
+    /// Empty registry.
+    pub fn new() -> JobRegistry {
+        JobRegistry::default()
+    }
+
+    /// Register a submission, deduplicating on the content-hash id.
+    pub fn submit(&self, id: &str, matrix: &MatrixSpec) -> SubmitOutcome {
+        let mut jobs = self.jobs.lock().expect("registry lock");
+        if jobs.contains_key(id) {
+            return SubmitOutcome::Deduplicated;
+        }
+        jobs.insert(
+            id.to_string(),
+            JobEntry {
+                matrix: matrix.clone(),
+                phase: JobPhase::Queued,
+                jobs_total: matrix.jobs(),
+                jobs_done: 0,
+                cache_hits: 0,
+                error: None,
+                artifacts: None,
+            },
+        );
+        SubmitOutcome::New
+    }
+
+    /// Snapshot one job.
+    pub fn get(&self, id: &str) -> Option<JobEntry> {
+        self.jobs.lock().expect("registry lock").get(id).cloned()
+    }
+
+    /// Remove a job that could not be enqueued (admission shed after
+    /// registration), so a retry of the same matrix starts clean.
+    pub fn forget(&self, id: &str) {
+        self.jobs.lock().expect("registry lock").remove(id);
+        self.changed.notify_all();
+    }
+
+    /// Move a job to `Running`.
+    pub fn mark_running(&self, id: &str) {
+        self.update(id, |e| e.phase = JobPhase::Running);
+    }
+
+    /// Record one finished campaign (optionally a cache hit).
+    pub fn record_campaign(&self, id: &str, cache_hit: bool) {
+        self.update(id, |e| {
+            e.jobs_done += 1;
+            if cache_hit {
+                e.cache_hits += 1;
+            }
+        });
+    }
+
+    /// Freeze a finished job's artifacts and mark it `Done`.
+    pub fn mark_done(&self, id: &str, artifacts: Artifacts) {
+        self.update(id, |e| {
+            e.phase = JobPhase::Done;
+            e.artifacts = Some(artifacts);
+        });
+    }
+
+    /// Mark a job `Failed` with an explanation.
+    pub fn mark_failed(&self, id: &str, error: String) {
+        self.update(id, |e| {
+            e.phase = JobPhase::Failed;
+            e.error = Some(error);
+        });
+    }
+
+    /// Block until the job reaches a terminal phase or `timeout` passes;
+    /// returns the latest snapshot either way (`None` for unknown ids).
+    pub fn wait_terminal(&self, id: &str, timeout: Duration) -> Option<JobEntry> {
+        let deadline = Instant::now() + timeout;
+        let mut jobs = self.jobs.lock().expect("registry lock");
+        loop {
+            match jobs.get(id) {
+                None => return None,
+                Some(e) if e.phase.is_terminal() => return Some(e.clone()),
+                Some(e) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Some(e.clone());
+                    }
+                    let (guard, _) = self
+                        .changed
+                        .wait_timeout(jobs, deadline - now)
+                        .expect("registry lock");
+                    jobs = guard;
+                }
+            }
+        }
+    }
+
+    fn update(&self, id: &str, f: impl FnOnce(&mut JobEntry)) {
+        let mut jobs = self.jobs.lock().expect("registry lock");
+        if let Some(entry) = jobs.get_mut(id) {
+            f(entry);
+        }
+        drop(jobs);
+        self.changed.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frostlab_core::ScenarioSpec;
+
+    fn matrix() -> MatrixSpec {
+        MatrixSpec {
+            scenarios: vec![ScenarioSpec::new("t", 1, "helsinki")],
+            seed_start: 0,
+            seeds: 2,
+        }
+    }
+
+    #[test]
+    fn job_id_is_whitespace_insensitive_and_stable() {
+        let m = matrix();
+        let id = job_id(&m).expect("hashes");
+        assert_eq!(id.len(), 16);
+        // Round-tripping through pretty JSON does not change the id.
+        let reparsed = MatrixSpec::from_json(&m.to_json().expect("serializes")).expect("parses");
+        assert_eq!(job_id(&reparsed).expect("hashes"), id);
+        // A different matrix gets a different id.
+        let mut other = matrix();
+        other.seeds = 3;
+        assert_ne!(job_id(&other).expect("hashes"), id);
+    }
+
+    #[test]
+    fn submit_deduplicates_on_id() {
+        let reg = JobRegistry::new();
+        let m = matrix();
+        assert_eq!(reg.submit("a", &m), SubmitOutcome::New);
+        assert_eq!(reg.submit("a", &m), SubmitOutcome::Deduplicated);
+        let entry = reg.get("a").expect("present");
+        assert_eq!(entry.phase, JobPhase::Queued);
+        assert_eq!(entry.jobs_total, 2);
+        assert!(reg.get("b").is_none());
+    }
+
+    #[test]
+    fn lifecycle_updates_are_visible_and_forgettable() {
+        let reg = JobRegistry::new();
+        reg.submit("a", &matrix());
+        reg.mark_running("a");
+        reg.record_campaign("a", false);
+        reg.record_campaign("a", true);
+        let e = reg.get("a").expect("present");
+        assert_eq!(e.phase, JobPhase::Running);
+        assert_eq!(e.jobs_done, 2);
+        assert_eq!(e.cache_hits, 1);
+        reg.mark_done(
+            "a",
+            Artifacts {
+                summary_json: "{}".into(),
+                ..Artifacts::default()
+            },
+        );
+        assert_eq!(reg.get("a").expect("present").phase, JobPhase::Done);
+        reg.forget("a");
+        assert!(reg.get("a").is_none());
+    }
+
+    #[test]
+    fn wait_terminal_returns_on_completion_and_on_timeout() {
+        let reg = std::sync::Arc::new(JobRegistry::new());
+        reg.submit("a", &matrix());
+        // Timeout path: still queued after 10 ms.
+        let e = reg
+            .wait_terminal("a", Duration::from_millis(10))
+            .expect("present");
+        assert_eq!(e.phase, JobPhase::Queued);
+        // Completion path: a thread finishes the job while we wait.
+        let bg = {
+            let reg = reg.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                reg.mark_failed("a", "boom".into());
+            })
+        };
+        let e = reg
+            .wait_terminal("a", Duration::from_secs(5))
+            .expect("present");
+        assert_eq!(e.phase, JobPhase::Failed);
+        assert_eq!(e.error.as_deref(), Some("boom"));
+        bg.join().expect("bg");
+        // Unknown id.
+        assert!(reg.wait_terminal("zz", Duration::from_millis(1)).is_none());
+    }
+}

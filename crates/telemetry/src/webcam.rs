@@ -1,7 +1,7 @@
 //! The terrace webcam.
 //!
 //! Footnote 1 of the paper: *"An hourly webcam image of the terrace (with
-//! the tent) is available at http://www.cs.helsinki.fi/Exactum-kamera/"*.
+//! the tent) is available at <http://www.cs.helsinki.fi/Exactum-kamera/>"*.
 //! The camera was part of the experiment's public face; here it renders an
 //! hourly ASCII "frame" of the scene from the simulation state — useful as
 //! a human-readable campaign digest (and in anger, for eyeballing whether

@@ -28,6 +28,7 @@
 //! | [`core`] | the orchestrated campaign (scripted + stochastic modes) |
 //! | [`ensemble`] | deterministic parallel campaign sweeps with streaming aggregation |
 //! | [`farm`] | crash-resumable durable job farm: WAL queue, result cache, supervised workers |
+//! | [`service`] | `frostlabd`: scenario-serving HTTP API with content-hash caching and bounded admission |
 //!
 //! ## Quickstart
 //!
@@ -59,6 +60,7 @@ pub use frostlab_faults as faults;
 pub use frostlab_hardware as hardware;
 pub use frostlab_netsim as netsim;
 pub use frostlab_obs as obs;
+pub use frostlab_service as service;
 pub use frostlab_simkern as simkern;
 pub use frostlab_telemetry as telemetry;
 pub use frostlab_thermal as thermal;
